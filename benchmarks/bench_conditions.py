@@ -1,0 +1,41 @@
+"""E1 — testing the detector under different conditions (Sec. 6.2).
+
+Regenerates the precision/recall comparison of the generic, good-conditions
+and bad-conditions test sets.  Expected shape: precision on the
+bad-conditions set (midnight, rain) is clearly below the other two.
+"""
+
+from repro.experiments.conditions import PAPER_RESULTS, run_conditions_experiment
+from repro.experiments.reporting import TableRow, format_table
+from repro.perception.training import TrainingConfig
+
+from conftest import save_result
+
+SCALE = 0.05  # 5% of the paper's dataset sizes
+
+
+def test_conditions_benchmark(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_conditions_experiment(scale=SCALE, seed=0,
+                                          training_config=TrainingConfig(iterations=300)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, metrics in result.metrics.items():
+        rows.append(
+            TableRow(
+                name,
+                {
+                    "Precision": 100 * metrics.precision,
+                    "Recall": 100 * metrics.recall,
+                    "Paper Prec": PAPER_RESULTS[name]["precision"],
+                    "Paper Rec": PAPER_RESULTS[name]["recall"],
+                },
+            )
+        )
+    table = format_table("Test set", ["Precision", "Recall", "Paper Prec", "Paper Rec"], rows)
+    record_result("sec6_2_conditions", table)
+
+    # Qualitative shape: bad conditions are the hardest for precision.
+    assert result.metrics["T_bad"].precision <= result.metrics["T_good"].precision + 0.02

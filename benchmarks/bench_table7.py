@@ -1,0 +1,32 @@
+"""E3 — debugging a failure: the variant-scenario analysis of Table 7."""
+
+from repro.experiments.debugging import PAPER_TABLE7, run_variant_analysis
+from repro.experiments.reporting import TableRow, format_table
+from repro.perception.training import TrainingConfig
+
+from conftest import save_result
+
+
+def test_table7_variant_analysis(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_variant_analysis(scale=0.06, seed=0,
+                                     training_config=TrainingConfig(iterations=300)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, metrics in result.metrics.items():
+        rows.append(
+            TableRow(
+                name,
+                {
+                    "Precision": 100 * metrics.precision,
+                    "Recall": 100 * metrics.recall,
+                    "Paper Prec": PAPER_TABLE7[name]["precision"],
+                    "Paper Rec": PAPER_TABLE7[name]["recall"],
+                },
+            )
+        )
+    table = format_table("Scenario", ["Precision", "Recall", "Paper Prec", "Paper Rec"], rows)
+    record_result("table7_debugging_variants", table)
+    assert len(result.metrics) == 9

@@ -1,0 +1,43 @@
+"""E4 — retraining after debugging: Table 8.
+
+Expected shape: replacing 10% of the generic training set with
+Scenic-generated close-car images helps (or at least does not hurt) precision
+on the generic test set, while classical augmentation of the single failure
+image does not help.
+"""
+
+from repro.experiments.debugging import PAPER_TABLE8, run_retraining_experiment
+from repro.experiments.reporting import TableRow, format_table
+from repro.perception.training import TrainingConfig
+
+from conftest import save_result
+
+
+def test_table8_retraining(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_retraining_experiment(scale=0.025, seed=0,
+                                          training_config=TrainingConfig(iterations=300)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, metrics in result.metrics.items():
+        rows.append(
+            TableRow(
+                name,
+                {
+                    "Precision": 100 * metrics.precision,
+                    "Recall": 100 * metrics.recall,
+                    "Paper Prec": PAPER_TABLE8[name]["precision"],
+                    "Paper Rec": PAPER_TABLE8[name]["recall"],
+                },
+            )
+        )
+    table = format_table("Replacement data", ["Precision", "Recall", "Paper Prec", "Paper Rec"], rows)
+    record_result("table8_retraining", table)
+    measured = result.metrics
+    # Scenic-driven replacement should not be worse than classical augmentation.
+    assert (
+        measured["Close car"].precision
+        >= measured["Classical augmentation"].precision - 0.05
+    )

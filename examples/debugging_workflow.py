@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""The debugging workflow of Sec. 6.4: generalise a failure, find the cause.
+
+Starting from a single scene, we write variant scenarios that vary different
+aspects (model/colour, background, distance, angle), evaluate a trained
+detector on each, and read off which features of the scene matter most to
+the failure — the Table 7 analysis at toy scale.
+
+Run with ``python examples/debugging_workflow.py`` (a couple of minutes).
+"""
+
+from repro.experiments.conditions import build_generic_training_set
+from repro.experiments.debugging import run_variant_analysis
+from repro.perception.training import TrainingConfig, train_detector
+
+
+def main() -> None:
+    print("training M_generic on a small generic training set...")
+    training_set = build_generic_training_set(images_per_car_count=25, seed=0)
+    detector = train_detector(training_set, TrainingConfig(iterations=400, seed=0))
+
+    print("evaluating on the nine Table 7 variant scenarios "
+          "(each scenario generalises the failure in a different direction)...\n")
+    result = run_variant_analysis(detector=detector, scale=0.1, seed=1)
+    print(result.to_table())
+
+    print(
+        "\nreading the table: scenarios that keep the suspect feature fixed and "
+        "still score poorly point at the root cause; in the paper, closeness to "
+        "the camera and the view angle mattered most, the background least."
+    )
+
+
+if __name__ == "__main__":
+    main()

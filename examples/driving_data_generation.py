@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Generate specialised training/test sets and measure a detector on them.
+
+This example walks the workflow of Sec. 6.2/6.3 of the paper at toy scale:
+
+1. train a car detector on images sampled from the generic two-car scenario;
+2. evaluate it on a generic test set and on the hard "overlapping cars"
+   scenario of Fig. 8;
+3. re-train with a fraction of the training set replaced by overlapping-car
+   images, and show the improvement on the hard case.
+
+Run with ``python examples/driving_data_generation.py`` (about a minute).
+"""
+
+import random
+
+from repro.experiments import scenarios
+from repro.perception.training import (
+    Dataset,
+    TrainingConfig,
+    evaluate_detector,
+    train_detector,
+)
+
+TRAIN_IMAGES = 60
+TEST_IMAGES = 30
+REPLACEMENT_FRACTION = 0.25
+
+
+def main() -> None:
+    two_car = scenarios.compile_scenario(scenarios.two_cars())
+    overlapping = scenarios.compile_scenario(scenarios.overlapping_cars())
+
+    print("sampling datasets (this exercises the full Scenic pipeline)...")
+    x_twocar = Dataset.from_scenario(two_car, TRAIN_IMAGES, "X_twocar", seed=0)
+    x_overlap = Dataset.from_scenario(overlapping, TRAIN_IMAGES, "X_overlap", seed=1)
+    t_twocar = Dataset.from_scenario(two_car, TEST_IMAGES, "T_twocar", seed=2)
+    t_overlap = Dataset.from_scenario(overlapping, TEST_IMAGES, "T_overlap", seed=3)
+
+    print("training the baseline detector on generic two-car images...")
+    baseline = train_detector(x_twocar, TrainingConfig(iterations=400, seed=0))
+    print("  generic test set :", evaluate_detector(baseline, t_twocar))
+    print("  overlap test set :", evaluate_detector(baseline, t_overlap))
+
+    print(f"\nreplacing {int(100 * REPLACEMENT_FRACTION)}% of the training set with "
+          "Scenic-generated overlapping cars and retraining...")
+    mixture = x_twocar.mixed_with(x_overlap, REPLACEMENT_FRACTION, random.Random(0))
+    improved = train_detector(mixture, TrainingConfig(iterations=400, seed=0))
+    print("  generic test set :", evaluate_detector(improved, t_twocar))
+    print("  overlap test set :", evaluate_detector(improved, t_overlap))
+
+    print("\nExpected shape (cf. Tables 6 and 10 of the paper): the overlap-set "
+          "metrics improve while the generic-set metrics stay about the same.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of "Scenic: A Language for Scenario Specification and Scene
+Generation" (Fremont et al., PLDI 2019).
+
+Subpackages
+-----------
+
+* :mod:`repro.core` — the probabilistic runtime (distributions, objects,
+  specifiers, scenarios, rejection sampling and pruning).
+* :mod:`repro.geometry` — the computational-geometry substrate.
+* :mod:`repro.language` — the Scenic DSL: lexer, parser and interpreter.
+* :mod:`repro.worlds` — world libraries (the GTA-like road world used by the
+  case study, and the Mars-rover world).
+* :mod:`repro.perception` — the synthetic rendering + car-detection pipeline
+  standing in for GTA V + squeezeDet.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure of
+  the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from . import core, geometry
+
+__all__ = ["core", "geometry", "__version__"]

@@ -1,0 +1,115 @@
+"""The core Scenic runtime: distributions, geometry values, objects, specifiers,
+requirements, scenarios and the rejection sampler.
+
+This package is usable on its own as an embedded Python API (see
+``examples/quickstart.py``); the :mod:`repro.language` package compiles
+Scenic-syntax programs down to the same primitives.
+"""
+
+from .vectors import Vector, rotate, heading_of_segment, heading_to_direction
+from .distributions import (
+    Range,
+    Normal,
+    TruncatedNormal,
+    Uniform,
+    Discrete,
+    Options,
+    resample,
+    needs_sampling,
+    concretize,
+    Sample,
+    Distribution,
+)
+from .regions import (
+    Region,
+    CircularRegion,
+    SectorRegion,
+    RectangularRegion,
+    PolygonalRegion,
+    PolylineRegion,
+    PointSetRegion,
+    everywhere,
+    nowhere,
+)
+from .vectorfields import VectorField, ConstantVectorField, PolygonalVectorField, PolylineVectorField
+from .objects import Point, OrientedPoint, Object
+from .specifiers import (
+    Specifier,
+    At,
+    OffsetBy,
+    OffsetAlong,
+    LeftOf,
+    RightOf,
+    AheadOf,
+    Behind,
+    Beyond,
+    Visible,
+    VisibleFromRegion,
+    In,
+    On,
+    Following,
+    Facing,
+    FacingToward,
+    FacingAwayFrom,
+    ApparentlyFacing,
+    With,
+)
+from .operators import (
+    can_see,
+    is_in_region,
+    distance_between,
+    angle_between,
+    relative_heading,
+    apparent_heading,
+    front_of,
+    back_of,
+    left_edge_of,
+    right_edge_of,
+    front_left_of,
+    front_right_of,
+    back_left_of,
+    back_right_of,
+    follow_field,
+    visible_region_of,
+)
+from .requirements import Requirement
+from .workspace import Workspace
+from .scene import Scene
+from .scenario import Scenario, ScenarioBuilder, GenerationStats
+from .pruning import prune_scenario, PruningReport
+from .errors import (
+    ScenicError,
+    ScenicSyntaxError,
+    SpecifierError,
+    InvalidScenarioError,
+    RejectionError,
+)
+
+__all__ = [
+    # values
+    "Vector", "rotate", "heading_of_segment", "heading_to_direction",
+    # distributions
+    "Range", "Normal", "TruncatedNormal", "Uniform", "Discrete", "Options",
+    "resample", "needs_sampling", "concretize", "Sample", "Distribution",
+    # regions and fields
+    "Region", "CircularRegion", "SectorRegion", "RectangularRegion",
+    "PolygonalRegion", "PolylineRegion", "PointSetRegion", "everywhere", "nowhere",
+    "VectorField", "ConstantVectorField", "PolygonalVectorField", "PolylineVectorField",
+    # objects
+    "Point", "OrientedPoint", "Object",
+    # specifiers
+    "Specifier", "At", "OffsetBy", "OffsetAlong", "LeftOf", "RightOf", "AheadOf",
+    "Behind", "Beyond", "Visible", "VisibleFromRegion", "In", "On", "Following",
+    "Facing", "FacingToward", "FacingAwayFrom", "ApparentlyFacing", "With",
+    # operators
+    "can_see", "is_in_region", "distance_between", "angle_between",
+    "relative_heading", "apparent_heading", "front_of", "back_of",
+    "left_edge_of", "right_edge_of", "front_left_of", "front_right_of",
+    "back_left_of", "back_right_of", "follow_field", "visible_region_of",
+    # scenario machinery
+    "Requirement", "Workspace", "Scene", "Scenario", "ScenarioBuilder",
+    "GenerationStats", "prune_scenario", "PruningReport",
+    # errors
+    "ScenicError", "ScenicSyntaxError", "SpecifierError", "InvalidScenarioError",
+    "RejectionError",
+]

@@ -1,0 +1,103 @@
+"""The active scenario-construction context.
+
+Evaluating a Scenic program (whether written in the DSL or through the
+Python builder API) has the side effect of creating objects, assigning the
+ego, declaring requirements and setting global parameters.  This module holds
+the mutable state those side effects act on: a stack of
+:class:`ScenarioContext` objects, pushed by ``ScenarioBuilder`` /
+the DSL interpreter and popped when scenario construction finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .errors import InvalidScenarioError
+
+
+class ScenarioContext:
+    """Collects the side effects of evaluating one Scenic scenario."""
+
+    def __init__(self):
+        self.objects: List[Any] = []
+        self.ego: Optional[Any] = None
+        self.params: Dict[str, Any] = {}
+        self.requirements: List[Any] = []
+        self.workspace = None
+
+    def register_object(self, scenic_object: Any) -> None:
+        self.objects.append(scenic_object)
+
+    def set_ego(self, scenic_object: Any) -> None:
+        self.ego = scenic_object
+
+    def add_requirement(self, requirement: Any) -> None:
+        self.requirements.append(requirement)
+
+    def set_param(self, name: str, value: Any) -> None:
+        self.params[name] = value
+
+
+_context_stack: List[ScenarioContext] = []
+
+
+def push_context(context: Optional[ScenarioContext] = None) -> ScenarioContext:
+    """Make *context* (or a fresh one) the active construction context."""
+    if context is None:
+        context = ScenarioContext()
+    _context_stack.append(context)
+    return context
+
+
+def pop_context() -> ScenarioContext:
+    if not _context_stack:
+        raise InvalidScenarioError("no active scenario context to pop")
+    return _context_stack.pop()
+
+
+def active_context() -> Optional[ScenarioContext]:
+    """The innermost active context, or ``None`` outside scenario construction."""
+    return _context_stack[-1] if _context_stack else None
+
+
+def require_context() -> ScenarioContext:
+    context = active_context()
+    if context is None:
+        raise InvalidScenarioError(
+            "this operation may only be used while constructing a scenario "
+            "(inside a ScenarioBuilder block or a Scenic program)"
+        )
+    return context
+
+
+def current_ego() -> Any:
+    """The ego object of the active context (used by ego-relative specifiers)."""
+    context = require_context()
+    if context.ego is None:
+        raise InvalidScenarioError(
+            "the ego object must be defined before using ego-relative syntax "
+            "(e.g. 'offset by', 'visible', 'beyond ... by ...')"
+        )
+    return context.ego
+
+
+def register_object(scenic_object: Any) -> None:
+    """Add a newly constructed physical object to the active context, if any.
+
+    Constructing objects outside a context is allowed (useful in tests), in
+    which case they are simply not registered anywhere.
+    """
+    context = active_context()
+    if context is not None:
+        context.register_object(scenic_object)
+
+
+__all__ = [
+    "ScenarioContext",
+    "push_context",
+    "pop_context",
+    "active_context",
+    "require_context",
+    "current_ego",
+    "register_object",
+]

@@ -1,0 +1,81 @@
+"""Exception hierarchy shared by the Scenic reproduction.
+
+The paper distinguishes three failure modes that we mirror here:
+
+* static, syntax-level problems in a scenario (``ScenicSyntaxError``),
+* problems discovered while constructing objects from specifiers, such as
+  cyclic dependencies or doubly-specified properties
+  (``SpecifierError`` and its subclasses), and
+* failures of the rejection sampler to produce a valid scene within its
+  iteration budget (``RejectionError``).
+"""
+
+from __future__ import annotations
+
+
+class ScenicError(Exception):
+    """Base class for all errors raised by the reproduction."""
+
+
+class ScenicSyntaxError(ScenicError):
+    """A scenario is statically ill-formed (lexing, parsing, or translation)."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+
+
+class SpecifierError(ScenicError):
+    """A set of specifiers cannot be resolved into a complete object."""
+
+
+class AmbiguousSpecifierError(SpecifierError):
+    """The same property is specified (non-optionally) by two specifiers."""
+
+
+class CyclicDependencyError(SpecifierError):
+    """The specifier dependency graph contains a cycle."""
+
+
+class MissingPropertyError(SpecifierError):
+    """A specifier depends on a property that no specifier or default provides."""
+
+
+class InvalidScenarioError(ScenicError):
+    """A scenario is semantically invalid (e.g. no ego object was defined)."""
+
+
+class RejectionError(ScenicError):
+    """The rejection sampler exhausted its iteration budget."""
+
+    def __init__(self, iterations: int, reason: str = "requirements unsatisfied"):
+        self.iterations = iterations
+        self.reason = reason
+        super().__init__(
+            f"failed to generate a valid scene within {iterations} iterations ({reason})"
+        )
+
+
+class RejectSample(ScenicError):
+    """Internal control-flow exception: the current sample violates a requirement.
+
+    Raised while evaluating a candidate scene; caught by the rejection
+    sampler, which then retries.  Never escapes ``Scenario.generate``.
+    """
+
+    def __init__(self, reason: str = "requirement violated"):
+        self.reason = reason
+        super().__init__(reason)
+
+
+class InterpreterError(ScenicError):
+    """A runtime error raised while interpreting a Scenic program."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(message + location)

@@ -1,0 +1,330 @@
+"""Domain-specific pruning of the sample space (Sec. 5.2, Algorithms 2–3).
+
+Rejection sampling can waste many candidate scenes on object positions that
+can never satisfy the requirements.  The paper prunes the sample space of
+objects whose position is uniform over a *polygonal* region using three
+techniques, all of which restrict that region to a smaller one while keeping
+every valid position (soundness):
+
+* **containment** — if the object must fit inside a region ``C``, its centre
+  must lie in ``erode(C, minRadius)``;
+* **orientation** — if the relative heading between two field-aligned objects
+  is constrained and their distance is at most ``M``, only map cells whose
+  field headings are compatible (and within ``M`` of each other) can host
+  them (Algorithm 2);
+* **size** — map cells narrower than the configuration's minimum width can
+  only host an object if another cell lies within ``M`` (Algorithm 3).
+
+``prune_scenario`` applies containment pruning automatically and the other
+two when the caller provides the bounds (the experiment harness extracts
+them from the scenario, mirroring the paper's static analysis of ``offset
+by`` specifiers and visibility constraints).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry.morphology import dilate_polygon, erode_polygon, minimum_width
+from ..geometry.polygon import Polygon, clip_polygon, polygons_intersect
+from .distributions import needs_sampling
+from .objects import Object
+from .regions import PointInRegionDistribution, PolygonalRegion, Region
+from .scenario import Scenario
+from .utils import normalize_angle
+from .vectorfields import PolygonalVectorField
+
+
+@dataclass
+class PruningReport:
+    """What pruning did to a scenario (for logging and the pruning benchmark)."""
+
+    objects_pruned: int = 0
+    area_before: float = 0.0
+    area_after: float = 0.0
+    techniques: Tuple[str, ...] = ()
+
+    @property
+    def area_ratio(self) -> float:
+        if self.area_before <= 0:
+            return 1.0
+        return self.area_after / self.area_before
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 2: pruneByHeading
+# ---------------------------------------------------------------------------
+
+
+def prune_by_orientation(
+    cells: Sequence[Tuple[Polygon, float]],
+    allowed_relative_heading: Tuple[float, float],
+    max_distance: float,
+    deviation_bound: float,
+) -> List[Polygon]:
+    """Restrict field cells to those compatible with a relative-heading constraint.
+
+    *cells* are ``(polygon, field heading)`` pairs; *allowed_relative_heading*
+    is the closed interval ``A`` of permitted relative headings between the
+    two objects (it may straddle ±π, e.g. an oncoming-traffic constraint
+    around π); *max_distance* is ``M``; *deviation_bound* is ``δ``, the
+    maximum deviation of each object from the field direction.
+
+    Note that a constraint interval containing 0 never prunes anything on its
+    own: every cell is a compatible partner for itself (both objects may lie
+    in the same cell).  The technique pays off for constraints like
+    "roughly facing each other", exactly as in the paper's examples.
+    """
+    low, high = allowed_relative_heading
+    center = (low + high) / 2.0
+    half_width = abs(high - low) / 2.0
+    pruned: List[Polygon] = []
+    for polygon, heading in cells:
+        for other_polygon, other_heading in cells:
+            dilated = dilate_polygon(other_polygon, max_distance)
+            if not polygons_intersect(polygon, dilated):
+                continue
+            relative = normalize_angle(other_heading - heading)
+            # Compatible iff the relative heading, slackened by 2δ, can fall
+            # inside A (angles compared on the circle, so A may wrap ±π).
+            distance_to_center = abs(normalize_angle(relative - center))
+            if distance_to_center <= half_width + 2 * deviation_bound + 1e-12:
+                piece = clip_polygon(polygon, dilated)
+                if piece is not None:
+                    pruned.append(piece)
+    return _merge_pieces(pruned)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 3: pruneByWidth
+# ---------------------------------------------------------------------------
+
+
+def prune_by_size(
+    cells: Sequence[Tuple[Polygon, float]],
+    max_distance: float,
+    min_width: float,
+) -> List[Polygon]:
+    """Restrict narrow field cells to the parts near some other (reachable) cell."""
+    polygons = [polygon for polygon, _heading in cells]
+    narrow = [polygon for polygon in polygons if minimum_width(polygon) < min_width]
+    narrow_ids = {id(polygon) for polygon in narrow}
+    pruned: List[Polygon] = [polygon for polygon in polygons if id(polygon) not in narrow_ids]
+    for polygon in narrow:
+        for other in polygons:
+            if other is polygon:
+                continue
+            dilated = dilate_polygon(other, max_distance)
+            if not polygons_intersect(polygon, dilated):
+                continue
+            piece = clip_polygon(polygon, dilated)
+            if piece is not None:
+                pruned.append(piece)
+    return _merge_pieces(pruned)
+
+
+# ---------------------------------------------------------------------------
+# Containment pruning
+# ---------------------------------------------------------------------------
+
+
+def prune_by_containment(
+    region_polygons: Sequence[Polygon],
+    container_polygons: Sequence[Polygon],
+    min_radius: float,
+) -> List[Polygon]:
+    """Restrict a sampling region to the erosion of its container.
+
+    For every (region, container) polygon pair, keep the part of the region
+    polygon inside the container eroded by *min_radius*.  Erosion is exact
+    for convex containers and a sound no-op otherwise.
+    """
+    pruned: List[Polygon] = []
+    for container in container_polygons:
+        eroded = erode_polygon(container, min_radius)
+        if eroded is None:
+            continue
+        for polygon in region_polygons:
+            if not polygons_intersect(polygon, eroded):
+                continue
+            if eroded.is_convex():
+                piece = clip_polygon(polygon, eroded)
+            else:
+                piece = polygon
+            if piece is not None:
+                pruned.append(piece)
+    return _merge_pieces(pruned)
+
+
+# ---------------------------------------------------------------------------
+# Scenario-level driver
+# ---------------------------------------------------------------------------
+
+
+def prune_scenario(
+    scenario: Scenario,
+    relative_heading_bound: Optional[float] = None,
+    relative_heading_center: float = 0.0,
+    max_distance: Optional[float] = None,
+    deviation_bound: float = 0.0,
+    min_configuration_width: Optional[float] = None,
+) -> PruningReport:
+    """Apply the pruning techniques to every prunable object of *scenario*.
+
+    An object is prunable when its ``position`` is a
+    :class:`PointInRegionDistribution` over a :class:`PolygonalRegion`.  The
+    workspace region acts as the container for containment pruning.  When
+    *relative_heading_bound* (radians) and *max_distance* are given and the
+    region carries a :class:`PolygonalVectorField` orientation, Algorithm 2
+    is applied; when *min_configuration_width* and *max_distance* are given,
+    Algorithm 3 is applied.  The object's sampling region is replaced in
+    place, so subsequent ``generate`` calls benefit.
+    """
+    report = PruningReport()
+    techniques: List[str] = []
+    workspace_region = scenario.workspace.region
+    container_polygons = _polygons_of_region(workspace_region)
+
+    for scenic_object in scenario.objects:
+        position = scenic_object.properties.get("position")
+        if not isinstance(position, PointInRegionDistribution):
+            continue
+        region = position.region
+        if not isinstance(region, PolygonalRegion):
+            continue
+        report.area_before += region.area()
+        polygons: List[Polygon] = list(region.polygons)
+        orientation = region.orientation
+
+        # Containment (uses a lower bound on the object's half-extent).
+        min_radius = _static_min_radius(scenic_object)
+        if container_polygons and min_radius > 0:
+            restricted = prune_by_containment(polygons, container_polygons, min_radius)
+            if restricted:
+                polygons = restricted
+                if "containment" not in techniques:
+                    techniques.append("containment")
+
+        cells = _cells_for_polygons(polygons, orientation)
+
+        # Orientation (Algorithm 2).
+        if (
+            relative_heading_bound is not None
+            and max_distance is not None
+            and isinstance(orientation, PolygonalVectorField)
+        ):
+            restricted = prune_by_orientation(
+                cells,
+                (
+                    relative_heading_center - relative_heading_bound,
+                    relative_heading_center + relative_heading_bound,
+                ),
+                max_distance,
+                deviation_bound,
+            )
+            if restricted:
+                polygons = restricted
+                cells = _cells_for_polygons(polygons, orientation)
+                if "orientation" not in techniques:
+                    techniques.append("orientation")
+
+        # Size (Algorithm 3).
+        if min_configuration_width is not None and max_distance is not None:
+            restricted = prune_by_size(cells, max_distance, min_configuration_width)
+            if restricted:
+                polygons = restricted
+                if "size" not in techniques:
+                    techniques.append("size")
+
+        # The pruned pieces may overlap each other (a cell can pair with
+        # several dilated neighbours); overlapping pieces would both inflate
+        # the area and bias uniform sampling toward the overlaps, so we only
+        # adopt the pruned region when it is a genuine reduction.
+        try:
+            pruned_region = PolygonalRegion(
+                polygons, name=f"{region.name}|pruned", orientation=orientation
+            )
+        except Exception:  # zero-area fragments and similar degeneracies
+            pruned_region = None
+        if pruned_region is not None and pruned_region.area() < region.area():
+            position.region = pruned_region
+            position._dependencies = (pruned_region,)
+            report.area_after += pruned_region.area()
+        else:
+            report.area_after += region.area()
+        report.objects_pruned += 1
+
+    report.techniques = tuple(techniques)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _static_min_radius(scenic_object: Object) -> float:
+    """A lower bound on the object's centre-to-edge distance, if statically known."""
+    width = scenic_object.properties.get("width")
+    height = scenic_object.properties.get("height")
+    if needs_sampling(width) or needs_sampling(height):
+        from .distributions import supporting_interval
+
+        width_low, _ = supporting_interval(width)
+        height_low, _ = supporting_interval(height)
+        if width_low is None or height_low is None:
+            return 0.0
+        return min(width_low, height_low) / 2.0
+    try:
+        return min(float(width), float(height)) / 2.0
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def _polygons_of_region(region: Region) -> List[Polygon]:
+    if isinstance(region, PolygonalRegion):
+        return list(region.polygons)
+    bounding_box = region.bounding_box() if region is not None else None
+    if bounding_box is None:
+        return []
+    return [bounding_box.to_polygon()]
+
+
+def _cells_for_polygons(polygons: Sequence[Polygon], orientation) -> List[Tuple[Polygon, float]]:
+    cells: List[Tuple[Polygon, float]] = []
+    for polygon in polygons:
+        heading = 0.0
+        if isinstance(orientation, PolygonalVectorField):
+            heading = orientation.value_at(polygon.centroid)
+        elif orientation is not None:
+            heading = orientation.value_at(polygon.centroid)
+        cells.append((polygon, heading))
+    return cells
+
+
+def _merge_pieces(polygons: Sequence[Polygon]) -> List[Polygon]:
+    """Drop exact duplicates and zero-area fragments."""
+    unique: List[Polygon] = []
+    seen = set()
+    for polygon in polygons:
+        key = tuple(sorted((round(v.x, 6), round(v.y, 6)) for v in polygon.vertices))
+        if key in seen or polygon.area < 1e-9:
+            continue
+        seen.add(key)
+        unique.append(polygon)
+    return unique
+
+
+def _interval_intersects(a_low: float, a_high: float, b_low: float, b_high: float) -> bool:
+    return a_low <= b_high and b_low <= a_high
+
+
+__all__ = [
+    "PruningReport",
+    "prune_by_orientation",
+    "prune_by_size",
+    "prune_by_containment",
+    "prune_scenario",
+]

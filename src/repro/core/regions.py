@@ -1,0 +1,503 @@
+"""Regions: sets of points in the workspace (one of Scenic's primitive types).
+
+Regions support three operations the runtime needs:
+
+* membership (``contains_point`` / ``contains_object``) for the built-in and
+  user requirements (``X is in region``);
+* uniform sampling, used by the ``(in | on) region`` and ``visible`` position
+  specifiers — sampling a region yields a :class:`PointInRegionDistribution`
+  so the draw happens per scene;
+* an optional *preferred orientation* (a vector field), which the ``on
+  region`` specifier uses to optionally specify ``heading``.
+
+The concrete region classes mirror the reference implementation: circles,
+sectors (view cones), rotated rectangles, polygonal regions (unions of simple
+polygons), polylines (for curbs) and finite point sets, plus lazy
+intersection and difference regions evaluated by rejection.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..geometry.polygon import BoundingBox, Polygon, polygons_intersect
+from ..geometry.triangulation import TriangulatedSampler, sample_point_in_triangle
+from .distributions import Distribution, needs_sampling
+from .errors import RejectSample, ScenicError
+from .utils import normalize_angle
+from .vectors import Vector, VectorLike
+
+
+class PointInRegionDistribution(Distribution):
+    """A uniformly random point of a region (drawn once per scene)."""
+
+    def __init__(self, region: "Region"):
+        super().__init__(region)
+        self.region = region
+
+    def sample_given(self, dependency_values, rng):
+        (region,) = dependency_values
+        return region.uniform_point(rng)
+
+    def __repr__(self) -> str:
+        return f"PointInRegionDistribution({self.region!r})"
+
+
+class Region:
+    """Abstract base class for all regions."""
+
+    def __init__(self, name: str, orientation: Optional[Any] = None):
+        self.name = name
+        #: Optional preferred orientation (a :class:`VectorField`).
+        self.orientation = orientation
+
+    # -- membership -------------------------------------------------------------
+
+    def contains_point(self, point: VectorLike) -> bool:
+        raise NotImplementedError
+
+    def contains_object(self, scenic_object: Any) -> bool:
+        """Default: an object is inside iff all four bounding-box corners are."""
+        return all(self.contains_point(corner) for corner in scenic_object.corners)
+
+    # -- sampling ---------------------------------------------------------------
+
+    def uniform_point(self, rng: _random.Random) -> Vector:
+        """Draw a uniformly random point; may raise :class:`RejectSample`."""
+        raise NotImplementedError
+
+    def uniform_point_distribution(self) -> PointInRegionDistribution:
+        return PointInRegionDistribution(self)
+
+    # -- geometry ---------------------------------------------------------------
+
+    def bounding_box(self) -> Optional[BoundingBox]:
+        """Axis-aligned bounds, or ``None`` when unbounded."""
+        return None
+
+    def area(self) -> float:
+        raise NotImplementedError(f"{type(self).__name__} has no finite area")
+
+    def intersect(self, other: "Region") -> "Region":
+        """The intersection region (sampled by rejection unless specialised)."""
+        if isinstance(other, EverywhereRegion):
+            return self
+        if isinstance(self, EverywhereRegion):
+            return other
+        return IntersectionRegion(self, other)
+
+    def difference(self, other: "Region") -> "Region":
+        return DifferenceRegion(self, other)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class EverywhereRegion(Region):
+    """The whole plane: everything is contained, nothing can be sampled."""
+
+    def __init__(self, name: str = "everywhere"):
+        super().__init__(name)
+
+    def contains_point(self, point: VectorLike) -> bool:
+        return True
+
+    def contains_object(self, scenic_object: Any) -> bool:
+        return True
+
+    def uniform_point(self, rng):
+        raise ScenicError("cannot sample a uniformly random point of the whole plane")
+
+
+class EmptyRegion(Region):
+    """The empty set (useful as an identity for unions and error cases)."""
+
+    def __init__(self, name: str = "empty"):
+        super().__init__(name)
+
+    def contains_point(self, point: VectorLike) -> bool:
+        return False
+
+    def contains_object(self, scenic_object: Any) -> bool:
+        return False
+
+    def uniform_point(self, rng):
+        raise RejectSample("sampling from an empty region")
+
+    def area(self) -> float:
+        return 0.0
+
+
+everywhere = EverywhereRegion()
+nowhere = EmptyRegion()
+
+
+class CircularRegion(Region):
+    """A disc of the given radius about a centre point."""
+
+    def __init__(self, center: VectorLike, radius: float, name: str = "circle"):
+        super().__init__(name)
+        self.center = Vector.from_any(center)
+        self.radius = float(radius)
+        if self.radius < 0:
+            raise ScenicError("circle radius must be non-negative")
+
+    def contains_point(self, point: VectorLike) -> bool:
+        return self.center.distance_to(point) <= self.radius + 1e-9
+
+    def uniform_point(self, rng):
+        r = self.radius * math.sqrt(rng.random())
+        theta = rng.uniform(0, 2 * math.pi)
+        return self.center + Vector(r * math.cos(theta), r * math.sin(theta))
+
+    def bounding_box(self):
+        return BoundingBox(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    def area(self) -> float:
+        return math.pi * self.radius ** 2
+
+
+class SectorRegion(Region):
+    """A circular sector: the view cone of an :class:`OrientedPoint`.
+
+    ``heading`` is the direction of the bisector and ``angle`` the full
+    opening angle; an angle of ``2*pi`` (or more) degenerates to a disc.
+    """
+
+    def __init__(
+        self,
+        center: VectorLike,
+        radius: float,
+        heading: float,
+        angle: float,
+        name: str = "sector",
+    ):
+        super().__init__(name)
+        self.center = Vector.from_any(center)
+        self.radius = float(radius)
+        self.heading = float(heading)
+        self.angle = float(angle)
+        if self.radius < 0:
+            raise ScenicError("sector radius must be non-negative")
+        if self.angle <= 0:
+            raise ScenicError("sector angle must be positive")
+
+    def contains_point(self, point: VectorLike) -> bool:
+        point = Vector.from_any(point)
+        offset = point - self.center
+        if offset.norm() > self.radius + 1e-9:
+            return False
+        if self.angle >= 2 * math.pi - 1e-9:
+            return True
+        if offset.norm() < 1e-12:
+            return True
+        relative = abs(normalize_angle(offset.angle() - self.heading))
+        return relative <= self.angle / 2 + 1e-9
+
+    def uniform_point(self, rng):
+        half = min(self.angle, 2 * math.pi) / 2
+        theta = self.heading + rng.uniform(-half, half)
+        r = self.radius * math.sqrt(rng.random())
+        # theta is a *heading* (anticlockwise from North).
+        return self.center + Vector(-r * math.sin(theta), r * math.cos(theta))
+
+    def bounding_box(self):
+        return BoundingBox(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    def area(self) -> float:
+        fraction = min(self.angle, 2 * math.pi) / (2 * math.pi)
+        return math.pi * self.radius ** 2 * fraction
+
+
+class RectangularRegion(Region):
+    """A rectangle with arbitrary heading, given by centre, width and height."""
+
+    def __init__(
+        self,
+        center: VectorLike,
+        heading: float,
+        width: float,
+        height: float,
+        name: str = "rectangle",
+        orientation: Optional[Any] = None,
+    ):
+        super().__init__(name, orientation)
+        self.center = Vector.from_any(center)
+        self.heading = float(heading)
+        self.width = float(width)
+        self.height = float(height)
+        self.polygon = Polygon.rectangle(self.center, self.width, self.height, self.heading)
+
+    def contains_point(self, point: VectorLike) -> bool:
+        local = (Vector.from_any(point) - self.center).rotated_by(-self.heading)
+        return abs(local.x) <= self.width / 2 + 1e-9 and abs(local.y) <= self.height / 2 + 1e-9
+
+    def uniform_point(self, rng):
+        local = Vector(
+            rng.uniform(-self.width / 2, self.width / 2),
+            rng.uniform(-self.height / 2, self.height / 2),
+        )
+        return self.center + local.rotated_by(self.heading)
+
+    def bounding_box(self):
+        return self.polygon.bounding_box()
+
+    def area(self) -> float:
+        return self.width * self.height
+
+
+class PolygonalRegion(Region):
+    """A union of simple polygons, optionally with a preferred orientation."""
+
+    def __init__(
+        self,
+        polygons: Sequence[Polygon],
+        name: str = "polygonal",
+        orientation: Optional[Any] = None,
+    ):
+        super().__init__(name, orientation)
+        polygon_list = list(polygons)
+        if not polygon_list:
+            raise ScenicError("a polygonal region needs at least one polygon")
+        self.polygons: Tuple[Polygon, ...] = tuple(polygon_list)
+        self._samplers = [TriangulatedSampler(polygon) for polygon in self.polygons]
+        self._areas = [polygon.area for polygon in self.polygons]
+        self._total_area = sum(self._areas)
+        if self._total_area <= 0:
+            raise ScenicError("polygonal region has zero total area")
+        self._cumulative: List[float] = []
+        running = 0.0
+        for polygon_area in self._areas:
+            running += polygon_area / self._total_area
+            self._cumulative.append(running)
+
+    def contains_point(self, point: VectorLike) -> bool:
+        return any(polygon.contains_point(point) for polygon in self.polygons)
+
+    def uniform_point(self, rng):
+        u = rng.random()
+        for sampler, threshold in zip(self._samplers, self._cumulative):
+            if u <= threshold:
+                return sampler.sample(rng)
+        return self._samplers[-1].sample(rng)
+
+    def bounding_box(self):
+        boxes = [polygon.bounding_box() for polygon in self.polygons]
+        return BoundingBox(
+            min(box.min_x for box in boxes),
+            min(box.min_y for box in boxes),
+            max(box.max_x for box in boxes),
+            max(box.max_y for box in boxes),
+        )
+
+    def area(self) -> float:
+        return self._total_area
+
+    def intersects_polygon(self, polygon: Polygon) -> bool:
+        return any(polygons_intersect(piece, polygon) for piece in self.polygons)
+
+    def restricted_to(self, polygons: Sequence[Polygon], name: Optional[str] = None) -> "PolygonalRegion":
+        """A new region made of the given polygons but keeping this region's orientation."""
+        return PolygonalRegion(polygons, name or f"{self.name}*", orientation=self.orientation)
+
+
+class PolylineRegion(Region):
+    """A chain (or union of chains) of line segments, e.g. the curb.
+
+    Sampling is uniform by arc length.  The region has a natural preferred
+    orientation: the heading of the segment a point lies on.  That
+    orientation is exposed both through :meth:`orientation_at` and, when the
+    region is constructed, through a segment-based vector field assigned to
+    ``self.orientation`` by the caller (the GTA world library does this).
+    """
+
+    def __init__(self, chains: Sequence[Sequence[VectorLike]], name: str = "polyline",
+                 orientation: Optional[Any] = None):
+        super().__init__(name, orientation)
+        self.segments: List[Tuple[Vector, Vector]] = []
+        for chain in chains:
+            points = [Vector.from_any(p) for p in chain]
+            for start, end in zip(points[:-1], points[1:]):
+                if start.distance_to(end) > 0:
+                    self.segments.append((start, end))
+        if not self.segments:
+            raise ScenicError("a polyline region needs at least one segment")
+        self._lengths = [a.distance_to(b) for a, b in self.segments]
+        self._total_length = sum(self._lengths)
+
+    def contains_point(self, point: VectorLike, tolerance: float = 0.5) -> bool:
+        point = Vector.from_any(point)
+        return any(
+            _point_segment_distance(point, a, b) <= tolerance for a, b in self.segments
+        )
+
+    def uniform_point(self, rng):
+        target = rng.random() * self._total_length
+        running = 0.0
+        for (a, b), length in zip(self.segments, self._lengths):
+            if running + length >= target:
+                t = (target - running) / length
+                return a + (b - a) * t
+            running += length
+        a, b = self.segments[-1]
+        return b
+
+    def orientation_at(self, point: VectorLike) -> float:
+        """Heading of the nearest segment at *point*."""
+        point = Vector.from_any(point)
+        best_segment = min(
+            self.segments, key=lambda seg: _point_segment_distance(point, seg[0], seg[1])
+        )
+        return (best_segment[1] - best_segment[0]).angle()
+
+    def bounding_box(self):
+        points = [p for segment in self.segments for p in segment]
+        return BoundingBox.of_points(points)
+
+    def length(self) -> float:
+        return self._total_length
+
+    def area(self) -> float:
+        return 0.0
+
+
+class PointSetRegion(Region):
+    """A finite set of points (e.g. parking spots); sampling picks one uniformly."""
+
+    def __init__(self, points: Iterable[VectorLike], name: str = "points",
+                 orientation: Optional[Any] = None, tolerance: float = 1e-6):
+        super().__init__(name, orientation)
+        self.points = [Vector.from_any(p) for p in points]
+        if not self.points:
+            raise ScenicError("a point-set region needs at least one point")
+        self.tolerance = tolerance
+
+    def contains_point(self, point: VectorLike) -> bool:
+        point = Vector.from_any(point)
+        return any(point.distance_to(p) <= self.tolerance for p in self.points)
+
+    def uniform_point(self, rng):
+        return rng.choice(self.points)
+
+    def bounding_box(self):
+        return BoundingBox.of_points(self.points)
+
+    def area(self) -> float:
+        return 0.0
+
+
+class IntersectionRegion(Region):
+    """Intersection of two regions, sampled by rejection from the smaller one."""
+
+    def __init__(self, first: Region, second: Region, name: Optional[str] = None,
+                 max_attempts: int = 200):
+        super().__init__(name or f"({first.name} ∩ {second.name})",
+                         first.orientation or second.orientation)
+        self.first = first
+        self.second = second
+        self.max_attempts = max_attempts
+
+    def _sampling_order(self) -> Tuple[Region, Region]:
+        """Sample from the region with the smaller (known) area, test the other."""
+        try:
+            first_area = self.first.area()
+        except (NotImplementedError, ScenicError):
+            first_area = math.inf
+        try:
+            second_area = self.second.area()
+        except (NotImplementedError, ScenicError):
+            second_area = math.inf
+        if second_area < first_area:
+            return self.second, self.first
+        return self.first, self.second
+
+    def contains_point(self, point: VectorLike) -> bool:
+        return self.first.contains_point(point) and self.second.contains_point(point)
+
+    def uniform_point(self, rng):
+        source, filter_region = self._sampling_order()
+        for _ in range(self.max_attempts):
+            candidate = source.uniform_point(rng)
+            if filter_region.contains_point(candidate):
+                return candidate
+        raise RejectSample(f"could not sample a point in {self.name}")
+
+    def bounding_box(self):
+        first_box = self.first.bounding_box()
+        second_box = self.second.bounding_box()
+        if first_box is None:
+            return second_box
+        if second_box is None:
+            return first_box
+        return BoundingBox(
+            max(first_box.min_x, second_box.min_x),
+            max(first_box.min_y, second_box.min_y),
+            min(first_box.max_x, second_box.max_x),
+            min(first_box.max_y, second_box.max_y),
+        )
+
+
+class DifferenceRegion(Region):
+    """Points of ``first`` that are not in ``second`` (rejection sampled)."""
+
+    def __init__(self, first: Region, second: Region, name: Optional[str] = None,
+                 max_attempts: int = 200):
+        super().__init__(name or f"({first.name} \\ {second.name})", first.orientation)
+        self.first = first
+        self.second = second
+        self.max_attempts = max_attempts
+
+    def contains_point(self, point: VectorLike) -> bool:
+        return self.first.contains_point(point) and not self.second.contains_point(point)
+
+    def uniform_point(self, rng):
+        for _ in range(self.max_attempts):
+            candidate = self.first.uniform_point(rng)
+            if not self.second.contains_point(candidate):
+                return candidate
+        raise RejectSample(f"could not sample a point in {self.name}")
+
+    def bounding_box(self):
+        return self.first.bounding_box()
+
+    def area(self) -> float:
+        return self.first.area()
+
+
+def _point_segment_distance(point: Vector, a: Vector, b: Vector) -> float:
+    segment = b - a
+    length_sq = segment.dot(segment)
+    if length_sq == 0:
+        return point.distance_to(a)
+    t = max(0.0, min(1.0, (point - a).dot(segment) / length_sq))
+    return point.distance_to(a + segment * t)
+
+
+__all__ = [
+    "Region",
+    "EverywhereRegion",
+    "EmptyRegion",
+    "everywhere",
+    "nowhere",
+    "CircularRegion",
+    "SectorRegion",
+    "RectangularRegion",
+    "PolygonalRegion",
+    "PolylineRegion",
+    "PointSetRegion",
+    "IntersectionRegion",
+    "DifferenceRegion",
+    "PointInRegionDistribution",
+]

@@ -1,0 +1,79 @@
+"""Hard and soft requirements (the declarative part of a scenario).
+
+``require B`` conditions the scenario's distribution on ``B`` holding
+(equivalent to an "observation" in other PPLs); ``require[p] B`` is a soft
+requirement enforced with probability ``p`` per candidate scene, which
+guarantees ``B`` holds with probability at least ``p`` in the induced
+distribution (Sec. 5.1).
+
+A requirement's condition can be given in two forms:
+
+* a *value* — typically a random boolean built from lifted operators, which
+  is concretised against the scene's joint sample; this is what the DSL
+  interpreter produces;
+* a *callable* — convenient for the Python builder API; it receives a
+  :class:`SampleResolver` that maps any random value or scenario object to
+  its concrete incarnation in the candidate scene.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from .distributions import Sample, concretize
+from .errors import ScenicError
+
+
+class SampleResolver:
+    """Gives requirement callables access to the candidate scene's values."""
+
+    def __init__(self, sample: Sample):
+        self._sample = sample
+
+    def value(self, thing: Any) -> Any:
+        """Concrete value of a distribution or scenario object in this scene."""
+        return concretize(thing, self._sample)
+
+    __call__ = value
+
+
+class Requirement:
+    """One ``require`` statement: a condition plus an enforcement probability."""
+
+    def __init__(
+        self,
+        condition: Union[Any, Callable[[SampleResolver], Any]],
+        probability: float = 1.0,
+        name: Optional[str] = None,
+        line: Optional[int] = None,
+    ):
+        if not (0.0 <= probability <= 1.0):
+            raise ScenicError(f"requirement probability must be in [0, 1], got {probability}")
+        self.condition = condition
+        self.probability = float(probability)
+        self.name = name or ("require" if probability >= 1.0 else f"require[{probability}]")
+        self.line = line
+
+    @property
+    def is_soft(self) -> bool:
+        return self.probability < 1.0
+
+    def should_enforce(self, rng) -> bool:
+        """Decide (per candidate scene) whether a soft requirement is checked."""
+        if not self.is_soft:
+            return True
+        return rng.random() < self.probability
+
+    def holds_in(self, sample: Sample) -> bool:
+        """Evaluate the condition against the candidate scene's joint sample."""
+        if callable(self.condition) and not hasattr(self.condition, "sample_in"):
+            result = self.condition(SampleResolver(sample))
+        else:
+            result = concretize(self.condition, sample)
+        return bool(result)
+
+    def __repr__(self) -> str:
+        return f"Requirement({self.name!r}, p={self.probability:g})"
+
+
+__all__ = ["Requirement", "SampleResolver"]

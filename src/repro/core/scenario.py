@@ -1,0 +1,265 @@
+"""Scenarios and the rejection sampler (Sec. 5).
+
+A :class:`Scenario` is the compiled form of a Scenic program: the objects it
+created (with possibly-random properties), the ego, the global parameters,
+the declared requirements and the workspace.  ``Scenario.generate`` performs
+rejection sampling: it repeatedly draws a joint sample of all random values,
+instantiates concrete objects (applying mutation noise), and accepts the
+scene only if the built-in requirements (containment, non-collision,
+visibility — Sec. 3) and all user requirements hold.
+
+:class:`ScenarioBuilder` is the Python-level front end: a context manager
+that collects objects, the ego, parameters and requirements as they are
+created, mirroring what evaluating a Scenic program does.
+"""
+
+from __future__ import annotations
+
+import random as _random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from .context import ScenarioContext, pop_context, push_context
+from .distributions import Sample, concretize
+from .errors import InvalidScenarioError, RejectSample, RejectionError
+from .objects import Object
+from .requirements import Requirement
+from .scene import Scene
+from .workspace import Workspace
+
+
+@dataclass
+class GenerationStats:
+    """Bookkeeping about one call to ``Scenario.generate``."""
+
+    iterations: int = 0
+    rejections_containment: int = 0
+    rejections_collision: int = 0
+    rejections_visibility: int = 0
+    rejections_user: int = 0
+    rejections_sampling: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_rejections(self) -> int:
+        return (
+            self.rejections_containment
+            + self.rejections_collision
+            + self.rejections_visibility
+            + self.rejections_user
+            + self.rejections_sampling
+        )
+
+
+class Scenario:
+    """A distribution over scenes, sampled by rejection."""
+
+    def __init__(
+        self,
+        objects: Sequence[Object],
+        ego: Object,
+        params: Optional[Dict[str, Any]] = None,
+        requirements: Optional[Sequence[Requirement]] = None,
+        workspace: Optional[Workspace] = None,
+    ):
+        if ego is None:
+            raise InvalidScenarioError("a scenario must define an ego object")
+        object_list = list(objects)
+        if ego not in object_list:
+            object_list.insert(0, ego)
+        self.objects: List[Object] = object_list
+        self.ego = ego
+        self.params: Dict[str, Any] = dict(params or {})
+        self.requirements: List[Requirement] = list(requirements or [])
+        self.workspace = workspace if workspace is not None else Workspace()
+        self.last_stats: Optional[GenerationStats] = None
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def from_context(cls, context: ScenarioContext, workspace: Optional[Workspace] = None) -> "Scenario":
+        if context.ego is None:
+            raise InvalidScenarioError("the scenario never assigned the ego object")
+        return cls(
+            objects=context.objects,
+            ego=context.ego,
+            params=context.params,
+            requirements=context.requirements,
+            workspace=workspace or context.workspace or Workspace(),
+        )
+
+    # -- sampling ---------------------------------------------------------------
+
+    def generate(
+        self,
+        max_iterations: int = 2000,
+        rng: Optional[_random.Random] = None,
+        seed: Optional[int] = None,
+    ) -> Scene:
+        """Sample one scene satisfying all requirements.
+
+        Raises :class:`RejectionError` if no valid scene is found within
+        *max_iterations* candidate samples.  Statistics about the run are
+        stored in :attr:`last_stats`.
+        """
+        if rng is None:
+            rng = _random.Random(seed)
+        stats = GenerationStats()
+        start_time = time.perf_counter()
+        scene: Optional[Scene] = None
+        for iteration in range(1, max_iterations + 1):
+            stats.iterations = iteration
+            try:
+                scene = self._sample_candidate(rng, stats)
+            except RejectSample:
+                stats.rejections_sampling += 1
+                continue
+            if scene is not None:
+                break
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        self.last_stats = stats
+        if scene is None:
+            raise RejectionError(max_iterations)
+        return scene
+
+    def generate_batch(
+        self,
+        count: int,
+        max_iterations: int = 2000,
+        rng: Optional[_random.Random] = None,
+        seed: Optional[int] = None,
+    ) -> List[Scene]:
+        """Sample *count* independent scenes."""
+        if rng is None:
+            rng = _random.Random(seed)
+        return [self.generate(max_iterations=max_iterations, rng=rng) for _ in range(count)]
+
+    def _sample_candidate(self, rng: _random.Random, stats: GenerationStats) -> Optional[Scene]:
+        """Draw one candidate scene; return it if valid, ``None`` if rejected."""
+        sample = Sample(rng)
+        concrete_objects = [scenic_object._concretize(sample) for scenic_object in self.objects]
+        concrete_ego = self.ego._concretize(sample)
+        concrete_params = {name: concretize(value, sample) for name, value in self.params.items()}
+
+        if not self._check_builtin_requirements(concrete_objects, concrete_ego, stats):
+            return None
+        for requirement in self.requirements:
+            if not requirement.should_enforce(rng):
+                continue
+            if not requirement.holds_in(sample):
+                stats.rejections_user += 1
+                return None
+        return Scene(concrete_objects, concrete_ego, concrete_params, self.workspace)
+
+    def _check_builtin_requirements(
+        self, concrete_objects: List[Object], concrete_ego: Object, stats: GenerationStats
+    ) -> bool:
+        """The three default requirements of Sec. 3.
+
+        All objects must be contained in the workspace, must not intersect
+        each other (unless ``allowCollisions``), and must be visible from the
+        ego (unless ``requireVisible`` is disabled).
+        """
+        from .operators import _can_see  # concrete implementation
+
+        workspace_region = self.workspace.region
+        for scenic_object in concrete_objects:
+            if not self.workspace.is_unbounded and not workspace_region.contains_object(scenic_object):
+                stats.rejections_containment += 1
+                return False
+        for index, first in enumerate(concrete_objects):
+            for second in concrete_objects[index + 1:]:
+                if first.allowCollisions or second.allowCollisions:
+                    continue
+                if first.intersects(second):
+                    stats.rejections_collision += 1
+                    return False
+        for scenic_object in concrete_objects:
+            if scenic_object is concrete_ego:
+                continue
+            if scenic_object.requireVisible and not _can_see(concrete_ego, scenic_object):
+                stats.rejections_visibility += 1
+                return False
+        return True
+
+    # -- misc -------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Scenario({len(self.objects)} objects, {len(self.requirements)} requirements, "
+            f"params={sorted(self.params)})"
+        )
+
+
+class ScenarioBuilder:
+    """Python-level front end for constructing scenarios.
+
+    Usage::
+
+        with ScenarioBuilder(workspace=road_workspace) as builder:
+            ego = Car(...)
+            builder.set_ego(ego)
+            Car(LeftOf(spot, by=0.5))
+            builder.require(can_see(ego, other))
+        scenario = builder.scenario()
+    """
+
+    def __init__(self, workspace: Optional[Workspace] = None):
+        self._workspace = workspace
+        self._context: Optional[ScenarioContext] = None
+        self._finished_context: Optional[ScenarioContext] = None
+
+    # -- context management ------------------------------------------------------
+
+    def __enter__(self) -> "ScenarioBuilder":
+        self._context = push_context()
+        if self._workspace is not None:
+            self._context.workspace = self._workspace
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self._finished_context = pop_context()
+        self._context = None
+
+    def _active(self) -> ScenarioContext:
+        if self._context is None:
+            raise InvalidScenarioError("the builder must be used inside a 'with' block")
+        return self._context
+
+    # -- recording ----------------------------------------------------------------
+
+    def set_ego(self, scenic_object: Object) -> Object:
+        self._active().set_ego(scenic_object)
+        return scenic_object
+
+    def require(
+        self,
+        condition: Union[Any, Callable],
+        probability: float = 1.0,
+        name: Optional[str] = None,
+    ) -> Requirement:
+        requirement = Requirement(condition, probability, name)
+        self._active().add_requirement(requirement)
+        return requirement
+
+    def param(self, name: str, value: Any) -> None:
+        self._active().set_param(name, value)
+
+    def mutate(self, *objects: Object, scale: float = 1.0) -> None:
+        """Enable mutation for the given objects (or all objects so far)."""
+        context = self._active()
+        targets = list(objects) if objects else list(context.objects)
+        for target in targets:
+            target._assign_property("mutationScale", scale)
+
+    # -- output -------------------------------------------------------------------
+
+    def scenario(self) -> Scenario:
+        context = self._finished_context or self._context
+        if context is None:
+            raise InvalidScenarioError("no scenario has been built yet")
+        return Scenario.from_context(context, workspace=self._workspace)
+
+
+__all__ = ["Scenario", "ScenarioBuilder", "GenerationStats"]

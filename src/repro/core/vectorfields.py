@@ -1,0 +1,153 @@
+"""Vector fields: an orientation associated to each point in space.
+
+The case study's ``roadDirection`` (the prevailing traffic direction) is the
+canonical example.  Vector fields are used
+
+* by the ``facing vectorField`` heading specifier,
+* by the ``on region`` specifier when a region has a preferred orientation,
+* by the ``follow F [from V] for S`` operator (forward-Euler integration,
+  Appendix C), and
+* by orientation-based pruning, which needs fields that are *piecewise
+  constant over polygons* (:class:`PolygonalVectorField`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..geometry.polygon import Polygon
+from .distributions import FunctionDistribution, needs_sampling
+from .utils import normalize_angle
+from .vectors import Vector, VectorLike
+
+
+class VectorField:
+    """A heading-valued function of position."""
+
+    def __init__(self, name: str, value_function: Callable[[Vector], float],
+                 default_heading: float = 0.0):
+        self.name = name
+        self._value_function = value_function
+        self.default_heading = default_heading
+
+    def value_at(self, position: VectorLike) -> float:
+        """Heading of the field at a concrete position."""
+        return normalize_angle(self._value_function(Vector.from_any(position)))
+
+    def at(self, position: Any) -> Any:
+        """The ``F at X`` operator; defers evaluation if *position* is random."""
+        if needs_sampling(position):
+            return FunctionDistribution(self.value_at, (position,))
+        return self.value_at(position)
+
+    __getitem__ = at
+
+    def follow_from(self, start: Any, distance: Any, steps: int = 4) -> Any:
+        """Forward-Euler integration of the field (the ``follow`` operator).
+
+        Matches Appendix C's ``forwardEuler``: starting at *start*, take
+        *steps* equal steps of length ``distance / steps`` along the field.
+        Returns the final position (a random value if the inputs are random).
+        """
+        if needs_sampling(start) or needs_sampling(distance):
+            return FunctionDistribution(self._follow_concrete, (start, distance, steps))
+        return self._follow_concrete(start, distance, steps)
+
+    def _follow_concrete(self, start: VectorLike, distance: float, steps: int = 4) -> Vector:
+        position = Vector.from_any(start)
+        step_length = distance / steps
+        for _ in range(steps):
+            heading = self.value_at(position)
+            position = position.offset_rotated(heading, Vector(0.0, step_length))
+        return position
+
+    def __repr__(self) -> str:
+        return f"VectorField({self.name!r})"
+
+
+class ConstantVectorField(VectorField):
+    """A field with the same heading everywhere (useful in tests and examples)."""
+
+    def __init__(self, heading: float, name: str = "constant"):
+        super().__init__(name, lambda _position: heading, default_heading=heading)
+        self.heading = heading
+
+
+class PolygonalVectorField(VectorField):
+    """A field that is constant within each polygon of a decomposition.
+
+    This is the structure exploited by orientation-based pruning (Sec. 5.2):
+    the GTA-like road map decomposes the road into convex cells, each carrying
+    the local traffic direction.
+    """
+
+    def __init__(self, name: str, cells: Sequence[Tuple[Polygon, float]],
+                 default_heading: float = 0.0):
+        self.cells: List[Tuple[Polygon, float]] = [
+            (polygon, normalize_angle(heading)) for polygon, heading in cells
+        ]
+        super().__init__(name, self._heading_at, default_heading=default_heading)
+
+    def _heading_at(self, position: Vector) -> float:
+        cell = self.cell_at(position)
+        if cell is not None:
+            return cell[1]
+        # Outside every cell: fall back to the nearest cell's heading so the
+        # field is total (mirrors the reference implementation's behaviour of
+        # extending the road direction beyond the road).
+        nearest = self.nearest_cell(position)
+        return nearest[1] if nearest is not None else self.default_heading
+
+    def cell_at(self, position: VectorLike) -> Optional[Tuple[Polygon, float]]:
+        position = Vector.from_any(position)
+        for polygon, heading in self.cells:
+            if polygon.contains_point(position):
+                return polygon, heading
+        return None
+
+    def nearest_cell(self, position: VectorLike) -> Optional[Tuple[Polygon, float]]:
+        position = Vector.from_any(position)
+        if not self.cells:
+            return None
+        return min(self.cells, key=lambda cell: cell[0].distance_to_point(position))
+
+    def heading_of_cell(self, polygon: Polygon) -> Optional[float]:
+        for cell_polygon, heading in self.cells:
+            if cell_polygon is polygon or cell_polygon == polygon:
+                return heading
+        return None
+
+
+class PolylineVectorField(VectorField):
+    """Heading follows the nearest segment of a polyline (used for curbs)."""
+
+    def __init__(self, name: str, polyline_region):
+        self.polyline = polyline_region
+        super().__init__(name, polyline_region.orientation_at)
+
+
+def field_sum(first: VectorField, second: VectorField, name: Optional[str] = None) -> VectorField:
+    """Pointwise sum of two fields (the ``F1 relative to F2`` operator)."""
+    return VectorField(
+        name or f"({first.name} + {second.name})",
+        lambda position: first.value_at(position) + second.value_at(position),
+    )
+
+
+def field_offset(field: VectorField, offset: float, name: Optional[str] = None) -> VectorField:
+    """A field rotated everywhere by a constant *offset* heading."""
+    return VectorField(
+        name or f"({field.name} + {offset:g})",
+        lambda position: field.value_at(position) + offset,
+    )
+
+
+__all__ = [
+    "VectorField",
+    "ConstantVectorField",
+    "PolygonalVectorField",
+    "PolylineVectorField",
+    "field_sum",
+    "field_offset",
+]

@@ -1,0 +1,39 @@
+"""Workspaces: the region all objects of a scene must be contained in."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .regions import EverywhereRegion, Region, everywhere
+
+
+class Workspace:
+    """A wrapper around the region objects must stay inside.
+
+    World libraries (e.g. the GTA-like road map, the Mars rover arena)
+    provide a workspace; the default workspace is the whole plane, in which
+    case the containment requirement is vacuous.
+    """
+
+    def __init__(self, region: Optional[Region] = None, name: str = "workspace"):
+        self.region = region if region is not None else everywhere
+        self.name = name
+
+    @property
+    def is_unbounded(self) -> bool:
+        return isinstance(self.region, EverywhereRegion)
+
+    def contains_object(self, scenic_object: Any) -> bool:
+        return self.region.contains_object(scenic_object)
+
+    def contains_point(self, point: Any) -> bool:
+        return self.region.contains_point(point)
+
+    def bounding_box(self):
+        return self.region.bounding_box()
+
+    def __repr__(self) -> str:
+        return f"Workspace({self.region!r})"
+
+
+__all__ = ["Workspace"]

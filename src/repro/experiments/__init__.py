@@ -1,0 +1,29 @@
+"""Experiment harnesses regenerating the paper's evaluation (Sec. 6, App. D).
+
+Each module corresponds to one or more tables/figures:
+
+* :mod:`scenarios` — the Scenic programs the experiments sample from.
+* :mod:`conditions` — Sec. 6.2: testing under different conditions.
+* :mod:`rare_events` — Table 6 and Table 9: training on rare events.
+* :mod:`mixtures` — Table 10 and Fig. 36: two-car/overlap mixtures and the
+  IoU distribution of the training sets.
+* :mod:`debugging` — Table 7 and Table 8: debugging a failure and retraining.
+* :mod:`pruning_eval` — App. D: effectiveness of the pruning techniques.
+* :mod:`reporting` — small helpers to format results like the paper's tables.
+
+All harnesses take a ``scale`` parameter: ``1.0`` approximates the paper's
+dataset sizes (slow); the defaults used by the benchmark suite are much
+smaller so the full evaluation reruns in minutes on a laptop.
+"""
+
+from . import scenarios, conditions, rare_events, mixtures, debugging, pruning_eval, reporting
+
+__all__ = [
+    "scenarios",
+    "conditions",
+    "rare_events",
+    "mixtures",
+    "debugging",
+    "pruning_eval",
+    "reporting",
+]

@@ -1,0 +1,185 @@
+"""Sec. 5.2 / App. D — effectiveness of the pruning techniques and sampling speed.
+
+The paper reports that all reasonable scenarios needed at most a few hundred
+rejection-sampling iterations (a sample within a few seconds), and that the
+pruning methods reduce the number of candidate samples needed by a factor of
+3 or more on scenarios like bumper-to-bumper traffic.  This harness measures
+both: per-scenario iteration counts and wall-clock time with and without
+pruning.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.pruning import prune_scenario
+from ..core.scenario import Scenario
+from . import scenarios
+from .reporting import TableRow, format_table, mean_and_spread
+
+
+@dataclass
+class SamplingMeasurement:
+    """Iteration counts and timings for one scenario."""
+
+    scenario_name: str
+    mean_iterations: float
+    max_iterations: float
+    mean_seconds: float
+    samples: int
+
+
+@dataclass
+class PruningComparison:
+    """Iterations needed with and without pruning for one scenario."""
+
+    scenario_name: str
+    unpruned_iterations: float
+    pruned_iterations: float
+    area_ratio: float
+    techniques: Tuple[str, ...]
+
+    @property
+    def improvement_factor(self) -> float:
+        if self.pruned_iterations <= 0:
+            return float("inf")
+        return self.unpruned_iterations / self.pruned_iterations
+
+
+def measure_sampling(
+    scenario: Scenario,
+    samples: int = 10,
+    seed: int = 0,
+    max_iterations: int = 20000,
+    name: str = "scenario",
+) -> SamplingMeasurement:
+    """Generate *samples* scenes and record the iteration counts and time."""
+    rng = _random.Random(seed)
+    iterations: List[float] = []
+    times: List[float] = []
+    for _ in range(samples):
+        scenario.generate(max_iterations=max_iterations, rng=rng)
+        stats = scenario.last_stats
+        iterations.append(stats.iterations)
+        times.append(stats.elapsed_seconds)
+    return SamplingMeasurement(
+        scenario_name=name,
+        mean_iterations=sum(iterations) / len(iterations),
+        max_iterations=max(iterations),
+        mean_seconds=sum(times) / len(times),
+        samples=samples,
+    )
+
+
+def measure_gallery_sampling(samples: int = 5, seed: int = 0) -> List[SamplingMeasurement]:
+    """Sampling statistics for every gallery scenario (Appendix A)."""
+    measurements = []
+    for name, source in scenarios.GALLERY.items():
+        scenario = scenarios.compile_scenario(source)
+        measurements.append(measure_sampling(scenario, samples=samples, seed=seed, name=name))
+    return measurements
+
+
+def compare_pruning(
+    scenario_source: str,
+    name: str,
+    samples: int = 10,
+    seed: int = 0,
+    relative_heading_bound: Optional[float] = math.radians(20.0),
+    deviation_bound: float = math.radians(10.0),
+    max_distance: Optional[float] = 60.0,
+    min_configuration_width: Optional[float] = None,
+) -> PruningComparison:
+    """Compare iteration counts with and without pruning for one scenario.
+
+    The scenario is compiled twice so the pruned copy's modified regions do
+    not affect the unpruned baseline.
+    """
+    unpruned = scenarios.compile_scenario(scenario_source)
+    baseline = measure_sampling(unpruned, samples=samples, seed=seed, name=name)
+
+    pruned_scenario = scenarios.compile_scenario(scenario_source)
+    report = prune_scenario(
+        pruned_scenario,
+        relative_heading_bound=relative_heading_bound,
+        max_distance=max_distance,
+        deviation_bound=deviation_bound,
+        min_configuration_width=min_configuration_width,
+    )
+    pruned = measure_sampling(pruned_scenario, samples=samples, seed=seed, name=f"{name}+pruning")
+
+    return PruningComparison(
+        scenario_name=name,
+        unpruned_iterations=baseline.mean_iterations,
+        pruned_iterations=pruned.mean_iterations,
+        area_ratio=report.area_ratio,
+        techniques=report.techniques,
+    )
+
+
+def run_pruning_experiment(samples: int = 10, seed: int = 0) -> List[PruningComparison]:
+    """Pruning comparisons for the scenarios where pruning applies.
+
+    These are scenarios whose cars are sampled uniformly over the road and
+    constrained (by visibility and orientation) to be near and aligned with
+    the ego — the situation Sec. 5.2's techniques target.
+    """
+    cases = [
+        ("two_cars", scenarios.two_cars(), dict(max_distance=30.0)),
+        ("overlapping", scenarios.overlapping_cars(), dict(max_distance=30.0)),
+        (
+            "four_cars",
+            scenarios.generic_cars(4),
+            dict(max_distance=30.0, min_configuration_width=None),
+        ),
+    ]
+    comparisons = []
+    for name, source, kwargs in cases:
+        comparisons.append(compare_pruning(source, name, samples=samples, seed=seed, **kwargs))
+    return comparisons
+
+
+def sampling_table(measurements: List[SamplingMeasurement]) -> str:
+    rows = [
+        TableRow(
+            m.scenario_name,
+            {
+                "mean iters": m.mean_iterations,
+                "max iters": m.max_iterations,
+                "mean seconds": m.mean_seconds,
+            },
+        )
+        for m in measurements
+    ]
+    return format_table("Scenario", ["mean iters", "max iters", "mean seconds"], rows)
+
+
+def pruning_table(comparisons: List[PruningComparison]) -> str:
+    rows = [
+        TableRow(
+            c.scenario_name,
+            {
+                "unpruned iters": c.unpruned_iterations,
+                "pruned iters": c.pruned_iterations,
+                "speedup": c.improvement_factor,
+                "area ratio": c.area_ratio,
+            },
+        )
+        for c in comparisons
+    ]
+    return format_table("Scenario", ["unpruned iters", "pruned iters", "speedup", "area ratio"], rows)
+
+
+__all__ = [
+    "SamplingMeasurement",
+    "PruningComparison",
+    "measure_sampling",
+    "measure_gallery_sampling",
+    "compare_pruning",
+    "run_pruning_experiment",
+    "sampling_table",
+    "pruning_table",
+]

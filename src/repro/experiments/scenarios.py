@@ -1,0 +1,393 @@
+"""The Scenic programs used by the evaluation (Sec. 6 and Appendix A).
+
+Each function returns Scenic source text; ``compile_scenario`` turns it into
+a ready-to-sample :class:`repro.core.Scenario`.  Keeping the programs as
+Scenic source (rather than Python builder calls) means every experiment also
+exercises the full language front end, as in the original system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.scenario import Scenario
+from ..language import scenario_from_string
+
+# ---------------------------------------------------------------------------
+# Sec. 6.2: generic k-car scenarios and their specialisations
+# ---------------------------------------------------------------------------
+
+
+def generic_cars(car_count: int, weather: Optional[str] = None, time_minutes: Optional[float] = None) -> str:
+    """The generic k-car scenario: cars face within 10° of the road direction.
+
+    Optionally fixes the weather and time of day, which is how the
+    good-conditions (noon, sunny) and bad-conditions (midnight, rain) test
+    scenarios of Sec. 6.2 are derived from the generic one.
+    """
+    lines = ["import gtaLib"]
+    if weather is not None:
+        lines.append(f"param weather = '{weather}'")
+    if time_minutes is not None:
+        lines.append(f"param time = {time_minutes}")
+    lines += [
+        "wiggle = (-10 deg, 10 deg)",
+        "ego = EgoCar with roadDeviation wiggle",
+    ]
+    for _ in range(car_count):
+        lines.append("Car visible, with roadDeviation resample(wiggle)")
+    return "\n".join(lines) + "\n"
+
+
+def good_conditions(car_count: int) -> str:
+    """Noon, sunny — the 'good road conditions' specialisation."""
+    return generic_cars(car_count, weather="EXTRASUNNY", time_minutes=12 * 60)
+
+
+def bad_conditions(car_count: int) -> str:
+    """Midnight, rainy — the 'bad road conditions' specialisation."""
+    return generic_cars(car_count, weather="RAIN", time_minutes=0)
+
+
+# ---------------------------------------------------------------------------
+# Sec. 6.3: overlapping cars and the 'Driving in the Matrix'-style baseline
+# ---------------------------------------------------------------------------
+
+
+def two_cars() -> str:
+    """The generic two-car scenario (Appendix A.7)."""
+    return generic_cars(2)
+
+
+def overlapping_cars() -> str:
+    """One car partially occluding another (Fig. 8 / Appendix A.8)."""
+    return (
+        "import gtaLib\n"
+        "wiggle = (-10 deg, 10 deg)\n"
+        "ego = EgoCar with roadDeviation wiggle\n"
+        "c = Car visible, with roadDeviation resample(wiggle)\n"
+        "leftRight = Uniform(1.0, -1.0) * (1.25, 2.75)\n"
+        "Car beyond c by leftRight @ (4, 10), with roadDeviation resample(wiggle)\n"
+    )
+
+
+def matrix_like(max_cars: int = 4) -> str:
+    """A stand-in for the 'Driving in the Matrix' dataset.
+
+    The Matrix data set was produced by letting GTA V's AI drive around
+    randomly and taking screenshots: many cars, arbitrary positions, not
+    guided towards any particular condition.  We model it as a scenario with
+    several cars scattered over the visible road with unconstrained
+    orientation deviations, *without* emphasising occlusion.
+    """
+    lines = [
+        "import gtaLib",
+        "ego = EgoCar with viewDistance 60, with viewAngle 80 deg",
+    ]
+    # A fixed number of visible cars with loose orientation; the Matrix
+    # dataset's images frequently contain several cars at medium distances.
+    for _ in range(max_cars):
+        lines.append("Car visible, with roadDeviation (-30 deg, 30 deg)")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Sec. 6.4: the misclassified scene and its variant scenarios (Table 7)
+# ---------------------------------------------------------------------------
+
+#: A concrete scene in the spirit of Fig. 14: a single car viewed from behind
+#: at a slight angle, close to the camera.  Positions refer to the synthetic
+#: map's east-west road at y=100 (the road is 20 m wide, traffic heading east
+#: on the southern carriageway).
+_FAILURE_EGO = "ego = EgoCar at 106 @ 95, facing -90 deg"
+_FAILURE_CAR = (
+    "Car at 114 @ 96.5, facing -82 deg,"
+    " with model CarModel.models['DOMINATOR'],"
+    " with color CarColor.byteToReal([187, 162, 157])"
+)
+
+
+def original_failure() -> str:
+    """The single misclassified scene, reproduced exactly (cf. Appendix A.6)."""
+    return (
+        "import gtaLib\n"
+        "param time = 12 * 60\n"
+        "param weather = 'EXTRASUNNY'\n"
+        f"{_FAILURE_EGO}\n"
+        f"{_FAILURE_CAR}\n"
+    )
+
+
+def variant_model_color() -> str:
+    """Table 7 scenario (1): vary the car's model and colour only."""
+    return (
+        "import gtaLib\n"
+        "param time = 12 * 60\n"
+        "param weather = 'EXTRASUNNY'\n"
+        f"{_FAILURE_EGO}\n"
+        "Car at 114 @ 96.5, facing -82 deg\n"
+    )
+
+
+def variant_background() -> str:
+    """Table 7 scenario (2): keep the relative configuration, vary the background."""
+    return (
+        "import gtaLib\n"
+        "param time = 12 * 60\n"
+        "param weather = 'EXTRASUNNY'\n"
+        "ego = EgoCar\n"
+        "Car offset by 1.5 @ 8,"
+        " facing 8 deg relative to ego,"
+        " with model CarModel.models['DOMINATOR'],"
+        " with color CarColor.byteToReal([187, 162, 157])\n"
+    )
+
+
+def variant_noise() -> str:
+    """Table 7 scenario (3): add noise to the original scene (Appendix A.6)."""
+    return original_failure() + "mutate\n"
+
+
+def variant_close_any_angle() -> str:
+    """Table 7 scenario (4): vary the position but stay close to the camera."""
+    return (
+        "import gtaLib\n"
+        "param time = 12 * 60\n"
+        "param weather = 'EXTRASUNNY'\n"
+        "ego = EgoCar\n"
+        "c = Car visible, with roadDeviation (-10 deg, 10 deg),"
+        " with model CarModel.models['DOMINATOR'],"
+        " with color CarColor.byteToReal([187, 162, 157])\n"
+        "require (distance to c) <= 15\n"
+    )
+
+
+def variant_any_position_same_angle() -> str:
+    """Table 7 scenario (5): any position, same apparent angle."""
+    return (
+        "import gtaLib\n"
+        "param time = 12 * 60\n"
+        "param weather = 'EXTRASUNNY'\n"
+        "ego = EgoCar\n"
+        "Car visible, apparently facing 8 deg,"
+        " with model CarModel.models['DOMINATOR'],"
+        " with color CarColor.byteToReal([187, 162, 157])\n"
+    )
+
+
+def variant_any_position_any_angle() -> str:
+    """Table 7 scenario (6): any position and angle (generic one-car)."""
+    return (
+        "import gtaLib\n"
+        "param time = 12 * 60\n"
+        "param weather = 'EXTRASUNNY'\n"
+        "ego = EgoCar\n"
+        "Car visible, with roadDeviation (-10 deg, 10 deg),"
+        " with model CarModel.models['DOMINATOR'],"
+        " with color CarColor.byteToReal([187, 162, 157])\n"
+    )
+
+
+def variant_background_model_color() -> str:
+    """Table 7 scenario (7): vary background, model and colour."""
+    return (
+        "import gtaLib\n"
+        "param time = 12 * 60\n"
+        "param weather = 'EXTRASUNNY'\n"
+        "ego = EgoCar\n"
+        "Car offset by 1.5 @ 8, facing 8 deg relative to ego\n"
+    )
+
+
+def variant_close_same_angle() -> str:
+    """Table 7 scenario (8): staying close, same apparent angle."""
+    return (
+        "import gtaLib\n"
+        "param time = 12 * 60\n"
+        "param weather = 'EXTRASUNNY'\n"
+        "ego = EgoCar\n"
+        "c = Car visible, apparently facing 8 deg,"
+        " with model CarModel.models['DOMINATOR'],"
+        " with color CarColor.byteToReal([187, 162, 157])\n"
+        "require (distance to c) <= 15\n"
+    )
+
+
+def variant_close_varying_model() -> str:
+    """Table 7 scenario (9): staying close, varying the model."""
+    return (
+        "import gtaLib\n"
+        "param time = 12 * 60\n"
+        "param weather = 'EXTRASUNNY'\n"
+        "ego = EgoCar\n"
+        "c = Car visible, with roadDeviation (-10 deg, 10 deg)\n"
+        "require (distance to c) <= 15\n"
+    )
+
+
+def debugging_variants() -> Dict[str, str]:
+    """All nine Table 7 scenarios keyed by their row number."""
+    return {
+        "(1) varying model and color": variant_model_color(),
+        "(2) varying background": variant_background(),
+        "(3) varying local position, orientation": variant_noise(),
+        "(4) varying position but staying close": variant_close_any_angle(),
+        "(5) any position, same apparent angle": variant_any_position_same_angle(),
+        "(6) any position and angle": variant_any_position_any_angle(),
+        "(7) varying background, model, color": variant_background_model_color(),
+        "(8) staying close, same apparent angle": variant_close_same_angle(),
+        "(9) staying close, varying model": variant_close_varying_model(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table 8: retraining scenarios
+# ---------------------------------------------------------------------------
+
+
+def close_car() -> str:
+    """The 'close car' retraining scenario of Table 8."""
+    return (
+        "import gtaLib\n"
+        "ego = EgoCar\n"
+        "c = Car visible, with roadDeviation (-10 deg, 10 deg)\n"
+        "require (distance to c) <= 15\n"
+    )
+
+
+def close_car_shallow_angle() -> str:
+    """The 'close car at shallow angle' retraining scenario of Table 8."""
+    return (
+        "import gtaLib\n"
+        "ego = EgoCar\n"
+        "c = Car visible, with roadDeviation (-10 deg, 10 deg)\n"
+        "require (distance to c) <= 15\n"
+        "require abs(relative heading of c) <= 15 deg\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pruning / sampling-performance scenarios (Sec. 5.2 / App. D)
+# ---------------------------------------------------------------------------
+
+
+def bumper_to_bumper() -> str:
+    """Bumper-to-bumper traffic (Fig. 1 / Appendix A.11)."""
+    return (
+        "import gtaLib\n"
+        "depth = 4\n"
+        "laneGap = 3.5\n"
+        "carGap = (1, 3)\n"
+        "laneShift = (-2, 2)\n"
+        "wiggle = (-5 deg, 5 deg)\n"
+        "modelDist = CarModel.defaultModel()\n"
+        "\n"
+        "def createLaneAt(car):\n"
+        "    createPlatoonAt(car, depth, dist=carGap, wiggle=wiggle, model=modelDist)\n"
+        "\n"
+        "ego = Car with visibleDistance 60\n"
+        "leftCar = carAheadOfCar(ego, laneShift + carGap, offsetX=-laneGap, wiggle=wiggle)\n"
+        "createLaneAt(leftCar)\n"
+        "midCar = carAheadOfCar(ego, resample(carGap), wiggle=wiggle)\n"
+        "createLaneAt(midCar)\n"
+        "rightCar = carAheadOfCar(ego, resample(laneShift) + resample(carGap), offsetX=laneGap, wiggle=wiggle)\n"
+        "createLaneAt(rightCar)\n"
+    )
+
+
+def platoon() -> str:
+    """A daytime platoon (Appendix A.10)."""
+    return (
+        "import gtaLib\n"
+        "param time = (8, 20) * 60\n"
+        "ego = Car with visibleDistance 60\n"
+        "c2 = Car visible\n"
+        "platoon = createPlatoonAt(c2, 5, dist=(2, 8))\n"
+    )
+
+
+def badly_parked_car() -> str:
+    """A badly-parked car near the curb (Fig. 3 / Appendix A.4)."""
+    return (
+        "import gtaLib\n"
+        "ego = Car\n"
+        "spot = OrientedPoint on visible curb\n"
+        "badAngle = Uniform(1.0, -1.0) * (10, 20) deg\n"
+        "Car left of spot by 0.5, facing badAngle relative to roadDirection\n"
+    )
+
+
+def oncoming_car() -> str:
+    """A car roughly facing the camera (Appendix A.5)."""
+    return (
+        "import gtaLib\n"
+        "ego = Car\n"
+        "car2 = Car offset by (-10, 10) @ (20, 40), with viewAngle 30 deg\n"
+        "require car2 can see ego\n"
+    )
+
+
+def mars_bottleneck() -> str:
+    """The Mars-rover rubble field with a bottleneck (Fig. 22 / Appendix A.12)."""
+    return (
+        "import mars\n"
+        "ego = Rover at 0 @ -2\n"
+        "goal = Goal at (-2, 2) @ (2, 2.5)\n"
+        "\n"
+        "halfGapWidth = (1.2 * ego.width) / 2\n"
+        "bottleneck = OrientedPoint offset by (-1.5, 1.5) @ (0.5, 1.5), facing (-30, 30) deg\n"
+        "require abs((angle to goal) - (angle to bottleneck)) <= 10 deg\n"
+        "BigRock at bottleneck\n"
+        "\n"
+        "leftEnd = OrientedPoint left of bottleneck by halfGapWidth, facing (60, 120) deg relative to bottleneck\n"
+        "rightEnd = OrientedPoint right of bottleneck by halfGapWidth, facing (-120, -60) deg relative to bottleneck\n"
+        "Pipe ahead of leftEnd, with height (1, 2)\n"
+        "Pipe ahead of rightEnd, with height (1, 2)\n"
+        "\n"
+        "BigRock beyond bottleneck by (-0.5, 0.5) @ (0.5, 1)\n"
+        "BigRock beyond bottleneck by (-0.5, 0.5) @ (0.5, 1)\n"
+        "Pipe\n"
+        "Rock\n"
+        "Rock\n"
+        "Rock\n"
+    )
+
+
+GALLERY = {
+    "simplest": "import gtaLib\nego = Car\nCar\n",
+    "single_car": generic_cars(1),
+    "badly_parked": badly_parked_car(),
+    "oncoming": oncoming_car(),
+    "two_cars": two_cars(),
+    "overlapping": overlapping_cars(),
+    "four_cars_bad_conditions": bad_conditions(4),
+    "platoon": platoon(),
+    "bumper_to_bumper": bumper_to_bumper(),
+    "mars_bottleneck": mars_bottleneck(),
+}
+
+
+def compile_scenario(source: str) -> Scenario:
+    """Compile Scenic source text into a scenario ready for sampling."""
+    return scenario_from_string(source)
+
+
+__all__ = [
+    "generic_cars",
+    "good_conditions",
+    "bad_conditions",
+    "two_cars",
+    "overlapping_cars",
+    "matrix_like",
+    "original_failure",
+    "debugging_variants",
+    "close_car",
+    "close_car_shallow_angle",
+    "bumper_to_bumper",
+    "platoon",
+    "badly_parked_car",
+    "oncoming_car",
+    "mars_bottleneck",
+    "GALLERY",
+    "compile_scenario",
+]

@@ -1,0 +1,39 @@
+"""Computational-geometry substrate for the Scenic reproduction.
+
+The published Scenic implementation leans on Shapely for polygon operations;
+this reproduction implements the needed subset from scratch:
+
+* :mod:`repro.geometry.polygon` — simple polygons: containment, area,
+  convexity, intersection tests, convex clipping, bounding boxes.
+* :mod:`repro.geometry.triangulation` — ear-clipping triangulation and
+  uniform sampling of points inside polygons.
+* :mod:`repro.geometry.morphology` — conservative erosion and dilation used
+  by the pruning algorithms of Sec. 5.2.
+"""
+
+from .polygon import (
+    Polygon,
+    BoundingBox,
+    convex_hull,
+    polygons_intersect,
+    clip_polygon,
+    point_in_polygon,
+    segments_intersect,
+)
+from .triangulation import triangulate, sample_point_in_polygon, sample_point_in_triangle
+from .morphology import erode_polygon, dilate_polygon
+
+__all__ = [
+    "Polygon",
+    "BoundingBox",
+    "convex_hull",
+    "polygons_intersect",
+    "clip_polygon",
+    "point_in_polygon",
+    "segments_intersect",
+    "triangulate",
+    "sample_point_in_polygon",
+    "sample_point_in_triangle",
+    "erode_polygon",
+    "dilate_polygon",
+]

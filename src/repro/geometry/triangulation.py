@@ -1,0 +1,164 @@
+"""Ear-clipping triangulation and uniform sampling inside polygons.
+
+Scenic's ``on region`` specifier needs uniformly random points inside
+polygonal regions (roads, curbs, workspaces).  We triangulate the polygon
+once, then sample a triangle with probability proportional to its area and a
+uniform point inside that triangle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..core.vectors import Vector, VectorLike
+from .polygon import Polygon, point_in_polygon
+
+Triangle = Tuple[Vector, Vector, Vector]
+
+
+def _triangle_area(a: Vector, b: Vector, c: Vector) -> float:
+    return abs((b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)) / 2.0
+
+
+def _is_ear(vertices: Sequence[Vector], indices: List[int], position: int) -> bool:
+    count = len(indices)
+    prev_vertex = vertices[indices[(position - 1) % count]]
+    ear_vertex = vertices[indices[position]]
+    next_vertex = vertices[indices[(position + 1) % count]]
+    # The candidate ear must be a convex corner (polygon stored anticlockwise).
+    cross = (ear_vertex.x - prev_vertex.x) * (next_vertex.y - prev_vertex.y) - (
+        ear_vertex.y - prev_vertex.y
+    ) * (next_vertex.x - prev_vertex.x)
+    if cross <= 0:
+        return False
+    # No other vertex may lie inside the candidate ear triangle.
+    for other_position in range(count):
+        if other_position in (
+            (position - 1) % count,
+            position,
+            (position + 1) % count,
+        ):
+            continue
+        other = vertices[indices[other_position]]
+        if _point_in_triangle(other, prev_vertex, ear_vertex, next_vertex):
+            return False
+    return True
+
+
+def _point_in_triangle(point: Vector, a: Vector, b: Vector, c: Vector) -> bool:
+    d1 = (point.x - b.x) * (a.y - b.y) - (a.x - b.x) * (point.y - b.y)
+    d2 = (point.x - c.x) * (b.y - c.y) - (b.x - c.x) * (point.y - c.y)
+    d3 = (point.x - a.x) * (c.y - a.y) - (c.x - a.x) * (point.y - a.y)
+    has_negative = (d1 < 0) or (d2 < 0) or (d3 < 0)
+    has_positive = (d1 > 0) or (d2 > 0) or (d3 > 0)
+    return not (has_negative and has_positive)
+
+
+def triangulate(polygon: Polygon) -> List[Triangle]:
+    """Split a simple polygon into triangles by ear clipping.
+
+    The polygon's vertices are assumed to be in anticlockwise order (the
+    :class:`Polygon` constructor guarantees this).  Runs in O(n^2), which is
+    ample for the map polygons used in the reproduction.
+    """
+    vertices = list(polygon.vertices)
+    if len(vertices) == 3:
+        return [tuple(vertices)]  # type: ignore[return-value]
+    indices = list(range(len(vertices)))
+    triangles: List[Triangle] = []
+    guard = 0
+    max_iterations = len(vertices) ** 2 + 10
+    while len(indices) > 3 and guard < max_iterations:
+        guard += 1
+        ear_found = False
+        for position in range(len(indices)):
+            if _is_ear(vertices, indices, position):
+                count = len(indices)
+                prev_vertex = vertices[indices[(position - 1) % count]]
+                ear_vertex = vertices[indices[position]]
+                next_vertex = vertices[indices[(position + 1) % count]]
+                if _triangle_area(prev_vertex, ear_vertex, next_vertex) > 1e-15:
+                    triangles.append((prev_vertex, ear_vertex, next_vertex))
+                del indices[position]
+                ear_found = True
+                break
+        if not ear_found:
+            # Degenerate input (e.g. collinear runs).  Fall back to a fan from
+            # the centroid, which still covers the polygon for convex-ish
+            # inputs and keeps sampling well-defined.
+            break
+    if len(indices) == 3:
+        a, b, c = (vertices[i] for i in indices)
+        if _triangle_area(a, b, c) > 1e-15:
+            triangles.append((a, b, c))
+    if not triangles:
+        centroid = polygon.centroid
+        verts = polygon.vertices
+        for i in range(len(verts)):
+            a, b = verts[i], verts[(i + 1) % len(verts)]
+            if _triangle_area(centroid, a, b) > 1e-15:
+                triangles.append((centroid, a, b))
+    return triangles
+
+
+def sample_point_in_triangle(triangle: Triangle, random_source) -> Vector:
+    """Uniformly random point inside a triangle via the square-root trick."""
+    a, b, c = triangle
+    r1 = math.sqrt(random_source.random())
+    r2 = random_source.random()
+    return a * (1 - r1) + b * (r1 * (1 - r2)) + c * (r1 * r2)
+
+
+class TriangulatedSampler:
+    """Caches a polygon's triangulation to draw many uniform samples cheaply."""
+
+    def __init__(self, polygon: Polygon):
+        self.polygon = polygon
+        self.triangles = triangulate(polygon)
+        self._areas = [_triangle_area(*t) for t in self.triangles]
+        total = sum(self._areas)
+        if total <= 0:
+            raise ValueError("cannot sample from a polygon with zero area")
+        self._cumulative = []
+        running = 0.0
+        for area in self._areas:
+            running += area / total
+            self._cumulative.append(running)
+
+    def sample(self, random_source) -> Vector:
+        u = random_source.random()
+        for triangle, threshold in zip(self.triangles, self._cumulative):
+            if u <= threshold:
+                return sample_point_in_triangle(triangle, random_source)
+        return sample_point_in_triangle(self.triangles[-1], random_source)
+
+
+def sample_point_in_polygon(polygon: Polygon, random_source) -> Vector:
+    """Uniformly random point inside *polygon* (one-shot convenience wrapper)."""
+    return TriangulatedSampler(polygon).sample(random_source)
+
+
+def sample_point_on_boundary(polygon: Polygon, random_source) -> Tuple[Vector, float]:
+    """Random point on the polygon boundary, uniform by arc length.
+
+    Returns the point together with the heading of the edge it lies on
+    (useful for curb-like regions whose preferred orientation follows the
+    boundary).
+    """
+    edges = polygon.edges()
+    lengths = [a.distance_to(b) for a, b in edges]
+    total = sum(lengths)
+    if total <= 0:
+        raise ValueError("cannot sample on a degenerate boundary")
+    target = random_source.random() * total
+    running = 0.0
+    for (a, b), length in zip(edges, lengths):
+        if running + length >= target:
+            t = (target - running) / length if length > 0 else 0.0
+            point = a + (b - a) * t
+            heading = (b - a).angle()
+            return point, heading
+        running += length
+    a, b = edges[-1]
+    return b, (b - a).angle()

@@ -1,0 +1,27 @@
+"""The Scenic domain-specific language: lexer, parser and interpreter.
+
+This package implements the surface syntax of Fig. 5 (and Appendix A's
+gallery of scenarios): Python-like statements plus Scenic's specifiers,
+geometric operators, distributions, ``require``/``mutate``/``param``
+statements, and class definitions with default-value properties.
+
+The top-level entry points are :func:`scenario_from_string` and
+:func:`scenario_from_file`, which compile a Scenic program into a
+:class:`repro.core.Scenario` ready for sampling.
+"""
+
+from .lexer import tokenize, Token, TokenKind
+from .parser import parse_program
+from .interpreter import Interpreter, scenario_from_string, scenario_from_file
+from .errors import format_syntax_error
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "parse_program",
+    "Interpreter",
+    "scenario_from_string",
+    "scenario_from_file",
+    "format_syntax_error",
+]

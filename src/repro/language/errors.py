@@ -1,0 +1,29 @@
+"""Error-reporting helpers for the Scenic front end."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import ScenicSyntaxError
+
+
+def syntax_error(message: str, line: Optional[int] = None, column: Optional[int] = None) -> ScenicSyntaxError:
+    """Construct a :class:`ScenicSyntaxError` with source location."""
+    return ScenicSyntaxError(message, line=line, column=column)
+
+
+def format_syntax_error(source: str, error: ScenicSyntaxError) -> str:
+    """A human-readable report showing the offending source line with a caret."""
+    if error.line is None:
+        return str(error)
+    lines = source.splitlines()
+    if not (1 <= error.line <= len(lines)):
+        return str(error)
+    source_line = lines[error.line - 1]
+    pointer = ""
+    if error.column is not None:
+        pointer = "\n    " + " " * max(error.column - 1, 0) + "^"
+    return f"{error}\n    {source_line}{pointer}"
+
+
+__all__ = ["syntax_error", "format_syntax_error"]

@@ -1,0 +1,59 @@
+"""The perception substrate: synthetic rendering + car detection.
+
+The paper's case study renders Scenic scenes in GTA V and trains/evaluates
+squeezeDet, a convolutional object detector, on the resulting images.
+Neither is available here, so this package provides the closest synthetic
+equivalent that exercises the same pipeline:
+
+* :mod:`camera` / :mod:`renderer` — an analytic pinhole camera that projects
+  each scene's cars into image-plane bounding boxes (with occlusion) and
+  rasterises a small grayscale image whose quality degrades with bad weather
+  and darkness;
+* :mod:`detector` — a trainable car detector (blob proposals + logistic
+  regression scoring + a learned occlusion splitter) implemented in NumPy;
+* :mod:`metrics` — IoU, precision, recall and average precision exactly as
+  defined in Sec. 6.1 / Appendix D;
+* :mod:`training` and :mod:`datasets` — dataset containers, training loops
+  and scene-to-image conversion;
+* :mod:`augmentation` — the classical image-augmentation baseline of
+  Table 8.
+
+See DESIGN.md for why this substitution preserves the behaviour the
+experiments measure.
+"""
+
+from .camera import Camera, CameraConfig
+from .renderer import LabeledImage, GroundTruthBox, render_scene, RendererConfig
+from .metrics import (
+    iou,
+    match_detections,
+    precision_recall,
+    average_precision,
+    DetectionMetrics,
+)
+from .detector import CarDetector, DetectorConfig, Detection
+from .training import Dataset, train_detector, evaluate_detector, TrainingConfig
+from .augmentation import augment_dataset, classical_augmentations
+
+__all__ = [
+    "Camera",
+    "CameraConfig",
+    "LabeledImage",
+    "GroundTruthBox",
+    "render_scene",
+    "RendererConfig",
+    "iou",
+    "match_detections",
+    "precision_recall",
+    "average_precision",
+    "DetectionMetrics",
+    "CarDetector",
+    "DetectorConfig",
+    "Detection",
+    "Dataset",
+    "train_detector",
+    "evaluate_detector",
+    "TrainingConfig",
+    "augment_dataset",
+    "classical_augmentations",
+]

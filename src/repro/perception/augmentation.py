@@ -1,0 +1,102 @@
+"""Classical image augmentation (the Table 8 baseline).
+
+The paper compares Scenic-driven retraining against classical augmentation
+implemented with imgaug: random crops of 10–20 % per side, horizontal flips
+with probability 0.5, and Gaussian blur with sigma in [0, 3].  This module
+reimplements those transforms in NumPy, adjusting the ground-truth boxes
+accordingly.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import List, Optional
+
+import numpy as np
+
+from .renderer import GroundTruthBox, LabeledImage
+from .training import Dataset
+
+
+def random_crop(image: LabeledImage, rng: _random.Random, min_fraction: float = 0.10,
+                max_fraction: float = 0.20) -> LabeledImage:
+    """Crop 10–20 % from each side, rescaling boxes to the new coordinates."""
+    height, width = image.pixels.shape
+    left = int(width * rng.uniform(min_fraction, max_fraction))
+    right = int(width * rng.uniform(min_fraction, max_fraction))
+    top = int(height * rng.uniform(min_fraction, max_fraction))
+    bottom = int(height * rng.uniform(min_fraction, max_fraction))
+    cropped = image.pixels[top:height - bottom, left:width - right]
+    if cropped.size == 0:
+        return image.copy()
+    boxes: List[GroundTruthBox] = []
+    for gt in image.boxes:
+        x1, y1, x2, y2 = gt.box
+        new_box = (
+            max(0.0, x1 - left),
+            max(0.0, y1 - top),
+            min(float(cropped.shape[1]), x2 - left),
+            min(float(cropped.shape[0]), y2 - top),
+        )
+        if new_box[2] - new_box[0] >= 2 and new_box[3] - new_box[1] >= 2:
+            boxes.append(GroundTruthBox(new_box, gt.visibility, gt.distance, gt.luminance, gt.object_index))
+    return LabeledImage(cropped.copy(), boxes, dict(image.params), image.difficulty)
+
+
+def horizontal_flip(image: LabeledImage) -> LabeledImage:
+    """Mirror the image left-to-right, flipping box coordinates."""
+    height, width = image.pixels.shape
+    flipped = np.ascontiguousarray(image.pixels[:, ::-1])
+    boxes = [
+        GroundTruthBox(
+            (width - gt.box[2], gt.box[1], width - gt.box[0], gt.box[3]),
+            gt.visibility,
+            gt.distance,
+            gt.luminance,
+            gt.object_index,
+        )
+        for gt in image.boxes
+    ]
+    return LabeledImage(flipped, boxes, dict(image.params), image.difficulty)
+
+
+def gaussian_blur(image: LabeledImage, sigma: float) -> LabeledImage:
+    """Separable Gaussian blur (boxes unchanged)."""
+    if sigma <= 0:
+        return image.copy()
+    radius = max(1, int(3 * sigma))
+    xs = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-(xs ** 2) / (2 * sigma ** 2))
+    kernel /= kernel.sum()
+    blurred = np.apply_along_axis(lambda row: np.convolve(row, kernel, mode="same"), 1, image.pixels)
+    blurred = np.apply_along_axis(lambda col: np.convolve(col, kernel, mode="same"), 0, blurred)
+    return LabeledImage(blurred, list(image.boxes), dict(image.params), image.difficulty)
+
+
+def classical_augmentations(image: LabeledImage, rng: Optional[_random.Random] = None) -> LabeledImage:
+    """One random classical augmentation of *image* (crop + maybe flip + blur)."""
+    rng = rng if rng is not None else _random.Random()
+    augmented = random_crop(image, rng)
+    if rng.random() < 0.5:
+        augmented = horizontal_flip(augmented)
+    augmented = gaussian_blur(augmented, rng.uniform(0.0, 3.0))
+    return augmented
+
+
+def augment_dataset(
+    source: LabeledImage,
+    count: int,
+    seed: int = 0,
+    name: str = "classical-augmentation",
+) -> Dataset:
+    """Generate *count* classical augmentations of a single source image.
+
+    This reproduces the Table 8 baseline: augmenting the one misclassified
+    image rather than generating new scenes with Scenic.
+    """
+    rng = _random.Random(seed)
+    images = [classical_augmentations(source, rng) for _ in range(count)]
+    return Dataset(name, images)
+
+
+__all__ = ["random_crop", "horizontal_flip", "gaussian_blur", "classical_augmentations", "augment_dataset"]

@@ -1,0 +1,132 @@
+"""A pinhole camera model projecting scene objects onto the image plane.
+
+The camera sits on the ego car at a fixed height above the ground and looks
+along the ego's heading.  Scenic's scenes are 2-D (bird's-eye), so the
+vertical extent of cars is modelled with a nominal physical height; this is
+enough to produce realistic image-plane bounding boxes whose size shrinks
+with distance and whose horizontal position follows the bearing, which is
+all the detection experiments depend on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.utils import normalize_angle
+from ..core.vectors import Vector
+
+
+@dataclass
+class CameraConfig:
+    """Camera intrinsics and mounting parameters."""
+
+    image_width: int = 208
+    image_height: int = 64
+    horizontal_fov: float = math.radians(80.0)
+    #: Height of the camera above the road surface, metres.
+    camera_height: float = 1.2
+    #: Nominal physical height of a car, metres (Scenic scenes are 2-D).
+    car_physical_height: float = 1.5
+    #: Fraction of the image height at which the horizon sits.
+    horizon_fraction: float = 0.45
+    #: Objects beyond this range are not rendered.
+    max_range: float = 120.0
+    #: Objects closer than this are clipped (behind or at the camera).
+    min_range: float = 1.0
+
+    @property
+    def focal_length_pixels(self) -> float:
+        return (self.image_width / 2.0) / math.tan(self.horizontal_fov / 2.0)
+
+    @property
+    def horizon_row(self) -> float:
+        return self.image_height * self.horizon_fraction
+
+
+class Camera:
+    """Projects world-space objects into image-plane boxes."""
+
+    def __init__(self, position: Vector, heading: float, config: Optional[CameraConfig] = None):
+        self.position = Vector.from_any(position)
+        self.heading = float(heading)
+        self.config = config if config is not None else CameraConfig()
+
+    @classmethod
+    def from_ego(cls, ego, config: Optional[CameraConfig] = None) -> "Camera":
+        return cls(Vector.from_any(ego.position), float(ego.heading), config)
+
+    # -- geometry ----------------------------------------------------------------
+
+    def world_to_local(self, point: Vector) -> Vector:
+        """World point → camera frame (x = right, y = forward)."""
+        relative = Vector.from_any(point) - self.position
+        return relative.rotated_by(-self.heading)
+
+    def bearing_of(self, point: Vector) -> float:
+        """Angle of the point off the camera axis (positive = to the left)."""
+        local = self.world_to_local(point)
+        return normalize_angle(math.atan2(-local.x, local.y))
+
+    def distance_to(self, point: Vector) -> float:
+        return self.position.distance_to(point)
+
+    def is_in_front(self, point: Vector) -> bool:
+        return self.world_to_local(point).y > self.config.min_range
+
+    # -- projection --------------------------------------------------------------
+
+    def project_object(self, scenic_object) -> Optional[Tuple[float, float, float, float]]:
+        """Project a car-like object into an image-plane box ``(x1, y1, x2, y2)``.
+
+        Returns ``None`` when the object is behind the camera, too far away,
+        or entirely outside the horizontal field of view.  Coordinates are in
+        pixels with the origin at the top-left corner, matching the usual
+        image convention.
+        """
+        config = self.config
+        center = Vector.from_any(scenic_object.position)
+        local = self.world_to_local(center)
+        forward = local.y
+        if forward < config.min_range or self.distance_to(center) > config.max_range:
+            return None
+
+        # Effective width of the car as seen from the camera: mixes its width
+        # and length according to the relative orientation.
+        relative_heading = normalize_angle(float(scenic_object.heading) - self.heading)
+        effective_width = abs(float(scenic_object.width) * math.cos(relative_heading)) + abs(
+            float(scenic_object.height) * math.sin(relative_heading)
+        )
+        effective_width = max(effective_width, float(scenic_object.width) * 0.7)
+
+        focal = config.focal_length_pixels
+        center_column = config.image_width / 2.0 - focal * (local.x / forward) * -1.0
+        # (local.x is positive to the *right*? world_to_local rotates by -heading;
+        #  with our heading convention the local x axis points right of the
+        #  camera axis, so a positive local.x should land right of centre.)
+        center_column = config.image_width / 2.0 + focal * (local.x / forward)
+
+        half_width_px = (focal * effective_width / forward) / 2.0
+        box_height_px = focal * config.car_physical_height / forward
+        bottom_row = config.horizon_row + focal * config.camera_height / forward
+        top_row = bottom_row - box_height_px
+
+        x1 = center_column - half_width_px
+        x2 = center_column + half_width_px
+        y1 = top_row
+        y2 = bottom_row
+
+        # Discard boxes entirely outside the image.
+        if x2 < 0 or x1 > config.image_width or y2 < 0 or y1 > config.image_height:
+            return None
+        x1 = max(x1, 0.0)
+        y1 = max(y1, 0.0)
+        x2 = min(x2, float(config.image_width))
+        y2 = min(y2, float(config.image_height))
+        if x2 - x1 < 1.0 or y2 - y1 < 1.0:
+            return None
+        return (x1, y1, x2, y2)
+
+
+__all__ = ["Camera", "CameraConfig"]

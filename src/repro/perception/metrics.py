@@ -1,0 +1,205 @@
+"""Detection metrics: IoU, precision, recall and average precision.
+
+Definitions follow Sec. 6.1 and Appendix D of the paper exactly:
+
+* a predicted box counts as a detection of a ground-truth box when their
+  intersection-over-union exceeds 0.5;
+* precision = tp / (tp + fp), recall = tp / (tp + fn), averaged over the
+  images of a test set;
+* AP is the area under the precision/recall curve obtained by sweeping the
+  detection score threshold (the standard interpolated computation used by
+  the mAP tool the authors cite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+Box = Tuple[float, float, float, float]
+
+IOU_THRESHOLD = 0.5
+
+
+def iou(box_a: Box, box_b: Box) -> float:
+    """Intersection over union of two ``(x1, y1, x2, y2)`` boxes."""
+    ax1, ay1, ax2, ay2 = box_a
+    bx1, by1, bx2, by2 = box_b
+    inter_x1 = max(ax1, bx1)
+    inter_y1 = max(ay1, by1)
+    inter_x2 = min(ax2, bx2)
+    inter_y2 = min(ay2, by2)
+    inter_area = max(0.0, inter_x2 - inter_x1) * max(0.0, inter_y2 - inter_y1)
+    area_a = max(0.0, ax2 - ax1) * max(0.0, ay2 - ay1)
+    area_b = max(0.0, bx2 - bx1) * max(0.0, by2 - by1)
+    union = area_a + area_b - inter_area
+    if union <= 0:
+        return 0.0
+    return inter_area / union
+
+
+def match_detections(
+    predicted: Sequence[Box],
+    ground_truth: Sequence[Box],
+    threshold: float = IOU_THRESHOLD,
+) -> Tuple[int, int, int]:
+    """Greedy matching of predictions to ground truth.
+
+    Predictions are matched in the given order (callers sort by descending
+    score); each ground-truth box may be matched at most once.  Returns
+    ``(true_positives, false_positives, false_negatives)``.
+    """
+    matched = [False] * len(ground_truth)
+    true_positives = 0
+    false_positives = 0
+    for prediction in predicted:
+        best_index = -1
+        best_iou = threshold
+        for index, truth in enumerate(ground_truth):
+            if matched[index]:
+                continue
+            overlap = iou(prediction, truth)
+            if overlap >= best_iou:
+                best_iou = overlap
+                best_index = index
+        if best_index >= 0:
+            matched[best_index] = True
+            true_positives += 1
+        else:
+            false_positives += 1
+    false_negatives = matched.count(False)
+    return true_positives, false_positives, false_negatives
+
+
+@dataclass
+class DetectionMetrics:
+    """Aggregated precision/recall over a set of images."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    images: int
+
+    def as_percentages(self) -> Tuple[float, float]:
+        return (100.0 * self.precision, 100.0 * self.recall)
+
+    def __str__(self) -> str:
+        return (
+            f"precision={100 * self.precision:.1f}% recall={100 * self.recall:.1f}% "
+            f"(tp={self.true_positives}, fp={self.false_positives}, fn={self.false_negatives}, "
+            f"images={self.images})"
+        )
+
+
+def precision_recall(
+    per_image: Iterable[Tuple[Sequence[Box], Sequence[Box]]],
+    threshold: float = IOU_THRESHOLD,
+) -> DetectionMetrics:
+    """Precision/recall over ``(predicted boxes, ground-truth boxes)`` pairs.
+
+    Following the paper we average the per-image precision and recall rather
+    than pooling counts, so each image contributes equally regardless of how
+    many cars it contains.
+    """
+    precisions: List[float] = []
+    recalls: List[float] = []
+    total_tp = total_fp = total_fn = 0
+    image_count = 0
+    for predicted, truth in per_image:
+        image_count += 1
+        tp, fp, fn = match_detections(predicted, truth, threshold)
+        total_tp += tp
+        total_fp += fp
+        total_fn += fn
+        if tp + fp > 0:
+            precisions.append(tp / (tp + fp))
+        elif truth:
+            precisions.append(0.0)
+        else:
+            precisions.append(1.0)
+        if tp + fn > 0:
+            recalls.append(tp / (tp + fn))
+        else:
+            recalls.append(1.0)
+    if image_count == 0:
+        return DetectionMetrics(0.0, 0.0, 0, 0, 0, 0)
+    return DetectionMetrics(
+        precision=sum(precisions) / image_count,
+        recall=sum(recalls) / image_count,
+        true_positives=total_tp,
+        false_positives=total_fp,
+        false_negatives=total_fn,
+        images=image_count,
+    )
+
+
+def average_precision_from_images(
+    per_image: Sequence[Tuple[Sequence[Tuple[float, Box]], Sequence[Box]]],
+    threshold: float = IOU_THRESHOLD,
+) -> float:
+    """AP over ``(scored predictions, ground-truth boxes)`` pairs.
+
+    Each scored prediction is ``(score, box)``.  Detections across the whole
+    set are sorted by score; precision is interpolated to be monotonically
+    decreasing and integrated over recall (the computation used by [4]).
+    """
+    labelled: List[Tuple[float, bool]] = []
+    total_ground_truth = 0
+    for predictions, truth in per_image:
+        total_ground_truth += len(truth)
+        matched = [False] * len(truth)
+        for score, box in sorted(predictions, key=lambda item: -item[0]):
+            best_index = -1
+            best_iou = threshold
+            for index, truth_box in enumerate(truth):
+                if matched[index]:
+                    continue
+                overlap = iou(box, truth_box)
+                if overlap >= best_iou:
+                    best_iou = overlap
+                    best_index = index
+            if best_index >= 0:
+                matched[best_index] = True
+                labelled.append((score, True))
+            else:
+                labelled.append((score, False))
+    if total_ground_truth == 0:
+        return 0.0
+    labelled.sort(key=lambda item: -item[0])
+    true_positives = 0
+    false_positives = 0
+    precisions: List[float] = []
+    recalls: List[float] = []
+    for _score, is_true in labelled:
+        if is_true:
+            true_positives += 1
+        else:
+            false_positives += 1
+        precisions.append(true_positives / (true_positives + false_positives))
+        recalls.append(true_positives / total_ground_truth)
+    # Make precision monotonically decreasing, then integrate over recall.
+    for index in range(len(precisions) - 2, -1, -1):
+        precisions[index] = max(precisions[index], precisions[index + 1])
+    average = 0.0
+    previous_recall = 0.0
+    for precision, recall in zip(precisions, recalls):
+        average += precision * (recall - previous_recall)
+        previous_recall = recall
+    return average
+
+
+#: Convenience alias: the AP computation used throughout the experiments.
+average_precision = average_precision_from_images
+
+
+__all__ = [
+    "iou",
+    "match_detections",
+    "precision_recall",
+    "average_precision",
+    "average_precision_from_images",
+    "DetectionMetrics",
+    "IOU_THRESHOLD",
+]

@@ -1,0 +1,13 @@
+"""World libraries: the domain-specific object classes, regions and vector
+fields that Scenic programs import (``import gtaLib``, ``import mars``).
+
+* :mod:`repro.worlds.gta` — a synthetic road world standing in for Grand
+  Theft Auto V: a procedurally generated road network with traffic-direction
+  vector field, curbs, car models and colours, plus weather/time parameters.
+* :mod:`repro.worlds.mars` — a Webots-like Mars rover arena with rocks,
+  pipes, a goal flag, and a grid-based motion planner.
+"""
+
+from . import registry
+
+__all__ = ["registry"]

@@ -1,0 +1,94 @@
+"""Simulator interface layer: exporting scenes to external tools.
+
+The paper's workflow hands Scenic's output configurations to a simulator
+through a thin interface layer (Sec. 1: "writing an interface layer
+converting the configurations output by Scenic into the simulator's input
+format").  This module provides two such exporters that need no external
+dependencies:
+
+* :func:`scene_to_json` — a stable JSON document with every object's class,
+  position, heading, size and simple-typed properties, plus the global
+  parameters; suitable as the input format of an external renderer or robot
+  simulator.
+* :func:`scene_to_svg` — a bird's-eye SVG drawing of the scene (objects as
+  oriented rectangles, the ego highlighted, its view cone sketched), useful
+  for quickly eyeballing generated scenes without a simulator at all.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Optional
+
+from ..core.scene import Scene
+from ..core.vectors import Vector
+
+
+def scene_to_json(scene: Scene, indent: Optional[int] = 2) -> str:
+    """Serialise *scene* to a JSON document (see :meth:`Scene.to_dict`)."""
+    return json.dumps(scene.to_dict(), indent=indent, sort_keys=True)
+
+
+def scenes_to_json_lines(scenes: Iterable[Scene]) -> str:
+    """One JSON document per line (the common bulk-export format)."""
+    return "\n".join(scene_to_json(scene, indent=None) for scene in scenes)
+
+
+def _svg_polygon(points, fill: str, opacity: float = 1.0) -> str:
+    coordinates = " ".join(f"{p.x:.2f},{p.y:.2f}" for p in points)
+    return f'<polygon points="{coordinates}" fill="{fill}" fill-opacity="{opacity:.2f}" />'
+
+
+def scene_to_svg(scene: Scene, scale: float = 4.0, margin: float = 10.0) -> str:
+    """Render *scene* as a bird's-eye SVG image (y axis pointing up).
+
+    The ego is drawn in red with its view cone, other objects in blue.  The
+    drawing is fitted to the objects' bounding box plus *margin* metres.
+    """
+    positions = [Vector.from_any(obj.position) for obj in scene.objects]
+    min_x = min(p.x for p in positions) - margin
+    max_x = max(p.x for p in positions) + margin
+    min_y = min(p.y for p in positions) - margin
+    max_y = max(p.y for p in positions) + margin
+    width = (max_x - min_x) * scale
+    height = (max_y - min_y) * scale
+
+    def to_svg(point: Vector) -> Vector:
+        return Vector((point.x - min_x) * scale, (max_y - point.y) * scale)
+
+    elements = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.2f} {height:.2f}">',
+        f'<rect width="{width:.2f}" height="{height:.2f}" fill="#d9d9d9" />',
+    ]
+
+    # Ego view cone (a filled triangle approximating the sector).
+    ego = scene.ego
+    view_distance = float(getattr(ego, "viewDistance", 50.0))
+    view_angle = float(getattr(ego, "viewAngle", math.tau))
+    if view_angle < math.tau - 1e-9:
+        origin = Vector.from_any(ego.position)
+        heading = float(ego.heading)
+        left = origin.offset_rotated(heading + view_angle / 2, Vector(0, view_distance))
+        right = origin.offset_rotated(heading - view_angle / 2, Vector(0, view_distance))
+        elements.append(
+            _svg_polygon([to_svg(origin), to_svg(left), to_svg(right)], "#ffd27f", opacity=0.5)
+        )
+
+    for scenic_object in scene.objects:
+        corners = [to_svg(corner) for corner in scenic_object.corners]
+        color = "#d62728" if scenic_object is scene.ego else "#1f77b4"
+        elements.append(_svg_polygon(corners, color, opacity=0.9))
+
+    elements.append("</svg>")
+    return "\n".join(elements)
+
+
+def save_scene_svg(scene: Scene, path) -> None:
+    """Write :func:`scene_to_svg` output to *path*."""
+    with open(path, "w") as handle:
+        handle.write(scene_to_svg(scene))
+
+
+__all__ = ["scene_to_json", "scenes_to_json_lines", "scene_to_svg", "save_scene_svg"]

@@ -1,0 +1,28 @@
+"""The GTA-like road world (``gtaLib``).
+
+The paper's case study renders scenes in Grand Theft Auto V, whose map is
+closed source; the authors reconstructed the road geometry from a schematic
+bird's-eye view (Appendix D).  This reproduction instead *generates* a road
+network procedurally (:mod:`repro.worlds.gta.map_generation`), which plays
+exactly the same role: polygonal road cells carrying the prevailing traffic
+direction, curb polylines, and a workspace.
+
+The library exposes the same names the paper's ``gtaLib`` does: ``road``,
+``curb``, ``roadDirection``, ``Car``, ``EgoCar``, ``CarModel``, ``CarColor``,
+and the platoon helper functions used in Appendix A.
+"""
+
+from .roads import RoadMap, default_map
+from .carlib import Car, EgoCar, CarModel, CarColor
+from .interface import scenic_namespace, default_workspace
+
+__all__ = [
+    "RoadMap",
+    "default_map",
+    "Car",
+    "EgoCar",
+    "CarModel",
+    "CarColor",
+    "scenic_namespace",
+    "default_workspace",
+]

@@ -1,0 +1,146 @@
+"""Procedural generation of the synthetic road network.
+
+The map is a Manhattan-style grid of straight roads.  Each road is split
+lengthwise into two carriageways (right-hand traffic) and along its length
+into short convex rectangular *cells*; each cell carries the local traffic
+direction.  This mirrors the structure the paper extracts from the GTA V
+schematic map: polygons over which the ``roadDirection`` vector field is
+constant, which is exactly what the orientation/size pruning algorithms of
+Sec. 5.2 exploit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ...core.vectors import Vector
+from ...geometry.polygon import Polygon
+
+
+@dataclass
+class RoadCell:
+    """One convex piece of carriageway with a constant traffic direction."""
+
+    polygon: Polygon
+    heading: float
+    road_name: str
+
+
+@dataclass
+class RoadSpec:
+    """A straight road: a centreline segment plus a width."""
+
+    name: str
+    start: Vector
+    end: Vector
+    width: float = 20.0
+
+    @property
+    def heading(self) -> float:
+        return (self.end - self.start).angle()
+
+    @property
+    def length(self) -> float:
+        return self.start.distance_to(self.end)
+
+
+@dataclass
+class GeneratedMap:
+    """The output of map generation, consumed by :mod:`repro.worlds.gta.roads`."""
+
+    cells: List[RoadCell] = field(default_factory=list)
+    curb_chains: List[List[Vector]] = field(default_factory=list)
+    road_polygons: List[Polygon] = field(default_factory=list)
+    extent: Tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
+
+
+def default_road_specs(size: float = 400.0, spacing: float = 200.0, width: float = 20.0) -> List[RoadSpec]:
+    """A small city grid: horizontal and vertical roads every *spacing* metres."""
+    specs: List[RoadSpec] = []
+    positions = [spacing / 2 + index * spacing for index in range(int(size // spacing))]
+    for index, y in enumerate(positions):
+        specs.append(RoadSpec(f"ew{index}", Vector(0.0, y), Vector(size, y), width))
+    for index, x in enumerate(positions):
+        specs.append(RoadSpec(f"ns{index}", Vector(x, 0.0), Vector(x, size), width))
+    return specs
+
+
+def generate_map(
+    specs: Sequence[RoadSpec] | None = None,
+    cell_length: float = 20.0,
+    size: float = 400.0,
+) -> GeneratedMap:
+    """Build road cells, curb polylines and road polygons from road specs."""
+    if specs is None:
+        specs = default_road_specs(size=size)
+    generated = GeneratedMap()
+    min_x = min_y = math.inf
+    max_x = max_y = -math.inf
+
+    for spec in specs:
+        direction = (spec.end - spec.start)
+        length = direction.norm()
+        if length <= 0:
+            continue
+        unit = direction / length
+        heading = direction.angle()
+        # Right-hand traffic: looking along the road, the right carriageway
+        # goes forward, the left one backward.
+        right_normal = Vector(unit.y, -unit.x)  # 90° clockwise from direction
+        half_width = spec.width / 2.0
+        quarter_width = spec.width / 4.0
+
+        cell_count = max(1, int(math.ceil(length / cell_length)))
+        for index in range(cell_count):
+            a = spec.start + unit * (index * length / cell_count)
+            b = spec.start + unit * ((index + 1) * length / cell_count)
+            # Forward carriageway (right of the centreline).
+            forward_centre_a = a + right_normal * quarter_width
+            forward_centre_b = b + right_normal * quarter_width
+            forward = _strip_polygon(forward_centre_a, forward_centre_b, right_normal, quarter_width)
+            generated.cells.append(RoadCell(forward, heading, spec.name))
+            # Backward carriageway (left of the centreline), opposite direction.
+            backward_centre_a = a - right_normal * quarter_width
+            backward_centre_b = b - right_normal * quarter_width
+            backward = _strip_polygon(backward_centre_a, backward_centre_b, right_normal, quarter_width)
+            generated.cells.append(
+                RoadCell(backward, _flip_heading(heading), spec.name)
+            )
+
+        # Whole-road polygon (for the workspace and containment checks).
+        road_polygon = _strip_polygon(spec.start, spec.end, right_normal, half_width)
+        generated.road_polygons.append(road_polygon)
+
+        # Curbs run along both edges of the road, oriented with the traffic on
+        # their side of the road.
+        right_edge = [spec.start + right_normal * half_width, spec.end + right_normal * half_width]
+        left_edge = [spec.end - right_normal * half_width, spec.start - right_normal * half_width]
+        generated.curb_chains.append(right_edge)
+        generated.curb_chains.append(left_edge)
+
+        for point in (spec.start, spec.end):
+            min_x = min(min_x, point.x - half_width)
+            max_x = max(max_x, point.x + half_width)
+            min_y = min(min_y, point.y - half_width)
+            max_y = max(max_y, point.y + half_width)
+
+    generated.extent = (min_x, min_y, max_x, max_y)
+    return generated
+
+
+def _strip_polygon(a: Vector, b: Vector, normal: Vector, half_width: float) -> Polygon:
+    """A rectangle of the given half-width around the segment ``a``–``b``."""
+    offset = normal * half_width
+    return Polygon([a + offset, b + offset, b - offset, a - offset])
+
+
+def _flip_heading(heading: float) -> float:
+    flipped = heading + math.pi
+    if flipped > math.pi:
+        flipped -= 2 * math.pi
+    return flipped
+
+
+__all__ = ["RoadSpec", "RoadCell", "GeneratedMap", "default_road_specs", "generate_map"]

@@ -1,0 +1,67 @@
+"""Road map assembly: regions, vector fields and the workspace for ``gtaLib``."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...core.regions import PolygonalRegion, PolylineRegion
+from ...core.vectorfields import PolygonalVectorField, PolylineVectorField
+from ...core.workspace import Workspace
+from .map_generation import GeneratedMap, RoadSpec, generate_map
+
+
+class RoadMap:
+    """The road world: road/curb regions, the traffic-direction field, workspace.
+
+    ``road`` is the union of the per-carriageway cells (so its preferred
+    orientation is the traffic direction); ``road_surface`` is the union of
+    whole-road polygons used as the workspace; ``curb`` is a polyline region
+    along the road edges, oriented along the road.
+    """
+
+    def __init__(self, generated: GeneratedMap, name: str = "gta"):
+        self.name = name
+        self.generated = generated
+        cells = [(cell.polygon, cell.heading) for cell in generated.cells]
+        self.road_direction = PolygonalVectorField("roadDirection", cells)
+        self.road = PolygonalRegion(
+            [cell.polygon for cell in generated.cells],
+            name="road",
+            orientation=self.road_direction,
+        )
+        self.road_surface = PolygonalRegion(
+            generated.road_polygons, name="roadSurface", orientation=self.road_direction
+        )
+        self.curb = PolylineRegion(generated.curb_chains, name="curb")
+        self.curb.orientation = PolylineVectorField("curbDirection", self.curb)
+        self.workspace = Workspace(self.road_surface, name="gta-workspace")
+
+    @classmethod
+    def generate(
+        cls,
+        specs: Optional[Sequence[RoadSpec]] = None,
+        cell_length: float = 20.0,
+        size: float = 400.0,
+        name: str = "gta",
+    ) -> "RoadMap":
+        return cls(generate_map(specs, cell_length=cell_length, size=size), name=name)
+
+    def cell_polygons(self) -> List:
+        return [cell.polygon for cell in self.generated.cells]
+
+    def __repr__(self) -> str:
+        return f"RoadMap({self.name!r}, {len(self.generated.cells)} cells)"
+
+
+_DEFAULT_MAP: Optional[RoadMap] = None
+
+
+def default_map() -> RoadMap:
+    """The shared default road network (generated once, deterministic)."""
+    global _DEFAULT_MAP
+    if _DEFAULT_MAP is None:
+        _DEFAULT_MAP = RoadMap.generate()
+    return _DEFAULT_MAP
+
+
+__all__ = ["RoadMap", "default_map"]

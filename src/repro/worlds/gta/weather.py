@@ -1,0 +1,102 @@
+"""Weather and time-of-day parameters for the GTA-like world.
+
+GTA V exposes 14 discrete weather types and a time of day; the case study
+puts distributions on both through ``param`` statements.  This module
+provides the weather vocabulary, a realistic default prior (rain is less
+likely than shine, matching the observation in Sec. 6.2), and the visibility
+degradation factors used by the synthetic renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...core.distributions import Discrete, Range
+
+#: The 14 weather types supported by GTA V.
+WEATHER_TYPES = (
+    "NEUTRAL",
+    "CLEAR",
+    "EXTRASUNNY",
+    "CLOUDS",
+    "OVERCAST",
+    "RAIN",
+    "THUNDER",
+    "CLEARING",
+    "SMOG",
+    "FOGGY",
+    "XMAS",
+    "SNOWLIGHT",
+    "BLIZZARD",
+    "SNOW",
+)
+
+#: Default prior over weather: clear conditions dominate, precipitation is rare.
+_DEFAULT_WEATHER_WEIGHTS: Dict[str, float] = {
+    "NEUTRAL": 5.0,
+    "CLEAR": 20.0,
+    "EXTRASUNNY": 20.0,
+    "CLOUDS": 15.0,
+    "OVERCAST": 10.0,
+    "RAIN": 5.0,
+    "THUNDER": 3.0,
+    "CLEARING": 5.0,
+    "SMOG": 5.0,
+    "FOGGY": 4.0,
+    "XMAS": 2.0,
+    "SNOWLIGHT": 3.0,
+    "BLIZZARD": 1.0,
+    "SNOW": 2.0,
+}
+
+#: How much each weather type degrades image quality in the synthetic
+#: renderer (0 = no degradation, 1 = maximal).  Used by the perception
+#: substrate to reproduce the "worse on rainy nights" effect of Sec. 6.2.
+WEATHER_DIFFICULTY: Dict[str, float] = {
+    "NEUTRAL": 0.05,
+    "CLEAR": 0.0,
+    "EXTRASUNNY": 0.0,
+    "CLOUDS": 0.1,
+    "OVERCAST": 0.2,
+    "RAIN": 0.55,
+    "THUNDER": 0.65,
+    "CLEARING": 0.15,
+    "SMOG": 0.35,
+    "FOGGY": 0.5,
+    "XMAS": 0.3,
+    "SNOWLIGHT": 0.35,
+    "BLIZZARD": 0.75,
+    "SNOW": 0.45,
+}
+
+
+def default_weather_distribution() -> Discrete:
+    """The default prior over weather types."""
+    return Discrete(dict(_DEFAULT_WEATHER_WEIGHTS))
+
+
+def default_time_distribution() -> Range:
+    """Time of day in minutes since midnight, uniform over the whole day."""
+    return Range(0.0, 24 * 60.0)
+
+
+def time_difficulty(minutes_since_midnight: float) -> float:
+    """Image-quality degradation due to darkness (0 at noon, ~1 at midnight)."""
+    hours = (minutes_since_midnight / 60.0) % 24.0
+    distance_from_noon = abs(hours - 12.0) / 12.0
+    return min(1.0, max(0.0, distance_from_noon ** 1.5))
+
+
+def weather_difficulty(weather: str) -> float:
+    """Image-quality degradation due to the weather type."""
+    return WEATHER_DIFFICULTY.get(weather, 0.2)
+
+
+__all__ = [
+    "WEATHER_TYPES",
+    "WEATHER_DIFFICULTY",
+    "default_weather_distribution",
+    "default_time_distribution",
+    "time_difficulty",
+    "weather_difficulty",
+]

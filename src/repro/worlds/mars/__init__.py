@@ -1,0 +1,28 @@
+"""The Mars-rover world (``import mars``), standing in for Webots.
+
+Provides the object classes used by the motion-planning scenario of Sec. 3 /
+Appendix A.12 (``Rover``, ``Goal``, ``Rock``, ``BigRock``, ``Pipe``), a
+square workspace, and a grid-based motion planner (:mod:`planner`) that
+plays the role of the robot's path planner when evaluating generated
+workspaces.
+"""
+
+from .objects import Rover, Goal, Rock, BigRock, Pipe, MarsObject
+from .workspace import mars_workspace, GROUND_HALF_EXTENT
+from .planner import GridPlanner, PlanResult
+from .interface import scenic_namespace, default_workspace
+
+__all__ = [
+    "Rover",
+    "Goal",
+    "Rock",
+    "BigRock",
+    "Pipe",
+    "MarsObject",
+    "mars_workspace",
+    "GROUND_HALF_EXTENT",
+    "GridPlanner",
+    "PlanResult",
+    "scenic_namespace",
+    "default_workspace",
+]

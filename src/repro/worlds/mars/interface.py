@@ -1,0 +1,30 @@
+"""The namespace a Scenic program sees after ``import mars``."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ...core.workspace import Workspace
+from .objects import BigRock, Goal, MarsObject, Pipe, Rock, Rover
+from .planner import GridPlanner
+from .workspace import ground_region, mars_workspace
+
+
+def scenic_namespace() -> Dict[str, Any]:
+    return {
+        "Rover": Rover,
+        "Goal": Goal,
+        "Rock": Rock,
+        "BigRock": BigRock,
+        "Pipe": Pipe,
+        "MarsObject": MarsObject,
+        "ground": ground_region(),
+        "GridPlanner": GridPlanner,
+    }
+
+
+def default_workspace() -> Workspace:
+    return mars_workspace()
+
+
+__all__ = ["scenic_namespace", "default_workspace"]

@@ -1,0 +1,95 @@
+"""Object classes for the Mars rover world.
+
+Dimensions follow the Webots rubble-field world used in the paper: the rover
+is roughly 0.5 m x 0.7 m, pipes are long and thin (their length is usually
+randomised by the scenario with ``with height (1, 2)``), and rocks come in
+two sizes.  By default every object lands at a uniformly random position on
+the ground facing a uniformly random direction, so that bare statements like
+``Rock`` scatter obstacles around the arena (Appendix A.12).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...core.distributions import Range
+from ...core.objects import Object
+from .workspace import ground_region
+
+_GROUND = ground_region()
+
+
+def _random_ground_position():
+    return _GROUND.uniform_point_distribution()
+
+
+def _random_heading():
+    return Range(-math.pi, math.pi)
+
+
+class MarsObject(Object):
+    """Base class: uniformly random placement on the ground."""
+
+    _scenic_properties = {
+        "position": _random_ground_position,
+        "heading": _random_heading,
+    }
+
+
+class Rover(MarsObject):
+    """The robot whose motion planner the generated workspaces exercise."""
+
+    _scenic_properties = {
+        "width": lambda: 0.5,
+        "height": lambda: 0.7,
+        #: Rovers can climb obstacles no taller than this (metres).
+        "climbHeight": lambda: 0.2,
+    }
+
+
+class Goal(MarsObject):
+    """The flag marking the rover's navigation goal."""
+
+    _scenic_properties = {
+        "width": lambda: 0.2,
+        "height": lambda: 0.2,
+        "allowCollisions": lambda: True,
+    }
+
+
+class Rock(MarsObject):
+    """A small rock the rover can climb over."""
+
+    _scenic_properties = {
+        "width": lambda: 0.10,
+        "height": lambda: 0.10,
+        #: Obstacle height above ground (metres); small rocks are climbable.
+        "obstacleHeight": lambda: 0.15,
+    }
+
+
+class BigRock(Rock):
+    """A larger rock — still climbable, but slower to traverse."""
+
+    _scenic_properties = {
+        "width": lambda: 0.17,
+        "height": lambda: 0.17,
+        "obstacleHeight": lambda: 0.25,
+    }
+
+
+class Pipe(MarsObject):
+    """A pipe segment the rover cannot climb over.
+
+    The scenario controls the pipe's length through the ``height`` property
+    (its long axis), e.g. ``Pipe ahead of leftEnd, with height (1, 2)``.
+    """
+
+    _scenic_properties = {
+        "width": lambda: 0.2,
+        "height": lambda: Range(1.0, 2.0),
+        "obstacleHeight": lambda: 0.5,
+    }
+
+
+__all__ = ["MarsObject", "Rover", "Goal", "Rock", "BigRock", "Pipe"]

@@ -1,0 +1,25 @@
+"""The Mars arena: a square patch of ground centred at the origin."""
+
+from __future__ import annotations
+
+from ...core.regions import RectangularRegion
+from ...core.vectors import Vector
+from ...core.workspace import Workspace
+
+#: Half the side length of the square arena, in metres (a 5 m x 5 m patch,
+#: matching the Webots rubble-field world used in the paper's Fig. 4/23).
+GROUND_HALF_EXTENT = 2.5
+
+
+def ground_region(half_extent: float = GROUND_HALF_EXTENT) -> RectangularRegion:
+    """The ground plane objects may occupy."""
+    return RectangularRegion(
+        Vector(0.0, 0.0), 0.0, 2 * half_extent, 2 * half_extent, name="ground"
+    )
+
+
+def mars_workspace(half_extent: float = GROUND_HALF_EXTENT) -> Workspace:
+    return Workspace(ground_region(half_extent), name="mars-workspace")
+
+
+__all__ = ["ground_region", "mars_workspace", "GROUND_HALF_EXTENT"]

@@ -1,0 +1,60 @@
+"""Registry mapping Scenic ``import`` names to world libraries.
+
+The paper's workflow (Sec. 1) requires "writing a small Scenic library
+defining the types of objects supported by the simulator, as well as the
+geometry of the workspace".  Each world library here exposes a
+``scenic_namespace()`` function returning the names a Scenic program sees
+after importing it, and optionally a ``workspace()`` function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.workspace import Workspace
+
+_WorldLoader = Callable[[], Tuple[Dict[str, Any], Optional[Workspace]]]
+
+_REGISTRY: Dict[str, _WorldLoader] = {}
+
+
+def register_world(name: str, loader: _WorldLoader) -> None:
+    """Register a world library under the given import name."""
+    _REGISTRY[name] = loader
+
+
+def load_world(name: str) -> Tuple[Optional[Dict[str, Any]], Optional[Workspace]]:
+    """Load the world library registered as *name* (or ``(None, None)``)."""
+    _ensure_builtin_worlds()
+    loader = _REGISTRY.get(name)
+    if loader is None:
+        return None, None
+    return loader()
+
+
+def registered_worlds() -> Tuple[str, ...]:
+    _ensure_builtin_worlds()
+    return tuple(sorted(_REGISTRY))
+
+
+def _ensure_builtin_worlds() -> None:
+    if "gtaLib" in _REGISTRY and "mars" in _REGISTRY:
+        return
+
+    def _load_gta() -> Tuple[Dict[str, Any], Optional[Workspace]]:
+        from .gta.interface import scenic_namespace, default_workspace
+
+        return scenic_namespace(), default_workspace()
+
+    def _load_mars() -> Tuple[Dict[str, Any], Optional[Workspace]]:
+        from .mars.interface import scenic_namespace, default_workspace
+
+        return scenic_namespace(), default_workspace()
+
+    register_world("gtaLib", _load_gta)
+    register_world("gta", _load_gta)
+    register_world("mars", _load_mars)
+    register_world("webotsLib", _load_mars)
+
+
+__all__ = ["register_world", "load_world", "registered_worlds"]

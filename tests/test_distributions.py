@@ -1,0 +1,152 @@
+"""Unit tests for the probabilistic core (Table 1 distributions and derived values)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.distributions import (
+    Discrete,
+    Distribution,
+    FunctionDistribution,
+    Normal,
+    OperatorDistribution,
+    Options,
+    Range,
+    Sample,
+    TruncatedNormal,
+    Uniform,
+    concretize,
+    distribution_function,
+    make_random_vector,
+    needs_sampling,
+    resample,
+    supporting_interval,
+)
+from repro.core.errors import ScenicError
+from repro.core.vectors import Vector
+
+
+def draw(value, seed=0):
+    return concretize(value, Sample(random.Random(seed)))
+
+
+class TestPrimitives:
+    def test_range_samples_within_interval(self, rng):
+        distribution = Range(2.0, 5.0)
+        for _ in range(100):
+            value = distribution.sample(rng)
+            assert 2.0 <= value <= 5.0
+
+    def test_range_support_interval(self):
+        assert supporting_interval(Range(2, 5)) == (2, 5)
+        assert supporting_interval(3.0) == (3.0, 3.0)
+
+    def test_normal_mean(self, rng):
+        distribution = Normal(10.0, 0.5)
+        values = [distribution.sample(rng) for _ in range(500)]
+        assert sum(values) / len(values) == pytest.approx(10.0, abs=0.2)
+
+    def test_truncated_normal_respects_bounds(self, rng):
+        distribution = TruncatedNormal(0.0, 5.0, -1.0, 1.0)
+        for _ in range(100):
+            assert -1.0 <= distribution.sample(rng) <= 1.0
+
+    def test_uniform_options(self, rng):
+        distribution = Uniform("a", "b", "c")
+        seen = {distribution.sample(rng) for _ in range(200)}
+        assert seen == {"a", "b", "c"}
+
+    def test_discrete_weights(self, rng):
+        distribution = Discrete({"heads": 3.0, "tails": 1.0})
+        values = [distribution.sample(rng) for _ in range(2000)]
+        heads_fraction = values.count("heads") / len(values)
+        assert 0.68 < heads_fraction < 0.82
+
+    def test_empty_options_rejected(self):
+        with pytest.raises(ScenicError):
+            Options([])
+        with pytest.raises(ScenicError):
+            Discrete({})
+
+
+class TestDerivedValues:
+    def test_arithmetic_on_distributions(self, rng):
+        value = Range(0.0, 1.0) * 10 + 5
+        assert isinstance(value, Distribution)
+        for _ in range(50):
+            sample = value.sample(rng)
+            assert 5.0 <= sample <= 15.0
+
+    def test_comparisons_build_random_booleans(self, rng):
+        condition = Range(0.0, 1.0) < 2.0
+        assert isinstance(condition, OperatorDistribution)
+        assert condition.sample(rng) is True
+
+    def test_branching_on_random_value_is_an_error(self):
+        with pytest.raises(ScenicError):
+            if Range(0, 1):
+                pass
+
+    def test_shared_subexpressions_sampled_once(self):
+        # The paper: ``x = (0, 1); y = x @ x`` lies on the diagonal.
+        x = Range(0.0, 1.0)
+        y = make_random_vector(x, x)
+        for seed in range(20):
+            vector = draw(y, seed)
+            assert vector.x == pytest.approx(vector.y)
+
+    def test_resample_draws_independently(self):
+        x = Range(0.0, 1.0)
+        y = resample(x)
+        sample = Sample(random.Random(7))
+        assert concretize(x, sample) != pytest.approx(concretize(y, sample))
+
+    def test_resample_of_constant_is_identity(self):
+        assert resample(5.0) == 5.0
+
+    def test_attribute_access_on_random_value(self, rng):
+        choice = Uniform(Vector(1, 2), Vector(3, 4))
+        xs = {choice.x.sample(rng) for _ in range(100)}
+        assert xs <= {1.0, 3.0}
+
+    def test_function_distribution(self, rng):
+        lifted = distribution_function(math.hypot)
+        value = lifted(Range(3, 3), 4.0)
+        assert isinstance(value, FunctionDistribution)
+        assert value.sample(rng) == pytest.approx(5.0)
+
+    def test_distribution_function_immediate_when_concrete(self):
+        lifted = distribution_function(math.hypot)
+        assert lifted(3.0, 4.0) == pytest.approx(5.0)
+
+    def test_support_interval_of_sums_and_products(self):
+        interval = supporting_interval(Range(1, 2) + Range(3, 4))
+        assert interval == (4, 6)
+        interval = supporting_interval(Range(1, 2) * 2)
+        assert interval == (2, 4)
+        low, high = supporting_interval(abs(Range(-3, 1)))
+        assert (low, high) == (0.0, 3.0)
+
+
+class TestSampleMemoisation:
+    def test_needs_sampling(self):
+        assert needs_sampling(Range(0, 1))
+        assert needs_sampling([1, Range(0, 1)])
+        assert needs_sampling({"key": Range(0, 1)})
+        assert not needs_sampling([1, 2, 3])
+
+    def test_concretize_containers(self):
+        sample = Sample(random.Random(0))
+        result = concretize({"a": Range(0, 1), "b": (Range(0, 1), 5)}, sample)
+        assert set(result) == {"a", "b"}
+        assert isinstance(result["b"], tuple)
+
+    def test_same_node_has_one_value_per_sample(self):
+        node = Range(0, 1)
+        sample = Sample(random.Random(0))
+        assert concretize(node, sample) == concretize(node, sample)
+
+    def test_different_samples_differ(self):
+        node = Range(0, 1)
+        assert draw(node, 1) != pytest.approx(draw(node, 2))

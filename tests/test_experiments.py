@@ -1,0 +1,107 @@
+"""Smoke tests for the experiment harnesses (tiny scales, shape checks only)."""
+
+import pytest
+
+from repro.experiments import scenarios
+from repro.experiments.conditions import build_condition_test_sets, run_conditions_experiment
+from repro.experiments.debugging import run_retraining_experiment, run_variant_analysis
+from repro.experiments.mixtures import max_pairwise_iou, run_iou_distribution
+from repro.experiments.pruning_eval import measure_sampling, run_pruning_experiment
+from repro.experiments.rare_events import build_datasets
+from repro.experiments.reporting import TableRow, format_table, mean_and_spread
+from repro.perception.training import Dataset, TrainingConfig, train_detector
+
+
+class TestReporting:
+    def test_mean_and_spread(self):
+        mean, spread = mean_and_spread([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert spread == pytest.approx(0.8165, abs=1e-3)
+        assert mean_and_spread([]) == (0.0, 0.0)
+
+    def test_format_table(self):
+        table = format_table(
+            "Case", ["A", "B"], [TableRow("row1", {"A": 1.0, "B": 2.0}), TableRow("row2", {"A": 3.0})]
+        )
+        assert "row1" in table and "row2" in table
+        assert "1.0" in table and "-" in table
+
+
+class TestScenarioSources:
+    def test_all_sources_compile(self):
+        for name, source in scenarios.GALLERY.items():
+            scenario = scenarios.compile_scenario(source)
+            assert scenario.ego is not None, name
+
+    def test_debugging_variants_cover_nine_rows(self):
+        variants = scenarios.debugging_variants()
+        assert len(variants) == 9
+        for source in variants.values():
+            assert scenarios.compile_scenario(source).ego is not None
+
+    def test_condition_scenarios_set_params(self):
+        good = scenarios.compile_scenario(scenarios.good_conditions(1))
+        bad = scenarios.compile_scenario(scenarios.bad_conditions(1))
+        assert good.params["weather"] == "EXTRASUNNY"
+        assert bad.params["weather"] == "RAIN"
+        assert bad.params["time"] == 0
+
+
+class TestIouDistribution:
+    def test_overlap_training_set_has_higher_iou(self):
+        result = run_iou_distribution(scale=0.02, seed=0)
+        assert result.overlap_mean_iou > result.twocar_mean_iou
+        assert sum(result.overlap_histogram.values()) == sum(result.twocar_histogram.values())
+        assert "0.00-0.05" in result.to_table()
+
+    def test_max_pairwise_iou_empty(self):
+        assert max_pairwise_iou([]) == 0.0
+
+
+class TestSamplingMeasurements:
+    def test_measure_sampling_records_iterations(self):
+        scenario = scenarios.compile_scenario(scenarios.two_cars())
+        measurement = measure_sampling(scenario, samples=3, seed=0, name="two-car")
+        assert measurement.samples == 3
+        assert measurement.mean_iterations >= 1
+        assert measurement.max_iterations >= measurement.mean_iterations
+
+    def test_pruning_experiment_is_sound(self):
+        comparisons = run_pruning_experiment(samples=2, seed=0)
+        assert comparisons
+        for comparison in comparisons:
+            assert comparison.pruned_iterations >= 1
+            assert 0 < comparison.area_ratio <= 1.0 + 1e-9
+
+
+class TestSmallScaleHarnesses:
+    """Each harness runs end-to-end at a very small scale (shape, not accuracy)."""
+
+    def test_conditions_harness(self):
+        result = run_conditions_experiment(scale=0.006, seed=0,
+                                           training_config=TrainingConfig(iterations=80))
+        assert set(result.metrics) == {"T_generic", "T_good", "T_bad"}
+        assert "T_bad" in result.to_table()
+
+    def test_rare_events_dataset_builder(self):
+        datasets = build_datasets(scale=0.004, seed=0)
+        assert set(datasets) == {"X_matrix", "X_overlap", "T_matrix", "T_overlap"}
+        assert all(len(dataset) > 0 for dataset in datasets.values())
+
+    def test_variant_analysis_with_pretrained_model(self):
+        training = Dataset.from_scenario(
+            scenarios.compile_scenario(scenarios.two_cars()), 8, "tiny", seed=0
+        )
+        detector = train_detector(training, TrainingConfig(iterations=60))
+        result = run_variant_analysis(detector=detector, scale=0.04, seed=0)
+        assert len(result.metrics) == 9
+
+    def test_retraining_harness(self):
+        result = run_retraining_experiment(scale=0.012, seed=0,
+                                           training_config=TrainingConfig(iterations=80))
+        assert set(result.metrics) == {
+            "Original (no replacement)",
+            "Classical augmentation",
+            "Close car",
+            "Close car at shallow angle",
+        }

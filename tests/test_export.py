@@ -1,0 +1,39 @@
+"""Unit tests for the simulator interface layer (JSON / SVG scene export)."""
+
+import json
+
+import pytest
+
+from repro.worlds.export import (
+    save_scene_svg,
+    scene_to_json,
+    scene_to_svg,
+    scenes_to_json_lines,
+)
+
+
+class TestJsonExport:
+    def test_round_trips_through_json(self, simple_scene):
+        document = json.loads(scene_to_json(simple_scene))
+        assert len(document["objects"]) == 2
+        assert document["ego_index"] == 0
+        for entry in document["objects"]:
+            assert set(entry) >= {"class", "position", "heading", "width", "height"}
+
+    def test_json_lines_one_per_scene(self, simple_scene):
+        lines = scenes_to_json_lines([simple_scene, simple_scene]).splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["objects"] for line in lines)
+
+
+class TestSvgExport:
+    def test_svg_contains_all_objects(self, simple_scene):
+        svg = scene_to_svg(simple_scene)
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<polygon") >= len(simple_scene.objects)
+        assert "#d62728" in svg  # the ego highlight
+
+    def test_save_to_file(self, simple_scene, tmp_path):
+        path = tmp_path / "scene.svg"
+        save_scene_svg(simple_scene, path)
+        assert path.read_text().startswith("<svg")

@@ -1,0 +1,98 @@
+"""Integration tests: every gallery scenario (Appendix A) compiles and samples.
+
+These are the end-to-end checks that the whole stack — lexer, parser,
+interpreter, world libraries, specifier resolution, rejection sampling —
+works on the scenarios the paper itself showcases.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.operators import can_see
+from repro.core.vectors import Vector
+from repro.experiments import scenarios
+from repro.language import scenario_from_file
+
+FAST_GALLERY = [
+    "simplest",
+    "single_car",
+    "badly_parked",
+    "oncoming",
+    "two_cars",
+    "overlapping",
+    "platoon",
+]
+
+SLOW_GALLERY = ["four_cars_bad_conditions", "bumper_to_bumper", "mars_bottleneck"]
+
+
+@pytest.mark.parametrize("name", FAST_GALLERY)
+def test_gallery_scenario_generates_valid_scene(name):
+    scenario = scenarios.compile_scenario(scenarios.GALLERY[name])
+    scene = scenario.generate(seed=1, max_iterations=20000)
+    assert scene.ego is not None
+    assert len(scene.objects) >= 1
+    assert not scene.has_collisions()
+    # Every non-ego object with requireVisible is actually visible.
+    for scenic_object in scene.non_ego_objects:
+        if scenic_object.requireVisible:
+            assert can_see(scene.ego, scenic_object)
+    # Everything sits inside the workspace.
+    for scenic_object in scene.objects:
+        assert scenario.workspace.contains_object(scenic_object)
+
+
+@pytest.mark.parametrize("name", SLOW_GALLERY)
+def test_slow_gallery_scenario_generates(name):
+    scenario = scenarios.compile_scenario(scenarios.GALLERY[name])
+    scene = scenario.generate(seed=3, max_iterations=30000)
+    assert not scene.has_collisions()
+
+
+def test_overlapping_scenario_really_overlaps_in_the_image():
+    """The Fig. 8 scenario produces images whose ground-truth boxes overlap."""
+    from repro.perception.metrics import iou
+    from repro.perception.renderer import render_scene
+
+    scenario = scenarios.compile_scenario(scenarios.overlapping_cars())
+    overlaps = []
+    for seed in range(8):
+        scene = scenario.generate(seed=seed, max_iterations=20000)
+        image = render_scene(scene)
+        if len(image.boxes) >= 2:
+            overlaps.append(iou(image.boxes[0].box, image.boxes[1].box))
+    assert overlaps, "no rendered image contained both cars"
+    assert max(overlaps) > 0.05
+
+
+def test_scenic_files_on_disk_compile():
+    """The shipped .scenic files compile through the file-based entry point."""
+    scenario_dir = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
+    paths = sorted(scenario_dir.glob("*.scenic"))
+    assert len(paths) >= 10
+    for path in paths:
+        scenario = scenario_from_file(path)
+        assert scenario.ego is not None
+
+
+def test_bumper_to_bumper_structure():
+    """The bumper-to-bumper scenario produces three lanes of four cars plus the ego."""
+    scenario = scenarios.compile_scenario(scenarios.bumper_to_bumper())
+    assert len(scenario.objects) == 13
+    scene = scenario.generate(seed=5, max_iterations=30000)
+    ego_position = Vector.from_any(scene.ego.position)
+    ahead = [
+        scenic_object
+        for scenic_object in scene.non_ego_objects
+        if Vector.from_any(scenic_object.position).distance_to(ego_position) < 80
+    ]
+    assert len(ahead) == 12
+
+
+def test_platoon_cars_share_a_model():
+    scenario = scenarios.compile_scenario(scenarios.platoon())
+    scene = scenario.generate(seed=2, max_iterations=20000)
+    platoon_cars = scene.non_ego_objects
+    models = {car.model.name for car in platoon_cars}
+    assert len(models) == 1

@@ -1,0 +1,204 @@
+"""Unit and integration tests for the Scenic interpreter."""
+
+import math
+
+import pytest
+
+from repro.core.distributions import Distribution, needs_sampling
+from repro.core.errors import InterpreterError, InvalidScenarioError
+from repro.core.vectors import Vector
+from repro.language import scenario_from_string
+from repro.language.interpreter import Interpreter
+from repro.core.workspace import Workspace
+from repro.core.regions import CircularRegion
+
+
+def compile_with_ego(body: str):
+    """Helper: compile a program with a trivially-placed concrete ego."""
+    source = "import gtaLib\nego = EgoCar at 106 @ 95, facing -90 deg\n" + body
+    return scenario_from_string(source)
+
+
+class TestBasicPrograms:
+    def test_ego_assignment_sets_the_ego(self):
+        scenario = scenario_from_string("import gtaLib\nego = Car\n")
+        assert scenario.ego is scenario.objects[0]
+
+    def test_missing_ego_is_an_error(self):
+        with pytest.raises(InvalidScenarioError):
+            scenario_from_string("import gtaLib\nCar\n")
+
+    def test_unknown_import_is_an_error(self):
+        with pytest.raises(InterpreterError):
+            scenario_from_string("import noSuchWorld\nego = Object\n")
+
+    def test_param_statement(self):
+        scenario = scenario_from_string(
+            "import gtaLib\nparam time = 12 * 60\nparam weather = 'RAIN'\nego = Car\n"
+        )
+        assert scenario.params["time"] == 720
+        assert scenario.params["weather"] == "RAIN"
+
+    def test_random_param(self):
+        scenario = scenario_from_string("import gtaLib\nparam time = (8, 20) * 60\nego = Car\n")
+        assert needs_sampling(scenario.params["time"])
+        scene = scenario.generate(seed=0, max_iterations=4000)
+        assert 8 * 60 <= scene.params["time"] <= 20 * 60
+
+    def test_variables_and_arithmetic(self):
+        scenario = compile_with_ego("gap = 2 + 3 * 2\nCar offset by 0 @ gap\n")
+        scene = scenario.generate(seed=1, max_iterations=2000)
+        car = scene.non_ego_objects[0]
+        # ego faces -90 deg (east): 8 m "ahead" is 8 m east.
+        assert Vector.from_any(car.position).is_close_to(Vector(106 + 8, 95), tolerance=1e-6)
+
+    def test_functions_and_loops(self):
+        source = (
+            "import gtaLib\n"
+            "ego = EgoCar at 106 @ 95, facing -90 deg\n"
+            "def gap(n):\n"
+            "    total = 0\n"
+            "    for i in range(n):\n"
+            "        total = total + i\n"
+            "    return total\n"
+            "Car offset by 0 @ (5 + gap(3))\n"
+        )
+        scenario = scenario_from_string(source)
+        scene = scenario.generate(seed=0, max_iterations=2000)
+        assert Vector.from_any(scene.non_ego_objects[0].position).is_close_to(Vector(114, 95), tolerance=1e-6)
+
+    def test_conditionals(self):
+        source = (
+            "import gtaLib\n"
+            "ego = EgoCar at 106 @ 95, facing -90 deg\n"
+            "useFar = False\n"
+            "if useFar:\n"
+            "    d = 30\n"
+            "else:\n"
+            "    d = 10\n"
+            "Car offset by 0 @ d\n"
+        )
+        scene = scenario_from_string(source).generate(seed=0, max_iterations=2000)
+        assert Vector.from_any(scene.non_ego_objects[0].position).x == pytest.approx(116)
+
+    def test_branching_on_random_value_is_rejected(self):
+        source = (
+            "import gtaLib\n"
+            "ego = Car\n"
+            "x = (0, 1)\n"
+            "if x > 0.5:\n"
+            "    Car\n"
+        )
+        with pytest.raises(InterpreterError):
+            scenario_from_string(source)
+
+
+class TestRandomness:
+    def test_interval_distributions_are_random_per_scene(self):
+        scenario = compile_with_ego("Car offset by 0 @ (5, 20)\n")
+        distances = set()
+        for seed in range(5):
+            scene = scenario.generate(seed=seed, max_iterations=2000)
+            distances.add(round(scene.distance_between(scene.ego, scene.non_ego_objects[0]), 3))
+        assert len(distances) > 1
+        assert all(5 <= d <= 20 for d in distances)
+
+    def test_resample_is_independent(self):
+        source = (
+            "import gtaLib\n"
+            "ego = EgoCar at 106 @ 95, facing -90 deg\n"
+            "wiggle = (-10 deg, 10 deg)\n"
+            "c1 = Car offset by -2 @ 10, with roadDeviation wiggle\n"
+            "c2 = Car offset by 2 @ 10, with roadDeviation resample(wiggle)\n"
+        )
+        scenario = scenario_from_string(source)
+        scene = scenario.generate(seed=3, max_iterations=4000)
+        c1, c2 = scene.non_ego_objects
+        assert c1.roadDeviation != pytest.approx(c2.roadDeviation)
+
+    def test_shared_distribution_is_consistent_within_a_scene(self):
+        source = (
+            "import gtaLib\n"
+            "ego = EgoCar at 106 @ 95, facing -90 deg\n"
+            "shared = (-10 deg, 10 deg)\n"
+            "c1 = Car offset by -2 @ 10, with roadDeviation shared\n"
+            "c2 = Car offset by 2 @ 10, with roadDeviation shared\n"
+        )
+        scene = scenario_from_string(source).generate(seed=3, max_iterations=4000)
+        c1, c2 = scene.non_ego_objects
+        assert c1.roadDeviation == pytest.approx(c2.roadDeviation)
+
+    def test_mutation_statement(self):
+        base = compile_with_ego("Car offset by 0 @ 10\n")
+        mutated = compile_with_ego("Car offset by 0 @ 10\nmutate\n")
+        base_scene = base.generate(seed=5, max_iterations=2000)
+        mutated_scene = mutated.generate(seed=5, max_iterations=2000)
+        base_car = base_scene.non_ego_objects[0]
+        mutated_car = mutated_scene.non_ego_objects[0]
+        assert not Vector.from_any(mutated_car.position).is_close_to(base_car.position, tolerance=1e-9)
+
+
+class TestRequirements:
+    def test_hard_requirement_enforced(self):
+        scenario = compile_with_ego(
+            "c = Car offset by (-3, 3) @ (5, 25)\nrequire (distance to c) <= 12\n"
+        )
+        for seed in range(5):
+            scene = scenario.generate(seed=seed, max_iterations=4000)
+            assert scene.distance_between(scene.ego, scene.non_ego_objects[0]) <= 12 + 1e-6
+
+    def test_can_see_requirement(self):
+        scenario = compile_with_ego(
+            "car2 = Car offset by (-10, 10) @ (20, 40), with viewAngle 30 deg\n"
+            "require car2 can see ego\n"
+        )
+        scene = scenario.generate(seed=2, max_iterations=8000)
+        car2 = scene.non_ego_objects[0]
+        from repro.core.operators import can_see
+
+        assert can_see(car2, scene.ego)
+
+
+class TestClassDefinitions:
+    def test_user_defined_class_with_defaults(self):
+        source = (
+            "import gtaLib\n"
+            "class Truck(Car):\n"
+            "    cargo: (0, 100)\n"
+            "    width: 2.5\n"
+            "    height: 8.0\n"
+            "ego = Car at 106 @ 95, facing -90 deg\n"
+            "Truck offset by 0 @ 20\n"
+        )
+        scenario = scenario_from_string(source)
+        scene = scenario.generate(seed=0, max_iterations=4000)
+        truck = scene.non_ego_objects[0]
+        assert type(truck).__name__ == "Truck"
+        assert truck.width == pytest.approx(2.5)
+        assert 0 <= truck.cargo <= 100
+
+    def test_self_dependent_default(self):
+        source = (
+            "import gtaLib\n"
+            "class Labeled(Car):\n"
+            "    size: 3.0\n"
+            "    width: self.size\n"
+            "    height: self.size * 2\n"
+            "ego = Car at 106 @ 95, facing -90 deg\n"
+            "Labeled offset by 0 @ 20\n"
+        )
+        scene = scenario_from_string(source).generate(seed=0, max_iterations=4000)
+        labeled = scene.non_ego_objects[0]
+        assert labeled.width == pytest.approx(3.0)
+        assert labeled.height == pytest.approx(6.0)
+
+
+class TestWorkspaceAndExtraNames:
+    def test_explicit_workspace_and_names(self):
+        scenario = scenario_from_string(
+            "ego = Object at 1 @ 1\nOther at 3 @ 3\n",
+            workspace=Workspace(CircularRegion((0, 0), 10.0)),
+            extra_names={"Other": __import__("repro.core", fromlist=["Object"]).Object},
+        )
+        scene = scenario.generate(seed=0)
+        assert len(scene.objects) == 2

@@ -1,0 +1,66 @@
+"""Unit tests for lazy (object-dependent) values used by specifiers."""
+
+import pytest
+
+from repro.core.lazy import (
+    DelayedArgument,
+    is_lazy,
+    make_delayed_function,
+    required_properties_of,
+    value_in_context,
+)
+
+
+class FakeObject:
+    def __init__(self, **attributes):
+        for name, value in attributes.items():
+            setattr(self, name, value)
+
+
+class TestDelayedArgument:
+    def test_evaluation_uses_context(self):
+        delayed = DelayedArgument({"width"}, lambda obj: obj.width * 2)
+        assert delayed.evaluate_in(FakeObject(width=3.0)) == 6.0
+
+    def test_required_properties(self):
+        delayed = DelayedArgument({"width", "heading"}, lambda obj: 0)
+        assert delayed.required_properties == {"width", "heading"}
+
+    def test_nested_delayed_results_are_flattened(self):
+        inner = DelayedArgument({"width"}, lambda obj: obj.width + 1)
+        outer = DelayedArgument({"width"}, lambda obj: inner)
+        assert outer.evaluate_in(FakeObject(width=1.0)) == 2.0
+
+    def test_arithmetic_stays_lazy(self):
+        delayed = DelayedArgument({"width"}, lambda obj: obj.width)
+        combined = delayed * 2 + 1
+        assert is_lazy(combined)
+        assert combined.evaluate_in(FakeObject(width=4.0)) == 9.0
+        assert required_properties_of(combined) == {"width"}
+
+    def test_reverse_arithmetic(self):
+        delayed = DelayedArgument({"width"}, lambda obj: obj.width)
+        assert (10 - delayed).evaluate_in(FakeObject(width=4.0)) == 6.0
+        assert (-delayed).evaluate_in(FakeObject(width=4.0)) == -4.0
+
+
+class TestHelpers:
+    def test_is_lazy_on_containers(self):
+        delayed = DelayedArgument({"x"}, lambda obj: obj.x)
+        assert is_lazy([1, delayed])
+        assert not is_lazy([1, 2])
+
+    def test_value_in_context_resolves_containers(self):
+        delayed = DelayedArgument({"x"}, lambda obj: obj.x)
+        resolved = value_in_context((delayed, 5), FakeObject(x=7))
+        assert resolved == (7, 5)
+
+    def test_make_delayed_function_defers_only_when_needed(self):
+        def add(a, b):
+            return a + b
+
+        assert make_delayed_function(add, 1, 2) == 3
+        delayed = make_delayed_function(add, 1, DelayedArgument({"x"}, lambda obj: obj.x))
+        assert is_lazy(delayed)
+        assert delayed.evaluate_in(FakeObject(x=10)) == 11
+        assert required_properties_of(delayed) == {"x"}

@@ -1,0 +1,154 @@
+"""Unit tests for the geometric operator library (Fig. 7 / Appendix C)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import At, Facing, Object, OrientedPoint, Range, Vector, With
+from repro.core.distributions import Distribution, Sample, concretize
+from repro.core.operators import (
+    angle_between,
+    apparent_heading,
+    back_of,
+    back_right_of,
+    beyond_from,
+    can_see,
+    distance_between,
+    follow_field,
+    front_left_of,
+    front_of,
+    heading_relative_to,
+    is_in_region,
+    left_edge_of,
+    oriented_point_relative_to,
+    region_visible_from,
+    relative_heading,
+    right_edge_of,
+    visible_region_of,
+)
+from repro.core.regions import CircularRegion, SectorRegion
+from repro.core.vectorfields import ConstantVectorField
+
+
+@pytest.fixture
+def car_like():
+    return Object(At((0, 0)), Facing(0.0), width=2.0, height=4.0)
+
+
+class TestScalarOperators:
+    def test_distance(self):
+        assert distance_between(Vector(0, 0), Vector(3, 4)) == pytest.approx(5.0)
+
+    def test_angle(self):
+        assert angle_between(Vector(0, 0), Vector(0, 10)) == pytest.approx(0.0)
+        assert angle_between(Vector(0, 0), Vector(-10, 0)) == pytest.approx(math.pi / 2)
+
+    def test_relative_heading(self):
+        assert relative_heading(1.0, 0.25) == pytest.approx(0.75)
+        assert relative_heading(-3.0, 3.0) == pytest.approx(2 * math.pi - 6.0)
+
+    def test_apparent_heading(self):
+        # A car at (0, 10) facing North viewed from the origin is seen dead-on.
+        target = OrientedPoint(At((0, 10)), Facing(0.0))
+        assert apparent_heading(target, Vector(0, 0)) == pytest.approx(0.0)
+        # Same car viewed from the East appears rotated.
+        assert apparent_heading(target, Vector(10, 10)) == pytest.approx(-math.pi / 2)
+
+    def test_random_operands_build_distributions(self, rng):
+        value = distance_between(Vector(0, 0), Vector(Range(3, 3), 4.0) if False else Vector(3, 4))
+        assert value == pytest.approx(5.0)
+        random_distance = distance_between(Vector(0, 0), OrientedPoint(At((Range(3, 3), 4))).position)
+        assert isinstance(random_distance, Distribution)
+        assert random_distance.sample(rng) == pytest.approx(5.0)
+
+
+class TestPredicates:
+    def test_can_see_point_within_cone(self):
+        viewer = OrientedPoint(
+            At((0, 0)), Facing(0.0), With("viewAngle", math.radians(90)), With("viewDistance", 20)
+        )
+        assert can_see(viewer, Vector(0, 10))
+        assert can_see(viewer, Vector(5, 10))
+        assert not can_see(viewer, Vector(10, -10))
+        assert not can_see(viewer, Vector(0, 50))
+
+    def test_can_see_object_by_corner(self, car_like):
+        # The object's centre is outside the cone but a corner pokes in.
+        viewer = OrientedPoint(
+            At((0, 0)), Facing(0.0), With("viewAngle", math.radians(40)), With("viewDistance", 30)
+        )
+        target = Object(At((6, 12)), Facing(0.0), width=8.0, height=2.0)
+        assert can_see(viewer, target)
+
+    def test_is_in_region(self, car_like):
+        big = CircularRegion((0, 0), 10.0)
+        small = CircularRegion((0, 0), 1.0)
+        assert is_in_region(Vector(0, 5), big)
+        assert is_in_region(car_like, big)
+        # The car's corners poke out of the unit disc.
+        assert not is_in_region(car_like, small)
+
+
+class TestVisibleRegions:
+    def test_visible_region_shapes(self):
+        point_viewer = OrientedPoint(At((0, 0)), Facing(0.0), With("viewAngle", math.tau))
+        assert isinstance(visible_region_of(point_viewer), CircularRegion)
+        cone_viewer = OrientedPoint(At((0, 0)), Facing(0.0), With("viewAngle", math.radians(80)))
+        assert isinstance(visible_region_of(cone_viewer), SectorRegion)
+
+    def test_region_visible_from(self, rng):
+        road = CircularRegion((0, 30), 50.0)
+        viewer = OrientedPoint(At((0, 0)), Facing(0.0), With("viewAngle", math.radians(90)),
+                               With("viewDistance", 20))
+        visible = region_visible_from(road, viewer)
+        point = visible.uniform_point(rng)
+        assert road.contains_point(point)
+        assert visible_region_of(viewer).contains_point(point)
+
+
+class TestOrientedPointOperators:
+    def test_edge_points(self, car_like):
+        assert Vector.from_any(front_of(car_like).position).is_close_to(Vector(0, 2))
+        assert Vector.from_any(back_of(car_like).position).is_close_to(Vector(0, -2))
+        assert Vector.from_any(left_edge_of(car_like).position).is_close_to(Vector(-1, 0))
+        assert Vector.from_any(right_edge_of(car_like).position).is_close_to(Vector(1, 0))
+        assert Vector.from_any(front_left_of(car_like).position).is_close_to(Vector(-1, 2))
+        assert Vector.from_any(back_right_of(car_like).position).is_close_to(Vector(1, -2))
+
+    def test_edge_points_respect_heading(self):
+        rotated = Object(At((0, 0)), Facing(math.pi / 2), width=2.0, height=4.0)
+        # Facing West: the front edge is to the West.
+        assert Vector.from_any(front_of(rotated).position).is_close_to(Vector(-2, 0))
+
+    def test_relative_to_oriented_point(self):
+        base = OrientedPoint(At((10, 10)), Facing(math.pi / 2))
+        result = oriented_point_relative_to(Vector(0, 3), base)
+        assert Vector.from_any(result.position).is_close_to(Vector(7, 10))
+        assert result.heading == pytest.approx(math.pi / 2)
+
+    def test_follow_field(self):
+        field = ConstantVectorField(0.0)
+        result = follow_field(field, Vector(2, 2), 5.0)
+        assert Vector.from_any(result.position).is_close_to(Vector(2, 7))
+        assert result.heading == pytest.approx(0.0)
+
+    def test_beyond(self):
+        # 'beyond A by 0 @ 3 from B': 3 m further along the line of sight.
+        result = beyond_from(Vector(0, 10), Vector(0, 3), Vector(0, 0))
+        assert Vector.from_any(result).is_close_to(Vector(0, 13))
+        sideways = beyond_from(Vector(0, 10), Vector(1, 0), Vector(0, 0))
+        assert Vector.from_any(sideways).is_close_to(Vector(1, 10))
+
+    def test_heading_relative_to(self):
+        assert heading_relative_to(0.5, 0.7) == pytest.approx(1.2)
+
+
+class TestRandomOperands:
+    def test_can_see_with_random_viewer_defers(self, rng):
+        viewer = Object(At((Range(0, 0), 0)), Facing(0.0), With("viewDistance", 20),
+                        With("viewAngle", math.radians(90)))
+        target = Object(At((0, 10)), Facing(0.0))
+        condition = can_see(viewer, target)
+        assert isinstance(condition, Distribution)
+        assert concretize(condition, Sample(rng)) is True

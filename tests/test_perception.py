@@ -1,0 +1,227 @@
+"""Unit tests for the perception substrate: camera, renderer, detector, metrics."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import At, Facing, Object, ScenarioBuilder, Vector, With
+from repro.core.scene import Scene
+from repro.perception.augmentation import (
+    classical_augmentations,
+    gaussian_blur,
+    horizontal_flip,
+    random_crop,
+)
+from repro.perception.camera import Camera, CameraConfig
+from repro.perception.detector import CarDetector, DetectorConfig, find_proposals, split_box
+from repro.perception.features import profile_split_column, profile_valley_depth, proposal_features
+from repro.perception.metrics import (
+    average_precision_from_images,
+    iou,
+    match_detections,
+    precision_recall,
+)
+from repro.perception.renderer import LabeledImage, RendererConfig, render_scene, scene_difficulty
+from repro.perception.training import Dataset, TrainingConfig, evaluate_detector, train_detector
+
+
+def make_scene(car_positions, params=None, ego_heading=0.0):
+    """A scene with the ego at the origin and cars at given (x, y) positions."""
+    with ScenarioBuilder() as builder:
+        ego = builder.set_ego(Object(At((0, 0)), Facing(ego_heading), With("color", (0.9, 0.9, 0.9)),
+                                     width=2.0, height=4.5))
+        for position in car_positions:
+            Object(At(position), Facing(0.0), With("color", (0.95, 0.95, 0.95)),
+                   width=2.0, height=4.5, requireVisible=False, allowCollisions=True)
+    scenario = builder.scenario()
+    scenario.params.update(params or {})
+    return scenario.generate(seed=0)
+
+
+class TestCamera:
+    def test_object_ahead_projects_to_centre(self):
+        camera = Camera(Vector(0, 0), 0.0)
+        scene = make_scene([(0, 20)])
+        box = camera.project_object(scene.non_ego_objects[0])
+        assert box is not None
+        x1, y1, x2, y2 = box
+        center = (x1 + x2) / 2
+        assert center == pytest.approx(camera.config.image_width / 2, abs=2)
+
+    def test_nearer_objects_are_bigger(self):
+        camera = Camera(Vector(0, 0), 0.0)
+        scene = make_scene([(0, 10), (0, 40)])
+        near, far = (camera.project_object(obj) for obj in scene.non_ego_objects)
+        near_width = near[2] - near[0]
+        far_width = far[2] - far[0]
+        assert near_width > 2 * far_width
+
+    def test_objects_behind_or_far_are_dropped(self):
+        camera = Camera(Vector(0, 0), 0.0)
+        scene = make_scene([(0, -20), (0, 500)])
+        for scenic_object in scene.non_ego_objects:
+            assert camera.project_object(scenic_object) is None
+
+    def test_lateral_offset_moves_the_box(self):
+        camera = Camera(Vector(0, 0), 0.0)
+        scene = make_scene([(5, 20), (-5, 20)])
+        right, left = (camera.project_object(obj) for obj in scene.non_ego_objects)
+        assert (right[0] + right[2]) / 2 > camera.config.image_width / 2
+        assert (left[0] + left[2]) / 2 < camera.config.image_width / 2
+
+
+class TestRenderer:
+    def test_render_produces_boxes_for_visible_cars(self):
+        scene = make_scene([(0, 15), (3, 30)])
+        image = render_scene(scene, rng=random.Random(0))
+        assert image.pixels.shape == (64, 208)
+        assert len(image.boxes) == 2
+        assert all(0 <= box.visibility <= 1 for box in image.boxes)
+
+    def test_occlusion_reduces_visibility(self):
+        # Two cars nearly in line: the far one is largely hidden.
+        scene = make_scene([(0, 10), (0.7, 16)])
+        image = render_scene(scene, rng=random.Random(0))
+        far_box = max(image.boxes, key=lambda box: box.distance)
+        near_box = min(image.boxes, key=lambda box: box.distance)
+        assert near_box.visibility == pytest.approx(1.0)
+        assert far_box.visibility < 0.8
+
+    def test_difficulty_from_weather_and_time(self):
+        clear = make_scene([(0, 15)], params={"weather": "CLEAR", "time": 12 * 60})
+        stormy = make_scene([(0, 15)], params={"weather": "RAIN", "time": 0})
+        assert scene_difficulty(stormy) > scene_difficulty(clear)
+        clear_image = render_scene(clear, rng=random.Random(0))
+        stormy_image = render_scene(stormy, rng=random.Random(0))
+        assert stormy_image.difficulty > clear_image.difficulty
+        # Bad conditions add noise: higher pixel variance outside car regions.
+        assert stormy_image.pixels.std() > clear_image.pixels.std()
+
+
+class TestMetrics:
+    def test_iou_basic(self):
+        assert iou((0, 0, 10, 10), (0, 0, 10, 10)) == pytest.approx(1.0)
+        assert iou((0, 0, 10, 10), (20, 20, 30, 30)) == 0.0
+        assert iou((0, 0, 10, 10), (5, 0, 15, 10)) == pytest.approx(1 / 3)
+
+    def test_match_detections_counts(self):
+        truth = [(0, 0, 10, 10), (20, 0, 30, 10)]
+        predictions = [(1, 0, 11, 10), (50, 50, 60, 60)]
+        tp, fp, fn = match_detections(predictions, truth)
+        assert (tp, fp, fn) == (1, 1, 1)
+
+    def test_each_truth_matched_once(self):
+        truth = [(0, 0, 10, 10)]
+        predictions = [(0, 0, 10, 10), (1, 0, 11, 10)]
+        tp, fp, fn = match_detections(predictions, truth)
+        assert (tp, fp, fn) == (1, 1, 0)
+
+    def test_precision_recall_aggregation(self):
+        pairs = [
+            ([(0, 0, 10, 10)], [(0, 0, 10, 10)]),          # perfect image
+            ([(0, 0, 10, 10)], [(0, 0, 10, 10), (20, 0, 30, 10)]),  # one miss
+        ]
+        metrics = precision_recall(pairs)
+        assert metrics.precision == pytest.approx(1.0)
+        assert metrics.recall == pytest.approx(0.75)
+        assert metrics.images == 2
+
+    def test_average_precision_perfect_and_worst(self):
+        perfect = [([(0.9, (0, 0, 10, 10))], [(0, 0, 10, 10)])]
+        assert average_precision_from_images(perfect) == pytest.approx(1.0)
+        useless = [([(0.9, (50, 50, 60, 60))], [(0, 0, 10, 10)])]
+        assert average_precision_from_images(useless) == pytest.approx(0.0)
+
+
+class TestDetector:
+    def _labelled_image(self):
+        scene = make_scene([(0, 12), (4, 25)])
+        return render_scene(scene, rng=random.Random(1))
+
+    def test_proposals_cover_cars(self):
+        image = self._labelled_image()
+        proposals = find_proposals(image.pixels, DetectorConfig())
+        assert proposals
+        best = max(iou(p, image.boxes[0].box) for p in proposals)
+        assert best > 0.3
+
+    def test_feature_vector_shape_and_valley(self):
+        image = self._labelled_image()
+        features = proposal_features(image.pixels, image.boxes[0].box)
+        assert features.shape == (12,)
+        flat_profile = np.ones(20)
+        assert profile_valley_depth(flat_profile) == pytest.approx(0.0)
+        valley_profile = np.concatenate([np.ones(10), np.zeros(3), np.ones(10)])
+        assert profile_valley_depth(valley_profile) > 0.5
+        assert 10 <= profile_split_column(valley_profile) <= 12
+
+    def test_split_box_produces_overlapping_halves(self):
+        image = self._labelled_image()
+        left, right = split_box(image.pixels, (10, 10, 50, 30))
+        assert left[0] == 10 and right[2] == 50
+        assert left[2] > right[0]  # the halves overlap
+
+    def test_training_improves_over_untrained(self):
+        scenes = [make_scene([(x, 10 + 2 * x)]) for x in range(-3, 4)]
+        images = [render_scene(scene, rng=random.Random(i)) for i, scene in enumerate(scenes)]
+        dataset = Dataset("toy", images)
+        untrained = CarDetector()
+        trained = train_detector(dataset, TrainingConfig(iterations=300))
+        untrained_metrics = evaluate_detector(untrained, dataset)
+        trained_metrics = evaluate_detector(trained, dataset)
+        assert trained_metrics.recall >= untrained_metrics.recall
+        assert trained_metrics.precision >= 0.5
+
+    def test_state_dict_round_trip(self):
+        detector = CarDetector()
+        clone = CarDetector()
+        clone.load_state_dict(detector.state_dict())
+        assert np.allclose(clone.score_weights, detector.score_weights)
+
+
+class TestDatasets:
+    def test_subset_and_mixture_sizes(self):
+        images = [self._blank_image(i) for i in range(10)]
+        other = Dataset("other", [self._blank_image(100 + i) for i in range(10)])
+        dataset = Dataset("base", images)
+        assert len(dataset.subset(4)) == 4
+        mixture = dataset.mixed_with(other, 0.3, random.Random(0))
+        assert len(mixture) == 10
+
+    @staticmethod
+    def _blank_image(seed):
+        rng = np.random.default_rng(seed)
+        return LabeledImage(rng.random((8, 16)), [], {}, 0.0)
+
+
+class TestAugmentation:
+    def _image(self):
+        scene = make_scene([(0, 12)])
+        return render_scene(scene, rng=random.Random(0))
+
+    def test_crop_shrinks_image_and_keeps_boxes_inside(self):
+        image = self._image()
+        cropped = random_crop(image, random.Random(0))
+        assert cropped.pixels.shape[0] < image.pixels.shape[0]
+        for box in cropped.boxes:
+            assert 0 <= box.box[0] <= box.box[2] <= cropped.pixels.shape[1]
+
+    def test_flip_mirrors_boxes(self):
+        image = self._image()
+        flipped = horizontal_flip(image)
+        width = image.pixels.shape[1]
+        original = image.boxes[0].box
+        mirrored = flipped.boxes[0].box
+        assert mirrored[0] == pytest.approx(width - original[2])
+
+    def test_blur_preserves_shape(self):
+        image = self._image()
+        blurred = gaussian_blur(image, 1.5)
+        assert blurred.pixels.shape == image.pixels.shape
+        assert blurred.pixels.std() < image.pixels.std() + 1e-9
+
+    def test_classical_pipeline_runs(self):
+        augmented = classical_augmentations(self._image(), random.Random(3))
+        assert isinstance(augmented, LabeledImage)

@@ -1,0 +1,190 @@
+"""Unit tests for the pruning algorithms (Sec. 5.2, Algorithms 2-3).
+
+The key property throughout is *soundness*: pruning may only shrink the
+sampling region in ways that keep every position that could appear in a
+valid scene.  We check this by comparing the scenes produced with and
+without pruning and by direct containment arguments.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import At, Facing, In, Object, ScenarioBuilder, Workspace
+from repro.core.pruning import (
+    prune_by_containment,
+    prune_by_orientation,
+    prune_by_size,
+    prune_scenario,
+)
+from repro.core.regions import PolygonalRegion
+from repro.core.vectorfields import PolygonalVectorField
+from repro.core.vectors import Vector
+from repro.geometry.polygon import Polygon
+
+
+def strip(x0: float, x1: float, y0: float, y1: float) -> Polygon:
+    return Polygon([(x0, y0), (x1, y0), (x1, y1), (x0, y1)])
+
+
+class TestContainmentPruning:
+    def test_restriction_is_inside_eroded_container(self):
+        region_polygons = [strip(0, 100, 0, 10)]
+        container = [strip(0, 100, 0, 10)]
+        pruned = prune_by_containment(region_polygons, container, min_radius=2.0)
+        assert pruned
+        for polygon in pruned:
+            for vertex in polygon.vertices:
+                assert 2.0 - 1e-6 <= vertex.y <= 8.0 + 1e-6
+
+    def test_all_valid_centres_survive(self, rng):
+        # Any centre at distance >= min_radius from the container boundary must
+        # remain in the pruned region (soundness).
+        region_polygons = [strip(0, 50, 0, 10)]
+        container = [strip(0, 50, 0, 10)]
+        pruned = prune_by_containment(region_polygons, container, min_radius=1.0)
+        pruned_region = PolygonalRegion(pruned)
+        for _ in range(200):
+            x = rng.uniform(1.0, 49.0)
+            y = rng.uniform(1.0, 9.0)
+            assert pruned_region.contains_point((x, y))
+
+    def test_too_large_radius_empties_region(self):
+        pruned = prune_by_containment([strip(0, 10, 0, 4)], [strip(0, 10, 0, 4)], min_radius=3.0)
+        assert pruned == []
+
+
+class TestOrientationPruning:
+    def test_oncoming_constraint_keeps_only_paired_carriageways(self):
+        # An "oncoming" constraint (relative heading about pi) keeps only the
+        # parts of the map near an opposite-direction cell; the isolated cell
+        # with no oncoming partner within range disappears entirely.
+        cells = [
+            (strip(0, 20, 0, 10), 0.0),
+            (strip(0, 20, 15, 25), math.pi),
+            (strip(1000, 1020, 0, 10), 0.0),
+        ]
+        pruned = prune_by_orientation(
+            cells, (math.pi - 0.1, math.pi + 0.1), max_distance=30.0, deviation_bound=0.0
+        )
+        pruned_region = PolygonalRegion(pruned)
+        assert pruned_region.contains_point((10, 5))
+        assert pruned_region.contains_point((10, 20))
+        assert not pruned_region.contains_point((1010, 5))
+
+    def test_aligned_constraint_is_a_sound_no_op(self):
+        # Every cell is a compatible partner for itself when 0 is allowed, so
+        # nothing may be removed (only possibly restricted to reachable parts).
+        cells = [(strip(0, 20, 0, 10), 0.0), (strip(0, 20, 15, 25), 0.0)]
+        pruned = prune_by_orientation(cells, (-0.1, 0.1), max_distance=30.0, deviation_bound=0.0)
+        pruned_region = PolygonalRegion(pruned)
+        assert pruned_region.contains_point((10, 5))
+        assert pruned_region.contains_point((10, 20))
+
+    def test_deviation_bound_relaxes_the_constraint(self):
+        cells = [
+            (strip(0, 20, 0, 10), 0.0),
+            (strip(0, 20, 15, 25), math.pi - 0.5),
+        ]
+        constraint = (math.pi - 0.1, math.pi + 0.1)
+        strict = prune_by_orientation(cells, constraint, max_distance=30.0, deviation_bound=0.0)
+        relaxed = prune_by_orientation(cells, constraint, max_distance=30.0, deviation_bound=0.25)
+        strict_region = PolygonalRegion(strict) if strict else None
+        relaxed_region = PolygonalRegion(relaxed)
+        # With the +-2*delta slack the (pi - 0.5)-heading cell becomes compatible.
+        assert relaxed_region.contains_point((10, 20))
+        if strict_region is not None:
+            assert not strict_region.contains_point((10, 20))
+
+
+class TestSizePruning:
+    def test_narrow_isolated_cells_are_dropped(self):
+        cells = [
+            (strip(0, 100, 0, 10), 0.0),       # wide
+            (strip(1000, 1100, 0, 2), 0.0),    # narrow, isolated
+            (strip(0, 100, 12, 14), 0.0),      # narrow but near the wide cell
+        ]
+        pruned = prune_by_size(cells, max_distance=20.0, min_width=5.0)
+        pruned_region = PolygonalRegion(pruned)
+        assert pruned_region.contains_point((50, 5))
+        assert pruned_region.contains_point((50, 13))
+        assert not pruned_region.contains_point((1050, 1))
+
+
+class TestScenarioPruning:
+    def _build_scenario(self, road_region, workspace_region):
+        with ScenarioBuilder(workspace=Workspace(workspace_region)) as builder:
+            builder.set_ego(Object(At((50.0, 5.0)), Facing(-math.pi / 2), width=2, height=4))
+            Object(In(road_region), Facing(-math.pi / 2), width=2.0, height=4.0,
+                   requireVisible=False)
+        return builder.scenario()
+
+    def _road(self):
+        cells = [(strip(0, 100, 0, 10), -math.pi / 2)]
+        field = PolygonalVectorField("dir", cells)
+        return PolygonalRegion([polygon for polygon, _ in cells], orientation=field)
+
+    def test_prune_scenario_shrinks_area_and_stays_sound(self):
+        road = self._road()
+        workspace_region = PolygonalRegion([strip(0, 100, 0, 10)])
+        scenario = self._build_scenario(road, workspace_region)
+        report = prune_scenario(scenario)
+        assert report.objects_pruned == 1
+        assert report.area_after < report.area_before
+        assert "containment" in report.techniques
+        # Scenes can still be generated and all objects stay on the road.
+        rng = random.Random(0)
+        for _ in range(5):
+            scene = scenario.generate(rng=rng)
+            for scenic_object in scene.objects:
+                assert workspace_region.contains_object(scenic_object)
+
+    def test_pruning_reduces_rejections(self):
+        road = self._road()
+        workspace_region = PolygonalRegion([strip(0, 100, 0, 10)])
+
+        unpruned = self._build_scenario(road, workspace_region)
+        rng = random.Random(1)
+        unpruned_iterations = 0
+        for _ in range(20):
+            unpruned.generate(rng=rng)
+            unpruned_iterations += unpruned.last_stats.iterations
+
+        pruned = self._build_scenario(self._road(), workspace_region)
+        prune_scenario(pruned)
+        rng = random.Random(1)
+        pruned_iterations = 0
+        for _ in range(20):
+            pruned.generate(rng=rng)
+            pruned_iterations += pruned.last_stats.iterations
+
+        # The 4-m-long car on a 10-m-wide road straddles the edge often enough
+        # that erosion noticeably reduces wasted samples.
+        assert pruned_iterations < unpruned_iterations
+
+    def test_orientation_pruning_applies_through_driver(self):
+        # Two opposite carriageways; an oncoming constraint (centre pi) with a
+        # 15-m range keeps only the parts of each carriageway within 15 m of
+        # the other one.
+        cells = [
+            (strip(0, 40, 0, 10), -math.pi / 2),
+            (strip(0, 40, 20, 30), math.pi / 2),
+        ]
+        field = PolygonalVectorField("dir", cells)
+        road = PolygonalRegion([polygon for polygon, _ in cells], orientation=field)
+        workspace_region = PolygonalRegion([strip(0, 40, 0, 30)])
+        scenario = self._build_scenario(road, workspace_region)
+        report = prune_scenario(
+            scenario,
+            relative_heading_bound=0.1,
+            relative_heading_center=math.pi,
+            max_distance=15.0,
+            deviation_bound=0.0,
+        )
+        assert "orientation" in report.techniques
+        position_distribution = scenario.objects[-1].properties["position"]
+        # The far edge of the top carriageway (y close to 30) is more than
+        # 15 m from the bottom one and is pruned; the near edge survives.
+        assert not position_distribution.region.contains_point((20, 29))
+        assert position_distribution.region.contains_point((20, 21))

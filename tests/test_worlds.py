@@ -1,0 +1,183 @@
+"""Unit tests for the GTA-like road world and the Mars rover world."""
+
+import math
+
+import pytest
+
+from repro.core.distributions import Options, Sample, needs_sampling
+from repro.core.vectors import Vector
+from repro.worlds.gta.carlib import Car, CarColor, CarModel, EgoCar
+from repro.worlds.gta.interface import car_ahead_of_car, create_platoon_at, scenic_namespace
+from repro.worlds.gta.map_generation import RoadSpec, default_road_specs, generate_map
+from repro.worlds.gta.roads import RoadMap, default_map
+from repro.worlds.gta.weather import (
+    WEATHER_TYPES,
+    default_weather_distribution,
+    time_difficulty,
+    weather_difficulty,
+)
+from repro.worlds.mars import BigRock, Goal, GridPlanner, Pipe, Rock, Rover, mars_workspace
+from repro.worlds.registry import load_world, registered_worlds
+
+
+class TestMapGeneration:
+    def test_default_specs_form_a_grid(self):
+        specs = default_road_specs(size=400.0, spacing=200.0)
+        assert len(specs) == 4
+        headings = sorted(round(spec.heading, 6) for spec in specs)
+        assert headings == [round(-math.pi / 2, 6)] * 2 + [0.0] * 2
+
+    def test_cells_carry_opposite_carriageway_headings(self):
+        generated = generate_map([RoadSpec("test", Vector(0, 0), Vector(100, 0), 20.0)])
+        headings = {round(cell.heading, 6) for cell in generated.cells}
+        assert len(headings) == 2
+        assert generated.road_polygons[0].area == pytest.approx(100 * 20)
+
+    def test_road_map_regions_are_consistent(self, road_map, rng):
+        for _ in range(50):
+            point = road_map.road.uniform_point(rng)
+            assert road_map.road_surface.contains_point(point)
+            heading = road_map.road_direction.value_at(point)
+            assert -math.pi <= heading <= math.pi
+
+    def test_curb_runs_along_road_edges(self, road_map, rng):
+        point = road_map.curb.uniform_point(rng)
+        # Curb points sit on the boundary of the road surface.
+        assert any(
+            polygon.distance_to_point(point) < 1e-6
+            for polygon in road_map.road_surface.polygons
+        )
+
+
+class TestCarLibrary:
+    def test_thirteen_models(self):
+        assert len(CarModel.models) == 13
+        assert isinstance(CarModel.default_model(), Options)
+
+    def test_color_distribution_and_conversion(self, rng):
+        color = CarColor.default_color().sample(rng)
+        assert len(color) == 3 and all(0 <= channel <= 1 for channel in color)
+        assert CarColor.byte_to_real([255, 0, 127]) == pytest.approx((1.0, 0.0, 127 / 255))
+
+    def test_default_car_is_random_and_on_road(self, road_map, rng):
+        car = Car()
+        assert needs_sampling(car.properties["position"])
+        concrete = car._concretize(Sample(rng))
+        assert road_map.road.contains_point(concrete.position)
+        # Heading follows the road direction at the sampled position.
+        expected = road_map.road_direction.value_at(concrete.position)
+        assert concrete.heading == pytest.approx(expected)
+        # Size comes from the model.
+        assert concrete.width == pytest.approx(concrete.model.width)
+
+    def test_ego_car_has_fixed_model(self, rng):
+        concrete = EgoCar()._concretize(Sample(rng))
+        assert concrete.model.name == "ASEA"
+
+    def test_view_distance_follows_visible_distance(self, rng):
+        car = Car(visibleDistance=60.0)
+        concrete = car._concretize(Sample(rng))
+        assert concrete.viewDistance == pytest.approx(60.0)
+
+    def test_namespace_exports(self):
+        names = scenic_namespace()
+        for expected in ("road", "curb", "roadDirection", "Car", "EgoCar", "createPlatoonAt"):
+            assert expected in names
+
+
+class TestPlatoonHelpers:
+    def test_car_ahead_of_car(self, rng):
+        from repro.core import At, Facing
+
+        leader = Car(At((106, 95)), Facing(-math.pi / 2))
+        follower = car_ahead_of_car(leader, 3.0)
+        concrete = follower._concretize(Sample(rng))
+        leader_concrete = leader._concretize(Sample(rng))
+        distance = Vector.from_any(concrete.position).distance_to(leader_concrete.position)
+        assert distance > leader_concrete.height / 2
+
+    def test_create_platoon_shares_the_leader_model(self, rng):
+        from repro.core import At, Facing
+
+        leader = Car(At((106, 95)), Facing(-math.pi / 2))
+        platoon = create_platoon_at(leader, 4, dist=None)
+        assert len(platoon) == 4
+        sample = Sample(rng)
+        models = {car._concretize(sample).model.name for car in platoon}
+        assert len(models) == 1
+
+
+class TestWeather:
+    def test_weather_types_and_difficulty(self):
+        assert len(WEATHER_TYPES) == 14
+        assert weather_difficulty("RAIN") > weather_difficulty("CLEAR")
+        assert weather_difficulty("UNKNOWN") > 0
+
+    def test_time_difficulty_peaks_at_midnight(self):
+        assert time_difficulty(0) > time_difficulty(12 * 60)
+        assert time_difficulty(12 * 60) == pytest.approx(0.0)
+
+    def test_default_weather_prior_prefers_clear(self, rng):
+        samples = [default_weather_distribution().sample(rng) for _ in range(300)]
+        assert samples.count("RAIN") < samples.count("CLEAR") + samples.count("EXTRASUNNY")
+
+
+class TestMarsWorld:
+    def test_registry(self):
+        assert "gtaLib" in registered_worlds() and "mars" in registered_worlds()
+        namespace, workspace = load_world("mars")
+        assert "Rover" in namespace and workspace is not None
+        assert load_world("noSuchWorld") == (None, None)
+
+    def test_default_placement_is_random_in_arena(self, rng):
+        rock = Rock()
+        concrete = rock._concretize(Sample(rng))
+        assert mars_workspace().contains_point(concrete.position)
+
+    def test_object_sizes(self):
+        assert Rover._property_defaults()["width"]() == pytest.approx(0.5)
+        assert BigRock._property_defaults()["width"]() > Rock._property_defaults()["width"]()
+
+    def test_planner_straight_line_when_clear(self):
+        from repro.core import At, Facing, ScenarioBuilder
+
+        with ScenarioBuilder(workspace=mars_workspace()) as builder:
+            rover = builder.set_ego(Rover(At((0, -2)), Facing(0.0)))
+            Goal(At((0, 2)), Facing(0.0))
+        scene = builder.scenario().generate(seed=0, max_iterations=200)
+        result = GridPlanner(scene).plan_for_scene()
+        assert result.success
+        assert result.climbs == 0
+        assert result.length == pytest.approx(4.0, abs=0.5)
+
+    def test_planner_blocked_by_wall_of_pipes(self):
+        from repro.core import At, Facing, ScenarioBuilder
+
+        with ScenarioBuilder(workspace=mars_workspace()) as builder:
+            rover = builder.set_ego(Rover(At((0, -2)), Facing(0.0)))
+            Goal(At((0, 2)), Facing(0.0))
+            # A wall of pipes spanning the arena between rover and goal.
+            Pipe(At((-1.6, 0)), Facing(math.pi / 2), width=0.2, height=1.8,
+                 requireVisible=False, allowCollisions=True)
+            Pipe(At((0, 0)), Facing(math.pi / 2), width=0.2, height=1.8,
+                 requireVisible=False, allowCollisions=True)
+            Pipe(At((1.6, 0)), Facing(math.pi / 2), width=0.2, height=1.8,
+                 requireVisible=False, allowCollisions=True)
+        scene = builder.scenario().generate(seed=0, max_iterations=500)
+        result = GridPlanner(scene).plan_for_scene()
+        assert not result.success
+
+    def test_planner_prefers_climbing_over_long_detours(self):
+        from repro.core import At, Facing, ScenarioBuilder
+
+        with ScenarioBuilder(workspace=mars_workspace()) as builder:
+            rover = builder.set_ego(Rover(At((0, -2)), Facing(0.0)))
+            Goal(At((0, 2)), Facing(0.0))
+            # Rocks (climbable) across the middle.
+            for x in (-2.0, -1.0, 0.0, 1.0, 2.0):
+                Rock(At((x, 0)), Facing(0.0), width=1.0, height=0.3, requireVisible=False,
+                     allowCollisions=True)
+        scene = builder.scenario().generate(seed=0, max_iterations=500)
+        result = GridPlanner(scene).plan_for_scene()
+        assert result.success
+        assert result.climbs > 0
