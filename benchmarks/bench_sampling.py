@@ -8,6 +8,7 @@ mean/max iteration counts and wall-clock time per scene.
 
 from repro.experiments import scenarios
 from repro.experiments.pruning_eval import measure_gallery_sampling, sampling_table
+from repro.sampling import SamplerEngine
 
 from conftest import save_result
 
@@ -29,12 +30,16 @@ def test_gallery_sampling_benchmark(benchmark, record_result):
 
 
 def test_single_scenario_throughput(benchmark):
-    """Wall-clock time to draw one scene from the generic two-car scenario."""
-    scenario = scenarios.compile_scenario(scenarios.two_cars())
+    """Wall-clock time to draw one scene from the generic two-car scenario.
+
+    Uses a persistent :class:`SamplerEngine` so strategy setup is amortised
+    across draws, as a production consumer of the engine would.
+    """
+    engine = SamplerEngine(scenarios.compile_scenario(scenarios.two_cars()))
     seeds = iter(range(100000))
 
     def draw_one():
-        return scenario.generate(seed=next(seeds), max_iterations=20000)
+        return engine.sample(seed=next(seeds), max_iterations=20000)
 
     scene = benchmark(draw_one)
     assert len(scene.objects) == 3

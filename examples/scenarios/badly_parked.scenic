@@ -1,0 +1,6 @@
+# A badly-parked car just off the curb (Fig. 3 / Appendix A.4).
+import gtaLib
+ego = Car
+spot = OrientedPoint on visible curb
+badAngle = Uniform(1.0, -1.0) * (10, 20) deg
+Car left of spot by 0.5, facing badAngle relative to roadDirection

@@ -1,0 +1,20 @@
+# Three lanes of bumper-to-bumper traffic (Fig. 1 / Appendix A.11) — the
+# stress test for the pruning techniques of Sec. 5.2.
+import gtaLib
+depth = 4
+laneGap = 3.5
+carGap = (1, 3)
+laneShift = (-2, 2)
+wiggle = (-5 deg, 5 deg)
+modelDist = CarModel.defaultModel()
+
+def createLaneAt(car):
+    createPlatoonAt(car, depth, dist=carGap, wiggle=wiggle, model=modelDist)
+
+ego = Car with visibleDistance 60
+leftCar = carAheadOfCar(ego, laneShift + carGap, offsetX=-laneGap, wiggle=wiggle)
+createLaneAt(leftCar)
+midCar = carAheadOfCar(ego, resample(carGap), wiggle=wiggle)
+createLaneAt(midCar)
+rightCar = carAheadOfCar(ego, resample(laneShift) + resample(carGap), offsetX=laneGap, wiggle=wiggle)
+createLaneAt(rightCar)

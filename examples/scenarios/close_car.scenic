@@ -1,0 +1,5 @@
+# The 'close car' retraining scenario of Table 8: a visible car within 15 m.
+import gtaLib
+ego = EgoCar
+c = Car visible, with roadDeviation (-10 deg, 10 deg)
+require (distance to c) <= 15

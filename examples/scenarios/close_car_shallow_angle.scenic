@@ -1,0 +1,6 @@
+# The 'close car at shallow angle' retraining scenario of Table 8.
+import gtaLib
+ego = EgoCar
+c = Car visible, with roadDeviation (-10 deg, 10 deg)
+require (distance to c) <= 15
+require abs(relative heading of c) <= 15 deg

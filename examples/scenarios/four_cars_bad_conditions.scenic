@@ -1,0 +1,11 @@
+# Four cars at midnight in the rain — the 'bad road conditions'
+# specialisation of the generic scenario (Sec. 6.2).
+import gtaLib
+param weather = 'RAIN'
+param time = 0
+wiggle = (-10 deg, 10 deg)
+ego = EgoCar with roadDeviation wiggle
+Car visible, with roadDeviation resample(wiggle)
+Car visible, with roadDeviation resample(wiggle)
+Car visible, with roadDeviation resample(wiggle)
+Car visible, with roadDeviation resample(wiggle)

@@ -1,0 +1,12 @@
+# A plain Mars rubble field: a rover, a goal region ahead, and scattered
+# debris with no engineered bottleneck — the easy-terrain baseline.
+import mars
+ego = Rover at 0 @ -2
+goal = Goal at (-2, 2) @ (2, 2.5)
+BigRock
+Pipe
+Pipe
+Rock
+Rock
+Rock
+Rock

@@ -1,0 +1,5 @@
+# A car 20-40 m ahead, roughly facing the camera (Appendix A.5).
+import gtaLib
+ego = Car
+car2 = Car offset by (-10, 10) @ (20, 40), with viewAngle 30 deg
+require car2 can see ego

@@ -1,0 +1,8 @@
+# One car partially occluding another (Fig. 8 / Appendix A.8): the scenario
+# behind the rare-events retraining experiment of Sec. 6.3.
+import gtaLib
+wiggle = (-10 deg, 10 deg)
+ego = EgoCar with roadDeviation wiggle
+c = Car visible, with roadDeviation resample(wiggle)
+leftRight = Uniform(1.0, -1.0) * (1.25, 2.75)
+Car beyond c by leftRight @ (4, 10), with roadDeviation resample(wiggle)

@@ -1,0 +1,9 @@
+# Perception stress test in the style of the 'Driving in the Matrix'
+# baseline (Sec. 6.3): many cars at loose orientations crowding the view.
+import gtaLib
+ego = EgoCar with viewDistance 60, with viewAngle 80 deg
+Car visible, with roadDeviation (-30 deg, 30 deg)
+Car visible, with roadDeviation (-30 deg, 30 deg)
+Car visible, with roadDeviation (-30 deg, 30 deg)
+Car visible, with roadDeviation (-30 deg, 30 deg)
+Car visible, with roadDeviation (-30 deg, 30 deg)

@@ -1,0 +1,6 @@
+# A daytime platoon of cars sharing one model (Appendix A.10).
+import gtaLib
+param time = (8, 20) * 60
+ego = Car with visibleDistance 60
+c2 = Car visible
+platoon = createPlatoonAt(c2, 5, dist=(2, 8))

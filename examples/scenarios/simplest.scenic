@@ -1,0 +1,5 @@
+# The simplest interesting scenario (Appendix A.1): an ego car and one other
+# car, both placed uniformly on the road facing the road direction.
+import gtaLib
+ego = Car
+Car

@@ -1,0 +1,6 @@
+# One visible car wiggling within 10 degrees of the road direction
+# (the generic one-car scenario of Sec. 6.2).
+import gtaLib
+wiggle = (-10 deg, 10 deg)
+ego = EgoCar with roadDeviation wiggle
+Car visible, with roadDeviation resample(wiggle)

@@ -1,0 +1,6 @@
+# The generic two-car scenario (Appendix A.7).
+import gtaLib
+wiggle = (-10 deg, 10 deg)
+ego = EgoCar with roadDeviation wiggle
+Car visible, with roadDeviation resample(wiggle)
+Car visible, with roadDeviation resample(wiggle)

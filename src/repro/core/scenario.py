@@ -2,11 +2,13 @@
 
 A :class:`Scenario` is the compiled form of a Scenic program: the objects it
 created (with possibly-random properties), the ego, the global parameters,
-the declared requirements and the workspace.  ``Scenario.generate`` performs
-rejection sampling: it repeatedly draws a joint sample of all random values,
-instantiates concrete objects (applying mutation noise), and accepts the
-scene only if the built-in requirements (containment, non-collision,
-visibility — Sec. 3) and all user requirements hold.
+the declared requirements and the workspace.  ``Scenario.generate`` samples
+a scene by rejection: a joint sample of all random values is drawn,
+concrete objects are instantiated (applying mutation noise), and the scene
+is accepted only if the built-in requirements (containment, non-collision,
+visibility — Sec. 3) and all user requirements hold.  The sampling loop
+itself lives in the pluggable engine of :mod:`repro.sampling`;
+``generate``/``generate_batch`` are thin wrappers over it.
 
 :class:`ScenarioBuilder` is the Python-level front end: a context manager
 that collects objects, the ego, parameters and requirements as they are
@@ -16,13 +18,11 @@ created, mirroring what evaluating a Scenic program does.
 from __future__ import annotations
 
 import random as _random
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from .context import ScenarioContext, pop_context, push_context
-from .distributions import Sample, concretize
-from .errors import InvalidScenarioError, RejectSample, RejectionError
+from .errors import InvalidScenarioError
 from .objects import Object
 from .requirements import Requirement
 from .scene import Scene
@@ -31,7 +31,13 @@ from .workspace import Workspace
 
 @dataclass
 class GenerationStats:
-    """Bookkeeping about one call to ``Scenario.generate``."""
+    """Bookkeeping about one scene draw (one ``Scenario.generate`` call).
+
+    ``iterations`` counts full candidate scenes; ``component_redraws`` counts
+    partial re-draws of independent object groups performed by the
+    dependency-aware strategies in :mod:`repro.sampling` (always 0 for plain
+    rejection sampling).
+    """
 
     iterations: int = 0
     rejections_containment: int = 0
@@ -39,6 +45,7 @@ class GenerationStats:
     rejections_visibility: int = 0
     rejections_user: int = 0
     rejections_sampling: int = 0
+    component_redraws: int = 0
     elapsed_seconds: float = 0.0
 
     @property
@@ -74,6 +81,7 @@ class Scenario:
         self.requirements: List[Requirement] = list(requirements or [])
         self.workspace = workspace if workspace is not None else Workspace()
         self.last_stats: Optional[GenerationStats] = None
+        self._engine_cache: Dict[Any, Any] = {}
 
     # -- construction helpers ---------------------------------------------------
 
@@ -96,32 +104,33 @@ class Scenario:
         max_iterations: int = 2000,
         rng: Optional[_random.Random] = None,
         seed: Optional[int] = None,
+        strategy: Union[str, Any] = "rejection",
+        **strategy_options: Any,
     ) -> Scene:
         """Sample one scene satisfying all requirements.
 
-        Raises :class:`RejectionError` if no valid scene is found within
+        A thin wrapper over :class:`repro.sampling.SamplerEngine`: *strategy*
+        selects a registered sampling strategy (``"rejection"`` — the
+        default, draw-for-draw identical to the historical behaviour —
+        ``"pruning"``, ``"batch"`` or ``"parallel"``) and *strategy_options*
+        are forwarded to it.  Engines are cached per (strategy, options), so
+        bind-time analysis (the pruning pass, the dependency graph) runs
+        once per scenario rather than once per call.  Raises
+        :class:`RejectionError` if no valid scene is found within
         *max_iterations* candidate samples.  Statistics about the run are
         stored in :attr:`last_stats`.
+
+        .. warning:: ``strategy="pruning"`` rewrites the prunable objects'
+           sampling regions *in place* (sound — only volume that can never
+           yield a valid scene is removed, see Sec. 5.2).  Compile a fresh
+           scenario if you need an unpruned baseline of the same program.
         """
-        if rng is None:
-            rng = _random.Random(seed)
-        stats = GenerationStats()
-        start_time = time.perf_counter()
-        scene: Optional[Scene] = None
-        for iteration in range(1, max_iterations + 1):
-            stats.iterations = iteration
-            try:
-                scene = self._sample_candidate(rng, stats)
-            except RejectSample:
-                stats.rejections_sampling += 1
-                continue
-            if scene is not None:
-                break
-        stats.elapsed_seconds = time.perf_counter() - start_time
-        self.last_stats = stats
-        if scene is None:
-            raise RejectionError(max_iterations)
-        return scene
+        engine = self._engine_for(strategy, strategy_options)
+        try:
+            return engine.sample(max_iterations=max_iterations, rng=rng, seed=seed)
+        finally:
+            if engine.last_stats is not None:
+                self.last_stats = engine.last_stats
 
     def generate_batch(
         self,
@@ -129,59 +138,52 @@ class Scenario:
         max_iterations: int = 2000,
         rng: Optional[_random.Random] = None,
         seed: Optional[int] = None,
+        strategy: Union[str, Any] = "rejection",
+        **strategy_options: Any,
     ) -> List[Scene]:
-        """Sample *count* independent scenes."""
-        if rng is None:
-            rng = _random.Random(seed)
-        return [self.generate(max_iterations=max_iterations, rng=rng) for _ in range(count)]
+        """Sample *count* independent scenes.
+
+        Returns a :class:`repro.sampling.SceneBatch` — a ``list`` of scenes
+        whose ``stats`` attribute aggregates the :class:`GenerationStats` of
+        the *whole* batch; :attr:`last_stats` is set to the batch-wide total
+        (not just the final scene's stats), also when a draw fails mid-batch.
+        """
+        engine = self._engine_for(strategy, strategy_options)
+        try:
+            return engine.sample_batch(count, max_iterations=max_iterations, rng=rng, seed=seed)
+        finally:
+            if engine.last_stats is not None:
+                self.last_stats = engine.last_stats
+
+    def _engine_for(self, strategy: Union[str, Any], strategy_options: Dict[str, Any]):
+        """A cached :class:`~repro.sampling.SamplerEngine` for this scenario.
+
+        Caching (by strategy name and options) preserves the engine's
+        amortisation of bind-time analysis across repeated ``generate``
+        calls.  Strategy *instances* and unhashable options are not cached —
+        the caller manages those lifetimes.
+        """
+        from ..sampling import SamplerEngine  # local import: sampling builds on core
+
+        if isinstance(strategy, str):
+            try:
+                key = (strategy, tuple(sorted(strategy_options.items())))
+                hash(key)
+            except TypeError:
+                key = None
+            if key is not None:
+                engine = self._engine_cache.get(key)
+                if engine is None:
+                    engine = SamplerEngine(self, strategy=strategy, **strategy_options)
+                    self._engine_cache[key] = engine
+                return engine
+        return SamplerEngine(self, strategy=strategy, **strategy_options)
 
     def _sample_candidate(self, rng: _random.Random, stats: GenerationStats) -> Optional[Scene]:
         """Draw one candidate scene; return it if valid, ``None`` if rejected."""
-        sample = Sample(rng)
-        concrete_objects = [scenic_object._concretize(sample) for scenic_object in self.objects]
-        concrete_ego = self.ego._concretize(sample)
-        concrete_params = {name: concretize(value, sample) for name, value in self.params.items()}
+        from ..sampling import draw_candidate
 
-        if not self._check_builtin_requirements(concrete_objects, concrete_ego, stats):
-            return None
-        for requirement in self.requirements:
-            if not requirement.should_enforce(rng):
-                continue
-            if not requirement.holds_in(sample):
-                stats.rejections_user += 1
-                return None
-        return Scene(concrete_objects, concrete_ego, concrete_params, self.workspace)
-
-    def _check_builtin_requirements(
-        self, concrete_objects: List[Object], concrete_ego: Object, stats: GenerationStats
-    ) -> bool:
-        """The three default requirements of Sec. 3.
-
-        All objects must be contained in the workspace, must not intersect
-        each other (unless ``allowCollisions``), and must be visible from the
-        ego (unless ``requireVisible`` is disabled).
-        """
-        from .operators import _can_see  # concrete implementation
-
-        workspace_region = self.workspace.region
-        for scenic_object in concrete_objects:
-            if not self.workspace.is_unbounded and not workspace_region.contains_object(scenic_object):
-                stats.rejections_containment += 1
-                return False
-        for index, first in enumerate(concrete_objects):
-            for second in concrete_objects[index + 1:]:
-                if first.allowCollisions or second.allowCollisions:
-                    continue
-                if first.intersects(second):
-                    stats.rejections_collision += 1
-                    return False
-        for scenic_object in concrete_objects:
-            if scenic_object is concrete_ego:
-                continue
-            if scenic_object.requireVisible and not _can_see(concrete_ego, scenic_object):
-                stats.rejections_visibility += 1
-                return False
-        return True
+        return draw_candidate(self, rng, stats)
 
     # -- misc -------------------------------------------------------------------
 

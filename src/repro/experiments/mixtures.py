@@ -67,18 +67,31 @@ def run_mixture_sweep(
     runs: int = 3,
     seed: int = 0,
     training_config: Optional[TrainingConfig] = None,
+    strategy: str = "rejection",
 ) -> MixtureSweepResult:
-    """The Table 10 sweep: replace ``fraction`` of X_twocar with X_overlap."""
+    """The Table 10 sweep: replace ``fraction`` of X_twocar with X_overlap.
+
+    *strategy* picks the :mod:`repro.sampling` strategy used to generate the
+    four datasets.
+    """
     train_count = max(20, int(round(1000 * scale)))
     test_count = max(10, int(round(400 * scale)))
 
     twocar_scenario = scenarios.compile_scenario(scenarios.two_cars())
     overlap_scenario = scenarios.compile_scenario(scenarios.overlapping_cars())
 
-    x_twocar = Dataset.from_scenario(twocar_scenario, train_count, "X_twocar", seed=seed)
-    x_overlap = Dataset.from_scenario(overlap_scenario, train_count, "X_overlap", seed=seed + 1)
-    t_twocar = Dataset.from_scenario(twocar_scenario, test_count, "T_twocar", seed=seed + 2)
-    t_overlap = Dataset.from_scenario(overlap_scenario, test_count, "T_overlap", seed=seed + 3)
+    x_twocar = Dataset.from_scenario(
+        twocar_scenario, train_count, "X_twocar", seed=seed, strategy=strategy
+    )
+    x_overlap = Dataset.from_scenario(
+        overlap_scenario, train_count, "X_overlap", seed=seed + 1, strategy=strategy
+    )
+    t_twocar = Dataset.from_scenario(
+        twocar_scenario, test_count, "T_twocar", seed=seed + 2, strategy=strategy
+    )
+    t_overlap = Dataset.from_scenario(
+        overlap_scenario, test_count, "T_overlap", seed=seed + 3, strategy=strategy
+    )
 
     rows: List[MixtureSweepRow] = []
     for fraction in mixtures:
@@ -166,13 +179,19 @@ class IouDistributionResult:
         return format_table("IoU bin", ["X_twocar", "X_overlap"], rows)
 
 
-def run_iou_distribution(scale: float = 0.1, seed: int = 0) -> IouDistributionResult:
+def run_iou_distribution(
+    scale: float = 0.1, seed: int = 0, strategy: str = "rejection"
+) -> IouDistributionResult:
     """Regenerate Fig. 36 (per-image max IoU histograms of the two training sets)."""
     count = max(20, int(round(1000 * scale)))
     twocar_scenario = scenarios.compile_scenario(scenarios.two_cars())
     overlap_scenario = scenarios.compile_scenario(scenarios.overlapping_cars())
-    x_twocar = Dataset.from_scenario(twocar_scenario, count, "X_twocar", seed=seed)
-    x_overlap = Dataset.from_scenario(overlap_scenario, count, "X_overlap", seed=seed + 1)
+    x_twocar = Dataset.from_scenario(
+        twocar_scenario, count, "X_twocar", seed=seed, strategy=strategy
+    )
+    x_overlap = Dataset.from_scenario(
+        overlap_scenario, count, "X_overlap", seed=seed + 1, strategy=strategy
+    )
 
     twocar_values = [max_pairwise_iou(image.boxes) for image in x_twocar.images]
     overlap_values = [max_pairwise_iou(image.boxes) for image in x_overlap.images]

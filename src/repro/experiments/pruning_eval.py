@@ -13,10 +13,10 @@ from __future__ import annotations
 import math
 import random as _random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from ..core.pruning import prune_scenario
 from ..core.scenario import Scenario
+from ..sampling import PruningAwareSampler, SamplerEngine, SamplingStrategy
 from . import scenarios
 from .reporting import TableRow, format_table, mean_and_spread
 
@@ -55,16 +55,27 @@ def measure_sampling(
     seed: int = 0,
     max_iterations: int = 20000,
     name: str = "scenario",
+    strategy: Union[str, SamplingStrategy] = "rejection",
+    **strategy_options,
 ) -> SamplingMeasurement:
-    """Generate *samples* scenes and record the iteration counts and time."""
+    """Generate *samples* scenes and record the iteration counts and time.
+
+    Sampling goes through :class:`repro.sampling.SamplerEngine`, so any
+    registered strategy (``"rejection"``, ``"pruning"``, ``"batch"``,
+    ``"parallel"``) can be measured; per-scene diagnostics come from the
+    engine's aggregate stats.
+    """
+    engine = SamplerEngine(scenario, strategy=strategy, **strategy_options)
     rng = _random.Random(seed)
     iterations: List[float] = []
     times: List[float] = []
+    # Read each draw's stats from last_stats rather than the aggregate's
+    # per-scene history, which is bounded and would silently truncate very
+    # large measurement runs.
     for _ in range(samples):
-        scenario.generate(max_iterations=max_iterations, rng=rng)
-        stats = scenario.last_stats
-        iterations.append(stats.iterations)
-        times.append(stats.elapsed_seconds)
+        engine.sample(max_iterations=max_iterations, rng=rng)
+        iterations.append(float(engine.last_stats.iterations))
+        times.append(engine.last_stats.elapsed_seconds)
     return SamplingMeasurement(
         scenario_name=name,
         mean_iterations=sum(iterations) / len(iterations),
@@ -74,12 +85,26 @@ def measure_sampling(
     )
 
 
-def measure_gallery_sampling(samples: int = 5, seed: int = 0) -> List[SamplingMeasurement]:
+def measure_gallery_sampling(
+    samples: int = 5,
+    seed: int = 0,
+    strategy: Union[str, SamplingStrategy] = "rejection",
+    **strategy_options,
+) -> List[SamplingMeasurement]:
     """Sampling statistics for every gallery scenario (Appendix A)."""
     measurements = []
     for name, source in scenarios.GALLERY.items():
         scenario = scenarios.compile_scenario(source)
-        measurements.append(measure_sampling(scenario, samples=samples, seed=seed, name=name))
+        measurements.append(
+            measure_sampling(
+                scenario,
+                samples=samples,
+                seed=seed,
+                name=name,
+                strategy=strategy,
+                **strategy_options,
+            )
+        )
     return measurements
 
 
@@ -96,20 +121,24 @@ def compare_pruning(
     """Compare iteration counts with and without pruning for one scenario.
 
     The scenario is compiled twice so the pruned copy's modified regions do
-    not affect the unpruned baseline.
+    not affect the unpruned baseline.  The pruned measurement goes through
+    :class:`repro.sampling.PruningAwareSampler`, whose one-time pruning pass
+    produces the :class:`~repro.core.pruning.PruningReport` reported here.
     """
     unpruned = scenarios.compile_scenario(scenario_source)
     baseline = measure_sampling(unpruned, samples=samples, seed=seed, name=name)
 
     pruned_scenario = scenarios.compile_scenario(scenario_source)
-    report = prune_scenario(
-        pruned_scenario,
+    sampler = PruningAwareSampler(
         relative_heading_bound=relative_heading_bound,
         max_distance=max_distance,
         deviation_bound=deviation_bound,
         min_configuration_width=min_configuration_width,
     )
-    pruned = measure_sampling(pruned_scenario, samples=samples, seed=seed, name=f"{name}+pruning")
+    pruned = measure_sampling(
+        pruned_scenario, samples=samples, seed=seed, name=f"{name}+pruning", strategy=sampler
+    )
+    report = sampler.report
 
     return PruningComparison(
         scenario_name=name,

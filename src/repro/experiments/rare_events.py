@@ -81,8 +81,13 @@ class RareEventsResult:
         return format_table("Mixture", ["T_matrix AP", "T_overlap AP"], rows)
 
 
-def build_datasets(scale: float, seed: int = 0) -> Dict[str, Dataset]:
-    """The four datasets of the experiment (training and test, matrix and overlap)."""
+def build_datasets(scale: float, seed: int = 0, strategy: str = "rejection") -> Dict[str, Dataset]:
+    """The four datasets of the experiment (training and test, matrix and overlap).
+
+    *strategy* selects the :mod:`repro.sampling` strategy used to draw every
+    scene; the default reproduces the historical rejection-sampling datasets
+    draw-for-draw.
+    """
     matrix_train_count = max(20, int(round(5000 * scale)))
     overlap_train_count = max(10, int(round(250 * scale * 4)))  # enough to draw mixtures from
     test_count = max(10, int(round(200 * scale * 2)))
@@ -91,10 +96,18 @@ def build_datasets(scale: float, seed: int = 0) -> Dict[str, Dataset]:
     overlap_scenario = scenarios.compile_scenario(scenarios.overlapping_cars())
 
     return {
-        "X_matrix": Dataset.from_scenario(matrix_scenario, matrix_train_count, "X_matrix", seed=seed),
-        "X_overlap": Dataset.from_scenario(overlap_scenario, overlap_train_count, "X_overlap", seed=seed + 1),
-        "T_matrix": Dataset.from_scenario(matrix_scenario, test_count, "T_matrix", seed=seed + 2),
-        "T_overlap": Dataset.from_scenario(overlap_scenario, test_count, "T_overlap", seed=seed + 3),
+        "X_matrix": Dataset.from_scenario(
+            matrix_scenario, matrix_train_count, "X_matrix", seed=seed, strategy=strategy
+        ),
+        "X_overlap": Dataset.from_scenario(
+            overlap_scenario, overlap_train_count, "X_overlap", seed=seed + 1, strategy=strategy
+        ),
+        "T_matrix": Dataset.from_scenario(
+            matrix_scenario, test_count, "T_matrix", seed=seed + 2, strategy=strategy
+        ),
+        "T_overlap": Dataset.from_scenario(
+            overlap_scenario, test_count, "T_overlap", seed=seed + 3, strategy=strategy
+        ),
     }
 
 
@@ -105,13 +118,14 @@ def run_rare_events_experiment(
     seed: int = 0,
     training_config: Optional[TrainingConfig] = None,
     compute_ap: bool = True,
+    strategy: str = "rejection",
 ) -> RareEventsResult:
     """Run the Table 6 experiment (and Table 9 if ``compute_ap``).
 
     ``replacement_fractions`` lists how much of the matrix training set is
     replaced by overlap images: ``(0.0, 0.05)`` reproduces Table 6's two rows.
     """
-    datasets = build_datasets(scale, seed)
+    datasets = build_datasets(scale, seed, strategy=strategy)
     outcomes: List[MixtureOutcome] = []
 
     for fraction in replacement_fractions:

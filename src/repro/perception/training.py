@@ -66,12 +66,22 @@ class Dataset:
         seed: int = 0,
         renderer: Optional[RendererConfig] = None,
         max_iterations: int = 4000,
+        strategy: str = "rejection",
+        **strategy_options,
     ) -> "Dataset":
-        """Sample *count* scenes from *scenario* and render them."""
+        """Sample *count* scenes from *scenario* and render them.
+
+        Scene generation goes through :class:`repro.sampling.SamplerEngine`,
+        so strategy setup (pruning, dependency analysis) is amortised over
+        the whole dataset rather than re-done per scene.
+        """
+        from ..sampling import SamplerEngine
+
+        engine = SamplerEngine(scenario, strategy=strategy, **strategy_options)
         rng = _random.Random(seed)
         images: List[LabeledImage] = []
         for _ in range(count):
-            scene = scenario.generate(max_iterations=max_iterations, rng=rng)
+            scene = engine.sample(max_iterations=max_iterations, rng=rng)
             images.append(render_scene(scene, renderer, rng))
         return Dataset(name, images)
 

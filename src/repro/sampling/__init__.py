@@ -1,0 +1,52 @@
+"""The pluggable scene-sampling subsystem.
+
+The paper's core loop — rejection sampling of scenes against declarative
+requirements (Sec. 5) — lives here as an engine with interchangeable
+strategies:
+
+* ``"rejection"`` (:class:`RejectionSampler`) — the seed behaviour, extracted;
+* ``"pruning"`` (:class:`PruningAwareSampler`) — Sec. 5.2 pruning first;
+* ``"batch"`` (:class:`BatchSampler`) — dependency-aware batched candidates
+  with partial resampling of independent object groups;
+* ``"parallel"`` (:class:`ParallelSampler`) — deterministic worker-pool
+  batches.
+
+See ``docs/sampling.md`` for the API guide.
+"""
+
+from .dependency import DependencyGraph, ObjectGroup
+from .engine import SamplerEngine
+from .stats import AggregateStats, SceneBatch, merge_generation_stats
+from .strategies import (
+    STRATEGIES,
+    BatchSampler,
+    ParallelSampler,
+    PruningAwareSampler,
+    RejectionSampler,
+    SamplingStrategy,
+    check_builtin_requirements,
+    check_user_requirements,
+    draw_candidate,
+    make_strategy,
+    register_strategy,
+)
+
+__all__ = [
+    "SamplerEngine",
+    "SamplingStrategy",
+    "RejectionSampler",
+    "PruningAwareSampler",
+    "BatchSampler",
+    "ParallelSampler",
+    "DependencyGraph",
+    "ObjectGroup",
+    "AggregateStats",
+    "SceneBatch",
+    "merge_generation_stats",
+    "STRATEGIES",
+    "register_strategy",
+    "make_strategy",
+    "draw_candidate",
+    "check_builtin_requirements",
+    "check_user_requirements",
+]

@@ -1,0 +1,181 @@
+"""Static dependency analysis over a scenario's random-value DAG.
+
+A scenario holds a DAG of :class:`~repro.core.distributions.Distribution`
+nodes (plus :class:`~repro.core.objects.Constructible` instances whose
+properties reference them).  Two objects are *dependent* when their property
+closures share a random node — e.g. two cars positioned relative to the same
+random spot, or a platoon whose cars share one model distribution.  Objects
+whose closures are disjoint form independent sub-trees of the joint sample:
+they can be drawn (and locally re-drawn after a rejection) separately
+without changing the induced distribution.
+
+:class:`DependencyGraph` computes this partition once per scenario so the
+batched strategies can
+
+* cache the analysis across thousands of candidate scenes,
+* identify *static* objects (no randomness at all), and
+* clear exactly one group's memoised values from a
+  :class:`~repro.core.distributions.Sample` to partially resample it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Set
+
+from ..core.distributions import Distribution, Sample, needs_sampling
+from ..core.objects import Constructible, Object
+from ..core.scenario import Scenario
+
+
+def _closure_of(value: Any, nodes: Dict[int, Any], visited: Set[int]) -> None:
+    """Collect every Distribution / Constructible reachable from *value*."""
+    key = id(value)
+    if key in visited:
+        return
+    visited.add(key)
+    if isinstance(value, Distribution):
+        nodes[key] = value
+        for dependency in value.dependencies():
+            _closure_of(dependency, nodes, visited)
+    elif isinstance(value, Constructible):
+        nodes[key] = value
+        for prop_value in value.properties.values():
+            _closure_of(prop_value, nodes, visited)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _closure_of(item, nodes, visited)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _closure_of(item, nodes, visited)
+
+
+def closure_nodes(value: Any) -> Dict[int, Any]:
+    """The id-keyed closure of Distribution/Constructible nodes under *value*."""
+    nodes: Dict[int, Any] = {}
+    _closure_of(value, nodes, set())
+    return nodes
+
+
+def _may_mutate(constructible: Constructible) -> bool:
+    """True when concretising *constructible* may consume mutation noise."""
+    scale = constructible.properties.get("mutationScale", 0.0)
+    if needs_sampling(scale):
+        return True
+    try:
+        return float(scale) != 0.0
+    except (TypeError, ValueError):
+        return True
+
+
+def _random_ids(nodes: Dict[int, Any]) -> Set[int]:
+    """Node ids whose concretisation draws from the RNG.
+
+    Distributions always do; a Constructible does when mutation noise is
+    enabled for it (its concrete copy then differs per draw, so anything
+    sharing it is coupled to that noise).
+    """
+    random_ids: Set[int] = set()
+    for key, node in nodes.items():
+        if isinstance(node, Distribution):
+            random_ids.add(key)
+        elif isinstance(node, Constructible) and _may_mutate(node):
+            random_ids.add(key)
+    return random_ids
+
+
+@dataclass
+class ObjectGroup:
+    """A maximal set of scenario objects coupled through shared random nodes."""
+
+    objects: List[Object]
+    nodes: Dict[int, Any] = field(default_factory=dict)
+    random_ids: Set[int] = field(default_factory=set)
+
+    @property
+    def is_static(self) -> bool:
+        """No randomness at all: the group concretises identically every draw."""
+        return not self.random_ids
+
+    def forget_in(self, sample: Sample) -> None:
+        """Erase this group's memoised values so the next draw resamples it."""
+        for node in self.nodes.values():
+            sample.forget_value_for(node)
+
+    def __repr__(self) -> str:
+        return f"ObjectGroup({len(self.objects)} objects, {len(self.random_ids)} random nodes)"
+
+
+class DependencyGraph:
+    """The independence structure of a scenario's joint sample."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self._object_closures: Dict[int, Dict[int, Any]] = {}
+        self._object_random_ids: Dict[int, Set[int]] = {}
+        for scenic_object in scenario.objects:
+            closure = closure_nodes(scenic_object)
+            self._object_closures[id(scenic_object)] = closure
+            self._object_random_ids[id(scenic_object)] = _random_ids(closure)
+        self.groups: List[ObjectGroup] = self._partition(scenario.objects)
+        self._group_by_object: Dict[int, ObjectGroup] = {
+            id(member): group for group in self.groups for member in group.objects
+        }
+
+    # -- construction -----------------------------------------------------------
+
+    def _partition(self, objects: Sequence[Object]) -> List[ObjectGroup]:
+        """Union-find over objects: sharing any random node merges two groups."""
+        parent = list(range(len(objects)))
+
+        def find(index: int) -> int:
+            while parent[index] != index:
+                parent[index] = parent[parent[index]]
+                index = parent[index]
+            return index
+
+        def union(first: int, second: int) -> None:
+            root_first, root_second = find(first), find(second)
+            if root_first != root_second:
+                parent[root_second] = root_first
+
+        owner_by_node: Dict[int, int] = {}
+        for index, scenic_object in enumerate(objects):
+            for node_id in self._object_random_ids[id(scenic_object)]:
+                if node_id in owner_by_node:
+                    union(owner_by_node[node_id], index)
+                else:
+                    owner_by_node[node_id] = index
+
+        grouped: Dict[int, ObjectGroup] = {}
+        for index, scenic_object in enumerate(objects):
+            root = find(index)
+            group = grouped.setdefault(root, ObjectGroup(objects=[]))
+            group.objects.append(scenic_object)
+            group.nodes.update(self._object_closures[id(scenic_object)])
+            group.random_ids.update(self._object_random_ids[id(scenic_object)])
+        # Preserve the scenario's object order group-by-group (first member wins).
+        return sorted(grouped.values(), key=lambda g: objects.index(g.objects[0]))
+
+    # -- queries ----------------------------------------------------------------
+
+    def group_of(self, scenic_object: Object) -> ObjectGroup:
+        try:
+            return self._group_by_object[id(scenic_object)]
+        except KeyError:
+            raise KeyError(f"{scenic_object!r} is not part of this scenario") from None
+
+    def independent(self, first: Object, second: Object) -> bool:
+        """True when the two objects share no random node (distinct groups)."""
+        return self.group_of(first) is not self.group_of(second)
+
+    @property
+    def static_objects(self) -> List[Object]:
+        return [obj for group in self.groups if group.is_static for obj in group.objects]
+
+    def __repr__(self) -> str:
+        sizes = [len(group.objects) for group in self.groups]
+        return f"DependencyGraph({len(self.groups)} groups, sizes={sizes})"
+
+
+__all__ = ["DependencyGraph", "ObjectGroup", "closure_nodes"]

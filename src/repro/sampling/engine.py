@@ -1,0 +1,114 @@
+"""The sampler engine: one front door to every sampling strategy.
+
+``SamplerEngine`` binds a scenario to a strategy (by name or instance),
+amortises the strategy's one-time analysis across draws, and rolls all
+per-scene diagnostics up into an :class:`~repro.sampling.stats.AggregateStats`.
+
+Typical use::
+
+    engine = SamplerEngine(scenario, strategy="pruning", max_distance=30.0)
+    scene = engine.sample(seed=0)
+    batch = engine.sample_batch(100, seed=1)     # a SceneBatch (list + .stats)
+    engine.aggregate.rejection_breakdown()
+
+``Scenario.generate`` / ``generate_batch`` are thin wrappers over this class
+with the default ``"rejection"`` strategy, preserving the seed's behaviour
+draw-for-draw.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Any, List, Optional, Union
+
+from ..core.errors import RejectionError
+from ..core.scenario import GenerationStats, Scenario
+from ..core.scene import Scene
+from .stats import AggregateStats, SceneBatch
+from .strategies import SamplingStrategy, make_strategy
+
+
+class SamplerEngine:
+    """Samples scenes from one scenario through a pluggable strategy."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        strategy: Union[str, SamplingStrategy] = "rejection",
+        **strategy_options: Any,
+    ):
+        self.scenario = scenario
+        if isinstance(strategy, SamplingStrategy):
+            if strategy_options:
+                raise TypeError("strategy options only apply when the strategy is given by name")
+            self.strategy = strategy
+        else:
+            self.strategy = make_strategy(strategy, **strategy_options)
+        self.aggregate = AggregateStats()
+        self.last_stats: Optional[GenerationStats] = None
+        self._bound = False
+
+    # -- internals --------------------------------------------------------------
+
+    def _ensure_bound(self) -> None:
+        if not self._bound:
+            self.strategy.bind(self.scenario)
+            self._bound = True
+
+    @staticmethod
+    def _resolve_rng(rng: Optional[_random.Random], seed: Optional[int]) -> _random.Random:
+        return rng if rng is not None else _random.Random(seed)
+
+    # -- sampling ---------------------------------------------------------------
+
+    def sample(
+        self,
+        max_iterations: int = 2000,
+        rng: Optional[_random.Random] = None,
+        seed: Optional[int] = None,
+    ) -> Scene:
+        """Draw one accepted scene; raises :class:`RejectionError` on failure.
+
+        Per-draw statistics land in :attr:`last_stats` (also when the draw
+        fails) and are appended to :attr:`aggregate`.
+        """
+        self._ensure_bound()
+        rng = self._resolve_rng(rng, seed)
+        scene, stats = self.strategy.sample(self.scenario, max_iterations, rng)
+        self.last_stats = stats
+        self.aggregate.record(stats, self.strategy.name, accepted=scene is not None)
+        if scene is None:
+            raise RejectionError(max_iterations)
+        return scene
+
+    def sample_batch(
+        self,
+        count: int,
+        max_iterations: int = 2000,
+        rng: Optional[_random.Random] = None,
+        seed: Optional[int] = None,
+    ) -> SceneBatch:
+        """Draw *count* scenes, returning a :class:`SceneBatch` with batch stats.
+
+        If a draw exhausts its budget mid-batch, the :class:`RejectionError`
+        propagates but the stats of every draw made so far — including the
+        failing one — are still folded into :attr:`aggregate` and
+        :attr:`last_stats`.
+        """
+        self._ensure_bound()
+        rng = self._resolve_rng(rng, seed)
+        batch_stats = AggregateStats()
+        try:
+            scenes = self.strategy.sample_batch(
+                self.scenario, count, max_iterations, rng, batch_stats
+            )
+        finally:
+            self.aggregate.merge_from(batch_stats)
+            self.last_stats = batch_stats.combined()
+        return SceneBatch(scenes, batch_stats)
+
+    def __repr__(self) -> str:
+        return f"SamplerEngine({self.scenario!r}, strategy={self.strategy.name!r})"
+
+
+__all__ = ["SamplerEngine"]

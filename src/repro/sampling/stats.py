@@ -1,0 +1,147 @@
+"""Aggregated diagnostics for the sampling engine.
+
+``GenerationStats`` (defined in :mod:`repro.core.scenario`) describes a
+single scene draw.  The engine produces many scenes, possibly via different
+strategies, so :class:`AggregateStats` rolls per-scene stats up into totals,
+per-strategy breakdowns and acceptance rates.  Totals are accumulated as
+running sums so a long-lived engine stays O(1) in memory; a bounded
+per-scene history is kept for fine-grained diagnostics.  :class:`SceneBatch`
+is the result type of batched sampling: it *is* a list of scenes (so
+existing callers of ``Scenario.generate_batch`` keep working) but carries
+the aggregated statistics of the whole batch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..core.scenario import GenerationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.scene import Scene
+
+
+_COUNTER_FIELDS = (
+    "iterations",
+    "rejections_containment",
+    "rejections_collision",
+    "rejections_visibility",
+    "rejections_user",
+    "rejections_sampling",
+    "component_redraws",
+)
+
+
+def merge_generation_stats(into: GenerationStats, other: GenerationStats) -> GenerationStats:
+    """Add *other*'s counters (and elapsed time) into *into*, returning it."""
+    for name in _COUNTER_FIELDS:
+        setattr(into, name, getattr(into, name) + getattr(other, name, 0))
+    into.elapsed_seconds += other.elapsed_seconds
+    return into
+
+
+class AggregateStats:
+    """Roll-up of per-scene :class:`GenerationStats` across a sampling run.
+
+    Totals (:meth:`combined`, :meth:`by_strategy`, the ``total_*``
+    properties) are exact over every recorded draw.  :attr:`per_scene` keeps
+    the first *history_limit* ``(strategy, stats)`` entries only, so a
+    long-running engine does not grow without bound.
+    """
+
+    def __init__(self, history_limit: int = 10_000) -> None:
+        self.history_limit = history_limit
+        self.scenes = 0  # accepted scenes only
+        self.draws = 0  # every recorded draw, including failed ones
+        self.per_scene: List[Tuple[str, GenerationStats]] = []
+        self._combined = GenerationStats()
+        self._by_strategy: Dict[str, GenerationStats] = {}
+
+    def record(
+        self, stats: GenerationStats, strategy: str = "rejection", accepted: bool = True
+    ) -> None:
+        """Fold one draw's stats in; *accepted* is False for a failed draw."""
+        self.draws += 1
+        if accepted:
+            self.scenes += 1
+        merge_generation_stats(self._combined, stats)
+        merge_generation_stats(self._by_strategy.setdefault(strategy, GenerationStats()), stats)
+        if len(self.per_scene) < self.history_limit:
+            self.per_scene.append((strategy, stats))
+
+    def merge_from(self, other: "AggregateStats") -> None:
+        """Fold another roll-up (e.g. one batch's stats) into this one."""
+        self.scenes += other.scenes
+        self.draws += other.draws
+        merge_generation_stats(self._combined, other._combined)
+        for strategy, stats in other._by_strategy.items():
+            merge_generation_stats(
+                self._by_strategy.setdefault(strategy, GenerationStats()), stats
+            )
+        room = self.history_limit - len(self.per_scene)
+        if room > 0:
+            self.per_scene.extend(other.per_scene[:room])
+
+    # -- roll-ups ---------------------------------------------------------------
+
+    def combined(self) -> GenerationStats:
+        """All per-scene stats summed into a single :class:`GenerationStats`."""
+        return merge_generation_stats(GenerationStats(), self._combined)
+
+    def by_strategy(self) -> Dict[str, GenerationStats]:
+        """Per-strategy roll-up (useful when strategies are mixed or compared)."""
+        return {
+            strategy: merge_generation_stats(GenerationStats(), stats)
+            for strategy, stats in self._by_strategy.items()
+        }
+
+    @property
+    def total_iterations(self) -> int:
+        return self._combined.iterations
+
+    @property
+    def total_rejections(self) -> int:
+        return self._combined.total_rejections
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self._combined.elapsed_seconds
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Accepted scenes per candidate scene, over the whole run."""
+        if self.total_iterations <= 0:
+            return 0.0
+        return self.scenes / self.total_iterations
+
+    def rejection_breakdown(self) -> Dict[str, int]:
+        """Total rejections by cause, e.g. ``{"containment": 12, ...}``."""
+        return {
+            "containment": self._combined.rejections_containment,
+            "collision": self._combined.rejections_collision,
+            "visibility": self._combined.rejections_visibility,
+            "user": self._combined.rejections_user,
+            "sampling": self._combined.rejections_sampling,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregateStats({self.scenes} scenes, {self.total_iterations} iterations, "
+            f"acceptance={self.acceptance_rate:.3f})"
+        )
+
+
+class SceneBatch(list):
+    """A list of scenes plus the aggregated statistics of generating them.
+
+    Subclassing ``list`` keeps every existing consumer of
+    ``Scenario.generate_batch`` (which returned a plain ``List[Scene]``)
+    working unchanged while exposing :attr:`stats` on the result.
+    """
+
+    def __init__(self, scenes: List["Scene"], stats: AggregateStats):
+        super().__init__(scenes)
+        self.stats = stats
+
+
+__all__ = ["AggregateStats", "SceneBatch", "merge_generation_stats"]

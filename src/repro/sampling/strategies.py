@@ -1,0 +1,465 @@
+"""Pluggable scene-sampling strategies (the engine's interchangeable cores).
+
+Every strategy turns a :class:`~repro.core.scenario.Scenario` into accepted
+scenes; they differ in *how* candidates are proposed:
+
+* :class:`RejectionSampler` — the paper's plain rejection loop (Sec. 5),
+  extracted verbatim from the old ``Scenario.generate`` so the delegated
+  path is draw-for-draw identical to the seed behaviour.
+* :class:`PruningAwareSampler` — runs the Sec. 5.2 pruning pass over the
+  scenario once, shrinking the feasible regions, then rejection-samples the
+  pruned scenario.
+* :class:`BatchSampler` — amortises dependency analysis across the whole
+  run and exploits independence between objects: each independent group is
+  locally re-drawn until its *local* constraints (containment, intra-group
+  collision) hold, which is distribution-preserving because the joint prior
+  factorises over groups and those constraints touch one group only.
+  Cross-group constraints still trigger a full restart.
+* :class:`ParallelSampler` — fans a batch out over a worker pool.  Each
+  scene index gets its own deterministically derived RNG, so the merged
+  batch is a pure function of the seed, independent of worker count and
+  thread scheduling.
+
+Strategies are registered by name in :data:`STRATEGIES`; third-party code
+can plug in new ones with :func:`register_strategy`.
+"""
+
+from __future__ import annotations
+
+import random as _random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from ..core.distributions import Sample, concretize
+from ..core.errors import RejectSample, RejectionError
+from ..core.pruning import PruningReport, prune_scenario
+from ..core.scenario import GenerationStats, Scenario
+from ..core.scene import Scene
+from .dependency import DependencyGraph, ObjectGroup
+from .stats import AggregateStats
+
+# ---------------------------------------------------------------------------
+# The candidate-scene check, shared by all strategies
+# ---------------------------------------------------------------------------
+
+
+def contained_in_workspace(workspace, concrete_objects: List[Any], stats: GenerationStats) -> bool:
+    """Every object inside the workspace (counts a containment rejection)."""
+    if workspace.is_unbounded:
+        return True
+    workspace_region = workspace.region
+    for scenic_object in concrete_objects:
+        if not workspace_region.contains_object(scenic_object):
+            stats.rejections_containment += 1
+            return False
+    return True
+
+
+def no_pairwise_collisions(
+    concrete_objects: List[Any],
+    stats: GenerationStats,
+    pair_filter: Optional[Any] = None,
+) -> bool:
+    """No two collision-checked objects intersect (counts a collision rejection).
+
+    *pair_filter*, when given, receives the two indices and returns whether
+    that pair must be checked — the batch strategy uses it to split the
+    check into intra-group and cross-group halves without duplicating the
+    rejection semantics.
+    """
+    for index, first in enumerate(concrete_objects):
+        for jndex in range(index + 1, len(concrete_objects)):
+            second = concrete_objects[jndex]
+            if first.allowCollisions or second.allowCollisions:
+                continue
+            if pair_filter is not None and not pair_filter(index, jndex):
+                continue
+            if first.intersects(second):
+                stats.rejections_collision += 1
+                return False
+    return True
+
+
+def all_required_visible(
+    concrete_objects: List[Any], concrete_ego: Any, stats: GenerationStats
+) -> bool:
+    """Every ``requireVisible`` object is visible from the ego."""
+    from ..core.operators import _can_see  # concrete implementation
+
+    for scenic_object in concrete_objects:
+        if scenic_object is concrete_ego:
+            continue
+        if scenic_object.requireVisible and not _can_see(concrete_ego, scenic_object):
+            stats.rejections_visibility += 1
+            return False
+    return True
+
+
+def check_builtin_requirements(
+    scenario: Scenario,
+    concrete_objects: List[Any],
+    concrete_ego: Any,
+    stats: GenerationStats,
+) -> bool:
+    """The three default requirements of Sec. 3 (containment, collision, visibility)."""
+    return (
+        contained_in_workspace(scenario.workspace, concrete_objects, stats)
+        and no_pairwise_collisions(concrete_objects, stats)
+        and all_required_visible(concrete_objects, concrete_ego, stats)
+    )
+
+
+def check_user_requirements(
+    scenario: Scenario, sample: Sample, rng: _random.Random, stats: GenerationStats
+) -> bool:
+    """Evaluate the scenario's ``require`` statements against the joint sample."""
+    for requirement in scenario.requirements:
+        if not requirement.should_enforce(rng):
+            continue
+        if not requirement.holds_in(sample):
+            stats.rejections_user += 1
+            return False
+    return True
+
+
+def draw_candidate(
+    scenario: Scenario, rng: _random.Random, stats: GenerationStats
+) -> Optional[Scene]:
+    """Draw one candidate scene; return it if valid, ``None`` if rejected.
+
+    This is the seed's ``Scenario._sample_candidate`` extracted unchanged:
+    the order of RNG draws is part of the engine's compatibility contract
+    (same seed ⇒ same scene as the pre-engine code).
+    """
+    sample = Sample(rng)
+    concrete_objects = [scenic_object._concretize(sample) for scenic_object in scenario.objects]
+    concrete_ego = scenario.ego._concretize(sample)
+    concrete_params = {name: concretize(value, sample) for name, value in scenario.params.items()}
+
+    if not check_builtin_requirements(scenario, concrete_objects, concrete_ego, stats):
+        return None
+    if not check_user_requirements(scenario, sample, rng, stats):
+        return None
+    return Scene(concrete_objects, concrete_ego, concrete_params, scenario.workspace)
+
+
+# ---------------------------------------------------------------------------
+# Strategy base class and registry
+# ---------------------------------------------------------------------------
+
+
+class SamplingStrategy:
+    """Base class: propose candidate scenes for a scenario until one is accepted."""
+
+    name = "abstract"
+
+    def bind(self, scenario: Scenario) -> None:
+        """One-time, per-scenario analysis (pruning, dependency graphs, ...).
+
+        Called by the engine before the first draw; the work done here is
+        amortised over every subsequent sample.
+        """
+
+    def _draw_candidate(
+        self, scenario: Scenario, rng: _random.Random, stats: GenerationStats
+    ) -> Optional[Scene]:
+        """Propose one candidate scene (``None`` when rejected).
+
+        The hook :meth:`sample`'s shared rejection loop calls; strategies
+        that keep the one-candidate-at-a-time shape only override this.
+        """
+        raise NotImplementedError
+
+    def sample(
+        self, scenario: Scenario, max_iterations: int, rng: _random.Random
+    ) -> Tuple[Optional[Scene], GenerationStats]:
+        """Draw one accepted scene (or ``None`` after *max_iterations* candidates)."""
+        self.bind(scenario)
+        stats = GenerationStats()
+        start_time = time.perf_counter()
+        scene: Optional[Scene] = None
+        for iteration in range(1, max_iterations + 1):
+            stats.iterations = iteration
+            try:
+                scene = self._draw_candidate(scenario, rng, stats)
+            except RejectSample:
+                stats.rejections_sampling += 1
+                continue
+            if scene is not None:
+                break
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return scene, stats
+
+    def sample_batch(
+        self,
+        scenario: Scenario,
+        count: int,
+        max_iterations: int,
+        rng: _random.Random,
+        aggregate: AggregateStats,
+    ) -> List[Scene]:
+        """Draw *count* scenes; default implementation loops :meth:`sample`.
+
+        Per-draw stats are recorded into *aggregate* as they happen, so the
+        caller keeps the diagnostics of every draw — including the failing
+        one — even when a draw exhausts its budget and this method raises
+        :class:`RejectionError`.
+        """
+        scenes: List[Scene] = []
+        for _ in range(count):
+            scene, stats = self.sample(scenario, max_iterations, rng)
+            aggregate.record(stats, self.name, accepted=scene is not None)
+            if scene is None:
+                raise RejectionError(max_iterations)
+            scenes.append(scene)
+        return scenes
+
+
+STRATEGIES: Dict[str, Type[SamplingStrategy]] = {}
+
+
+def register_strategy(cls: Type[SamplingStrategy]) -> Type[SamplingStrategy]:
+    """Class decorator adding a strategy to the engine's registry."""
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+def make_strategy(name: str, **options: Any) -> SamplingStrategy:
+    """Instantiate a registered strategy by name."""
+    if name not in STRATEGIES:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ValueError(f"unknown sampling strategy {name!r} (known: {known})")
+    return STRATEGIES[name](**options)
+
+
+# ---------------------------------------------------------------------------
+# Rejection (the extracted seed behaviour)
+# ---------------------------------------------------------------------------
+
+
+@register_strategy
+class RejectionSampler(SamplingStrategy):
+    """Plain rejection sampling — the seed's ``Scenario.generate``, extracted."""
+
+    name = "rejection"
+
+    def _draw_candidate(self, scenario, rng, stats):
+        return draw_candidate(scenario, rng, stats)
+
+
+# ---------------------------------------------------------------------------
+# Pruning-aware rejection
+# ---------------------------------------------------------------------------
+
+
+@register_strategy
+class PruningAwareSampler(RejectionSampler):
+    """Shrink the feasible regions via Sec. 5.2 pruning, then rejection-sample.
+
+    The pruning pass runs once, in :meth:`bind`; its :class:`PruningReport`
+    is kept on :attr:`report` for diagnostics.  Pruning only ever removes
+    sample-space volume that cannot produce a valid scene, so the induced
+    distribution is unchanged while the acceptance rate improves.
+
+    Note that ``prune_scenario`` rewrites the prunable objects' sampling
+    regions *in place*: after binding, the scenario samples the pruned
+    regions under every strategy.  Compile the program again if an unpruned
+    baseline of the same scenario is needed (as ``compare_pruning`` does).
+    """
+
+    name = "pruning"
+
+    def __init__(
+        self,
+        relative_heading_bound: Optional[float] = None,
+        relative_heading_center: float = 0.0,
+        max_distance: Optional[float] = None,
+        deviation_bound: float = 0.0,
+        min_configuration_width: Optional[float] = None,
+    ):
+        self._prune_options = dict(
+            relative_heading_bound=relative_heading_bound,
+            relative_heading_center=relative_heading_center,
+            max_distance=max_distance,
+            deviation_bound=deviation_bound,
+            min_configuration_width=min_configuration_width,
+        )
+        self.report: Optional[PruningReport] = None
+        self._bound_scenario: Optional[Scenario] = None
+
+    def bind(self, scenario):
+        if self._bound_scenario is not scenario:
+            self.report = prune_scenario(scenario, **self._prune_options)
+            self._bound_scenario = scenario
+
+
+# ---------------------------------------------------------------------------
+# Batched, dependency-aware sampling
+# ---------------------------------------------------------------------------
+
+
+@register_strategy
+class BatchSampler(SamplingStrategy):
+    """Candidate generation that exploits the scenario's independence structure.
+
+    :meth:`bind` computes the :class:`DependencyGraph` once.  Each candidate
+    is then assembled group by group: a group whose objects leave the
+    workspace or collide *with each other* is locally re-drawn (only its
+    sub-tree of the DAG is resampled) instead of discarding the whole joint
+    sample.  Because the prior factorises over groups and these local
+    constraints involve a single group, this draws each group exactly from
+    its constraint-conditioned marginal; the remaining cross-group
+    constraints (inter-group collisions, visibility from the ego, ``require``
+    statements) are checked on the assembled candidate and trigger a full
+    restart on failure, exactly as in plain rejection.
+
+    ``local_redraw_cap`` bounds how often one group is re-drawn within a
+    single candidate before the candidate as a whole counts as rejected.
+    """
+
+    name = "batch"
+
+    def __init__(self, local_redraw_cap: int = 128):
+        self.local_redraw_cap = max(1, int(local_redraw_cap))
+        self.graph: Optional[DependencyGraph] = None
+
+    def bind(self, scenario):
+        if self.graph is None or self.graph.scenario is not scenario:
+            self.graph = DependencyGraph(scenario)
+
+    # -- candidate construction -------------------------------------------------
+
+    def _group_is_locally_valid(
+        self, scenario: Scenario, group: ObjectGroup, sample: Sample, stats: GenerationStats
+    ) -> bool:
+        concrete = [scenic_object._concretize(sample) for scenic_object in group.objects]
+        return contained_in_workspace(
+            scenario.workspace, concrete, stats
+        ) and no_pairwise_collisions(concrete, stats)
+
+    def _draw_group(
+        self, scenario: Scenario, group: ObjectGroup, sample: Sample, stats: GenerationStats
+    ) -> bool:
+        """Draw *group* until its local constraints hold (or give up)."""
+        for attempt in range(self.local_redraw_cap):
+            if attempt:
+                group.forget_in(sample)
+                stats.component_redraws += 1
+            try:
+                if self._group_is_locally_valid(scenario, group, sample, stats):
+                    return True
+            except RejectSample:
+                stats.rejections_sampling += 1
+            if group.is_static:
+                return False  # redrawing cannot change anything
+        return False
+
+    def _draw_candidate(self, scenario, rng, stats) -> Optional[Scene]:
+        sample = Sample(rng)
+        for group in self.graph.groups:
+            if not self._draw_group(scenario, group, sample, stats):
+                return None
+        concrete_objects = [obj._concretize(sample) for obj in scenario.objects]
+        concrete_ego = scenario.ego._concretize(sample)
+        concrete_params = {
+            name: concretize(value, sample) for name, value in scenario.params.items()
+        }
+        if not self._cross_group_checks(scenario, concrete_objects, concrete_ego, stats):
+            return None
+        if not check_user_requirements(scenario, sample, rng, stats):
+            return None
+        return Scene(concrete_objects, concrete_ego, concrete_params, scenario.workspace)
+
+    def _cross_group_checks(self, scenario, concrete_objects, concrete_ego, stats) -> bool:
+        """The builtin checks not already guaranteed group-locally."""
+        graph = self.graph
+        sources = scenario.objects
+        return no_pairwise_collisions(
+            concrete_objects,
+            stats,
+            # Same-group pairs were already checked locally; only cross-group
+            # pairs need the joint-level collision check.
+            pair_filter=lambda index, jndex: graph.independent(sources[index], sources[jndex]),
+        ) and all_required_visible(concrete_objects, concrete_ego, stats)
+
+
+
+# ---------------------------------------------------------------------------
+# Parallel batch sampling
+# ---------------------------------------------------------------------------
+
+
+@register_strategy
+class ParallelSampler(SamplingStrategy):
+    """Worker-pool batch sampling with per-scene seeded RNGs.
+
+    Determinism contract: before any work is dispatched, one 64-bit seed per
+    scene index is drawn from the caller's RNG.  Worker threads then sample
+    scene *i* with ``Random(seed_i)`` and results are merged by index, so
+    the batch depends only on the caller's seed — not on the number of
+    workers or on scheduling.  (``ParallelSampler(workers=1)`` and
+    ``workers=8`` produce identical batches.)
+
+    Performance caveat: on a stock (GIL) CPython build, threads give *no*
+    wall-time speedup for this pure-Python, CPU-bound workload — the value
+    today is the deterministic sharding contract, which also holds on
+    free-threaded builds and for base strategies that release the GIL
+    (e.g. future native candidate evaluators).  For wall-time wins on
+    stock CPython, use ``BatchSampler`` or ``PruningAwareSampler``.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int = 4, base_strategy: str = "rejection", **base_options: Any):
+        self.workers = max(1, int(workers))
+        self.base = make_strategy(base_strategy, **base_options)
+
+    def bind(self, scenario):
+        self.base.bind(scenario)
+
+    def sample(self, scenario, max_iterations, rng):
+        self.bind(scenario)
+        return self.base.sample(scenario, max_iterations, rng)
+
+    def sample_batch(self, scenario, count, max_iterations, rng, aggregate):
+        self.bind(scenario)
+        seeds = [rng.getrandbits(64) for _ in range(count)]
+
+        def draw(index: int) -> Tuple[Optional[Scene], GenerationStats]:
+            worker_rng = _random.Random(seeds[index])
+            return self.base.sample(scenario, max_iterations, worker_rng)
+
+        scenes: List[Scene] = []
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(draw, index) for index in range(count)]
+            try:
+                for future in futures:  # merged strictly in index order
+                    scene, stats = future.result()
+                    aggregate.record(stats, self.name, accepted=scene is not None)
+                    if scene is None:
+                        raise RejectionError(max_iterations)
+                    scenes.append(scene)
+            except RejectionError:
+                # Don't burn the rest of the batch's budget on a batch that
+                # already failed: queued draws are cancelled (in-flight ones
+                # finish, unrecorded).
+                for future in futures:
+                    future.cancel()
+                raise
+        return scenes
+
+
+__all__ = [
+    "SamplingStrategy",
+    "RejectionSampler",
+    "PruningAwareSampler",
+    "BatchSampler",
+    "ParallelSampler",
+    "STRATEGIES",
+    "register_strategy",
+    "make_strategy",
+    "draw_candidate",
+    "check_builtin_requirements",
+    "check_user_requirements",
+]

@@ -66,6 +66,7 @@ class TestSamplingMeasurements:
         assert measurement.mean_iterations >= 1
         assert measurement.max_iterations >= measurement.mean_iterations
 
+    @pytest.mark.slow
     def test_pruning_experiment_is_sound(self):
         comparisons = run_pruning_experiment(samples=2, seed=0)
         assert comparisons
@@ -77,12 +78,14 @@ class TestSamplingMeasurements:
 class TestSmallScaleHarnesses:
     """Each harness runs end-to-end at a very small scale (shape, not accuracy)."""
 
+    @pytest.mark.slow
     def test_conditions_harness(self):
         result = run_conditions_experiment(scale=0.006, seed=0,
                                            training_config=TrainingConfig(iterations=80))
         assert set(result.metrics) == {"T_generic", "T_good", "T_bad"}
         assert "T_bad" in result.to_table()
 
+    @pytest.mark.slow
     def test_rare_events_dataset_builder(self):
         datasets = build_datasets(scale=0.004, seed=0)
         assert set(datasets) == {"X_matrix", "X_overlap", "T_matrix", "T_overlap"}
@@ -96,6 +99,7 @@ class TestSmallScaleHarnesses:
         result = run_variant_analysis(detector=detector, scale=0.04, seed=0)
         assert len(result.metrics) == 9
 
+    @pytest.mark.slow
     def test_retraining_harness(self):
         result = run_retraining_experiment(scale=0.012, seed=0,
                                            training_config=TrainingConfig(iterations=80))

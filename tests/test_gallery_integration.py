@@ -43,6 +43,7 @@ def test_gallery_scenario_generates_valid_scene(name):
         assert scenario.workspace.contains_object(scenic_object)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", SLOW_GALLERY)
 def test_slow_gallery_scenario_generates(name):
     scenario = scenarios.compile_scenario(scenarios.GALLERY[name])

@@ -1,0 +1,300 @@
+"""Tests for the pluggable scene-sampling engine (``repro/sampling/``)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    At,
+    Facing,
+    In,
+    Object,
+    Range,
+    RejectionError,
+    ScenarioBuilder,
+    Vector,
+    Workspace,
+)
+from repro.core.regions import CircularRegion, PolygonalRegion
+from repro.core.scenario import GenerationStats
+from repro.experiments import scenarios
+from repro.geometry.polygon import Polygon
+from repro.sampling import (
+    BatchSampler,
+    DependencyGraph,
+    ParallelSampler,
+    PruningAwareSampler,
+    RejectionSampler,
+    SamplerEngine,
+    SceneBatch,
+    SamplingStrategy,
+    STRATEGIES,
+    make_strategy,
+    register_strategy,
+)
+
+
+def square_workspace(size: float) -> Workspace:
+    half = size / 2
+    return Workspace(
+        PolygonalRegion([Polygon([(-half, -half), (half, -half), (half, half), (-half, half)])])
+    )
+
+
+def scene_fingerprint(scene):
+    """Positions and headings of every object, rounded for stable comparison."""
+    return [
+        (
+            type(scenic_object).__name__,
+            round(float(scenic_object.heading), 9),
+            tuple(round(coordinate, 9) for coordinate in Vector.from_any(scenic_object.position)),
+        )
+        for scenic_object in scene.objects
+    ]
+
+
+def containment_heavy_scenario(object_count: int = 3):
+    """Independent objects drawn from a disc much larger than the workspace."""
+    with ScenarioBuilder(workspace=square_workspace(30.0)) as builder:
+        builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+        for _ in range(object_count):
+            Object(In(CircularRegion((0.0, 0.0), 40.0)), width=1, height=1, requireVisible=False)
+    return builder.scenario()
+
+
+class TestStrategyEquivalence:
+    """The delegated ``Scenario.generate`` path equals the engine's rejection path."""
+
+    @pytest.mark.parametrize("name", ["two_cars", "overlapping"])
+    def test_generate_matches_engine_rejection(self, name):
+        source = scenarios.GALLERY[name]
+        via_scenario = scenarios.compile_scenario(source).generate(seed=42, max_iterations=20000)
+        via_engine = SamplerEngine(scenarios.compile_scenario(source), "rejection").sample(
+            seed=42, max_iterations=20000
+        )
+        assert scene_fingerprint(via_scenario) == scene_fingerprint(via_engine)
+
+    def test_generate_accepts_strategy_keyword(self):
+        scenario = containment_heavy_scenario()
+        scene = scenario.generate(seed=0, max_iterations=100000, strategy="batch")
+        assert not scene.has_collisions()
+        assert scenario.last_stats.iterations >= 1
+
+    def test_engine_rejection_error_records_stats(self):
+        with ScenarioBuilder() as builder:
+            builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+            Object(At((0.2, 0.2)), Facing(0.0))  # forced overlap: unsatisfiable
+        scenario = builder.scenario()
+        engine = SamplerEngine(scenario, "rejection")
+        with pytest.raises(RejectionError):
+            engine.sample(max_iterations=25, seed=0)
+        assert engine.last_stats.iterations == 25
+
+    def test_sample_candidate_delegation_still_works(self):
+        scenario = containment_heavy_scenario(1)
+        stats = GenerationStats()
+        rng = random.Random(0)
+        for _ in range(50):
+            scene = scenario._sample_candidate(rng, stats)
+            if scene is not None:
+                break
+        assert scene is not None
+
+
+class TestParallelSampler:
+    def test_batches_are_deterministic_across_worker_counts(self):
+        source = scenarios.two_cars()
+
+        def fingerprints(workers):
+            engine = SamplerEngine(
+                scenarios.compile_scenario(source), "parallel", workers=workers
+            )
+            batch = engine.sample_batch(5, seed=9, max_iterations=20000)
+            return [scene_fingerprint(scene) for scene in batch]
+
+        single = fingerprints(1)
+        assert single == fingerprints(3)
+        assert single == fingerprints(3)  # and stable across repeated runs
+
+    def test_merge_preserves_index_order_stats(self):
+        engine = SamplerEngine(containment_heavy_scenario(1), "parallel", workers=2)
+        batch = engine.sample_batch(4, seed=1, max_iterations=100000)
+        assert len(batch) == 4
+        assert batch.stats.scenes == 4
+        assert batch.stats.combined().iterations == batch.stats.total_iterations
+
+
+class TestDependencyGraph:
+    def test_independent_objects_get_separate_groups(self):
+        with ScenarioBuilder(workspace=square_workspace(100.0)) as builder:
+            ego = builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+            first = Object(At((Range(3, 6), 3)), width=1, height=1, requireVisible=False)
+            second = Object(At((Range(-6, -3), -3)), width=1, height=1, requireVisible=False)
+        graph = DependencyGraph(builder.scenario())
+        assert graph.independent(first, second)
+        assert graph.independent(ego, first)
+        assert ego in graph.static_objects
+
+    def test_shared_distribution_merges_groups(self):
+        shared = Range(0, 5)
+        with ScenarioBuilder(workspace=square_workspace(100.0)) as builder:
+            builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+            first = Object(At((shared, 10)), width=1, height=1, requireVisible=False)
+            second = Object(At((shared + 2, -10)), width=1, height=1, requireVisible=False)
+        graph = DependencyGraph(builder.scenario())
+        assert not graph.independent(first, second)
+        assert graph.group_of(first) is graph.group_of(second)
+
+    def test_mutated_static_object_is_not_static(self):
+        with ScenarioBuilder(workspace=square_workspace(100.0)) as builder:
+            ego = builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+            builder.mutate(ego, scale=1.0)
+        graph = DependencyGraph(builder.scenario())
+        assert ego not in graph.static_objects
+
+    def test_gallery_scenario_couples_cars_through_the_ego(self):
+        # Both cars are placed in the randomly-positioned ego's visible
+        # region, so the whole scenario is one dependent group.
+        graph = DependencyGraph(scenarios.compile_scenario(scenarios.two_cars()))
+        assert len(graph.groups) == 1
+
+
+class TestBatchSampler:
+    def test_scenes_are_valid_and_candidates_collapse(self):
+        rejection_engine = SamplerEngine(containment_heavy_scenario(), "rejection")
+        batch_engine = SamplerEngine(containment_heavy_scenario(), "batch")
+        rejection_batch = rejection_engine.sample_batch(5, seed=0, max_iterations=200000)
+        partial_batch = batch_engine.sample_batch(5, seed=0, max_iterations=200000)
+        for scene in partial_batch:
+            assert not scene.has_collisions()
+            for scenic_object in scene.objects:
+                assert scene.workspace.contains_object(scenic_object)
+        # Partial resampling needs far fewer full candidate scenes.
+        assert (
+            partial_batch.stats.total_iterations * 5
+            < rejection_batch.stats.total_iterations
+        )
+        assert partial_batch.stats.combined().component_redraws > 0
+
+    def test_distribution_matches_rejection(self):
+        # Both strategies must sample uniformly from the feasible region; in
+        # this scenario that region is the whole workspace square, so mean
+        # coordinates should be near 0 for both.
+        def mean_coordinate(strategy):
+            engine = SamplerEngine(containment_heavy_scenario(2), strategy)
+            batch = engine.sample_batch(40, seed=7, max_iterations=200000)
+            coordinates = [
+                coordinate
+                for scene in batch
+                for scenic_object in scene.non_ego_objects
+                for coordinate in Vector.from_any(scenic_object.position)
+            ]
+            return sum(coordinates) / len(coordinates)
+
+        # A 30-wide square has a standard deviation of ~8.66 per axis; with
+        # 80 coordinates per strategy the means should sit well within +-3.
+        assert abs(mean_coordinate("rejection")) < 3.0
+        assert abs(mean_coordinate("batch")) < 3.0
+
+    def test_unsatisfiable_scenario_still_raises(self):
+        with ScenarioBuilder(workspace=square_workspace(2.0)) as builder:
+            builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+            Object(At((30, 30)), width=1, height=1, requireVisible=False)  # outside, static
+        with pytest.raises(RejectionError):
+            SamplerEngine(builder.scenario(), "batch").sample(max_iterations=10, seed=0)
+
+
+class TestPruningAwareSampler:
+    def test_prunes_once_and_keeps_scenes_valid(self):
+        scenario = scenarios.compile_scenario(scenarios.two_cars())
+        sampler = PruningAwareSampler(max_distance=30.0)
+        engine = SamplerEngine(scenario, sampler)
+        scene = engine.sample(seed=4, max_iterations=20000)
+        assert not scene.has_collisions()
+        assert sampler.report is not None
+        assert 0 < sampler.report.area_ratio <= 1.0 + 1e-9
+
+
+class TestBatchResultAggregation:
+    def test_generate_batch_aggregates_stats(self):
+        with ScenarioBuilder(workspace=square_workspace(40.0)) as builder:
+            builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+            Object(In(CircularRegion((0.0, 0.0), 25.0)), width=1, height=1)
+        scenario = builder.scenario()
+        batch = scenario.generate_batch(6, seed=2)
+        assert isinstance(batch, list)  # backwards compatible
+        assert isinstance(batch, SceneBatch)
+        assert len(batch) == 6
+        assert batch.stats.scenes == 6
+        per_scene_iterations = [stats.iterations for _s, stats in batch.stats.per_scene]
+        assert batch.stats.combined().iterations == sum(per_scene_iterations)
+        # last_stats now reflects the whole batch, not just the final scene.
+        assert scenario.last_stats.iterations == sum(per_scene_iterations)
+        assert batch.stats.acceptance_rate == pytest.approx(
+            6 / batch.stats.total_iterations
+        )
+        breakdown = batch.stats.rejection_breakdown()
+        assert sum(breakdown.values()) == batch.stats.total_rejections
+
+    def test_failed_batch_still_reports_stats(self):
+        # A RejectionError mid-batch must not discard the diagnostics of the
+        # draws already made (including the failing one).
+        with ScenarioBuilder() as builder:
+            builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+            Object(At((0.2, 0.2)), Facing(0.0))  # forced overlap: unsatisfiable
+        scenario = builder.scenario()
+        with pytest.raises(RejectionError):
+            scenario.generate_batch(3, max_iterations=20, seed=0)
+        assert scenario.last_stats is not None
+        assert scenario.last_stats.iterations == 20
+        assert scenario.last_stats.rejections_collision == 20
+        # Failed draws are recorded but not counted as accepted scenes.
+        engine = scenario._engine_cache[("rejection", ())]
+        assert engine.aggregate.draws == 1
+        assert engine.aggregate.scenes == 0
+        assert engine.aggregate.acceptance_rate == 0.0
+
+    def test_generate_reuses_engine_per_strategy(self):
+        scenario = containment_heavy_scenario(1)
+        scenario.generate(seed=0, max_iterations=100000, strategy="batch")
+        first_engine = scenario._engine_cache[("batch", ())]
+        scenario.generate(seed=1, max_iterations=100000, strategy="batch")
+        assert scenario._engine_cache[("batch", ())] is first_engine
+        assert first_engine.aggregate.scenes == 2
+
+    def test_by_strategy_rollup(self):
+        engine = SamplerEngine(containment_heavy_scenario(1), "batch")
+        engine.sample_batch(3, seed=0, max_iterations=100000)
+        rollup = engine.aggregate.by_strategy()
+        assert set(rollup) == {"batch"}
+        assert rollup["batch"].iterations == engine.aggregate.total_iterations
+
+
+class TestStrategyRegistry:
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError, match="unknown sampling strategy"):
+            make_strategy("nope")
+
+    def test_builtin_strategies_registered(self):
+        assert {"rejection", "pruning", "batch", "parallel"} <= set(STRATEGIES)
+        assert isinstance(make_strategy("rejection"), RejectionSampler)
+        assert isinstance(make_strategy("batch"), BatchSampler)
+        assert isinstance(make_strategy("parallel"), ParallelSampler)
+
+    def test_custom_strategy_plugs_into_generate(self):
+        @register_strategy
+        class FirstCandidateSampler(RejectionSampler):
+            """Accepts like rejection but records itself under its own name."""
+
+            name = "test-first-candidate"
+
+        try:
+            scenario = containment_heavy_scenario(1)
+            scene = scenario.generate(seed=0, max_iterations=100000, strategy="test-first-candidate")
+            assert scene is not None
+        finally:
+            STRATEGIES.pop("test-first-candidate", None)
+
+    def test_strategy_instance_with_options_rejected(self):
+        with pytest.raises(TypeError):
+            SamplerEngine(containment_heavy_scenario(1), RejectionSampler(), workers=2)
