@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geometry.morphology import dilate_polygon, erode_polygon, minimum_width
 from ..geometry.polygon import Polygon, clip_polygon, polygons_intersect
+from ..geometry.spatial_index import SpatialGrid
 from .distributions import needs_sampling
 from .objects import Object
 from .regions import PointInRegionDistribution, PolygonalRegion, Region
@@ -81,9 +82,12 @@ def prune_by_orientation(
     center = (low + high) / 2.0
     half_width = abs(high - low) / 2.0
     pruned: List[Polygon] = []
+    dilated_cells = [dilate_polygon(polygon, max_distance) for polygon, _heading in cells]
+    partner_index = _pair_pruner(dilated_cells)
     for polygon, heading in cells:
-        for other_polygon, other_heading in cells:
-            dilated = dilate_polygon(other_polygon, max_distance)
+        for other_index in partner_index(polygon):
+            other_polygon, other_heading = cells[other_index]
+            dilated = dilated_cells[other_index]
             if not polygons_intersect(polygon, dilated):
                 continue
             relative = normalize_angle(other_heading - heading)
@@ -112,11 +116,16 @@ def prune_by_size(
     narrow = [polygon for polygon in polygons if minimum_width(polygon) < min_width]
     narrow_ids = {id(polygon) for polygon in narrow}
     pruned: List[Polygon] = [polygon for polygon in polygons if id(polygon) not in narrow_ids]
+    if not narrow:
+        return _merge_pieces(pruned)
+    dilated_polygons = [dilate_polygon(polygon, max_distance) for polygon in polygons]
+    partner_index = _pair_pruner(dilated_polygons)
     for polygon in narrow:
-        for other in polygons:
+        for other_index in partner_index(polygon):
+            other = polygons[other_index]
             if other is polygon:
                 continue
-            dilated = dilate_polygon(other, max_distance)
+            dilated = dilated_polygons[other_index]
             if not polygons_intersect(polygon, dilated):
                 continue
             piece = clip_polygon(polygon, dilated)
@@ -142,11 +151,13 @@ def prune_by_containment(
     for convex containers and a sound no-op otherwise.
     """
     pruned: List[Polygon] = []
+    region_pruner = _pair_pruner(list(region_polygons))
     for container in container_polygons:
         eroded = erode_polygon(container, min_radius)
         if eroded is None:
             continue
-        for polygon in region_polygons:
+        for polygon_index in region_pruner(eroded):
+            polygon = region_polygons[polygon_index]
             if not polygons_intersect(polygon, eroded):
                 continue
             if eroded.is_convex():
@@ -263,6 +274,36 @@ def prune_scenario(
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
+
+
+#: Cell counts below this skip the spatial index: scanning every candidate is
+#: cheaper than building the grid.
+_GRID_MIN_ITEMS = 12
+
+
+def _pair_pruner(targets: Sequence[Polygon]):
+    """A function mapping a query polygon to candidate indices into *targets*.
+
+    For small target sets it returns all indices (ascending, preserving the
+    historical enumeration order); larger sets are indexed in a
+    :class:`SpatialGrid` over their bounding boxes, so each query only visits
+    targets whose bounds can intersect the query's — the exact
+    ``polygons_intersect`` test still runs on every surviving candidate, so
+    results are unchanged.
+    """
+    if len(targets) < _GRID_MIN_ITEMS:
+        all_indices = list(range(len(targets)))
+
+        def scan(_query: Polygon) -> Sequence[int]:
+            return all_indices
+
+        return scan
+    grid = SpatialGrid.from_polygons(targets)
+
+    def query(query_polygon: Polygon) -> Sequence[int]:
+        return [int(index) for index in grid.query_box(query_polygon.bounding_box())]
+
+    return query
 
 
 def _static_min_radius(scenic_object: Object) -> float:

@@ -22,7 +22,11 @@ import math
 import random as _random
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..geometry import kernel as _kernel
 from ..geometry.polygon import BoundingBox, Polygon, polygons_intersect
+from ..geometry.spatial_index import SpatialGrid
 from ..geometry.triangulation import TriangulatedSampler, sample_point_in_triangle
 from .distributions import Distribution, needs_sampling
 from .errors import RejectSample, ScenicError
@@ -58,9 +62,37 @@ class Region:
     def contains_point(self, point: VectorLike) -> bool:
         raise NotImplementedError
 
+    def contains_points_batch(self, points: Any) -> "np.ndarray":
+        """Membership of ``N`` points at once, as a boolean array.
+
+        This scalar fallback simply loops :meth:`contains_point`, so
+        third-party regions inherit batch semantics for free; every built-in
+        region overrides it with a genuinely vectorized implementation (the
+        contract: identical results to calling ``contains_point`` per point,
+        up to ~1-ulp boundary coincidences).  *points* may be an ``(N, 2)``
+        array or any iterable of vector-likes.
+        """
+        pts = _kernel.as_points(points)
+        return np.fromiter(
+            (bool(self.contains_point((x, y))) for x, y in pts), dtype=bool, count=len(pts)
+        )
+
     def contains_object(self, scenic_object: Any) -> bool:
-        """Default: an object is inside iff all four bounding-box corners are."""
-        return all(self.contains_point(corner) for corner in scenic_object.corners)
+        """An object is inside iff its corners *and* edge midpoints all are.
+
+        Corners alone wrongly accept a box straddling a concave notch of the
+        region (all four corners inside, the middle of an edge outside); the
+        midpoints catch that case while staying exact for convex regions,
+        where corner containment already implies full containment.
+        """
+        corners = scenic_object.corners
+        if not all(self.contains_point(corner) for corner in corners):
+            return False
+        count = len(corners)
+        return all(
+            self.contains_point((corners[i] + corners[(i + 1) % count]) / 2)
+            for i in range(count)
+        )
 
     # -- sampling ---------------------------------------------------------------
 
@@ -104,6 +136,9 @@ class EverywhereRegion(Region):
     def contains_point(self, point: VectorLike) -> bool:
         return True
 
+    def contains_points_batch(self, points: Any) -> np.ndarray:
+        return np.ones(len(_kernel.as_points(points)), dtype=bool)
+
     def contains_object(self, scenic_object: Any) -> bool:
         return True
 
@@ -119,6 +154,9 @@ class EmptyRegion(Region):
 
     def contains_point(self, point: VectorLike) -> bool:
         return False
+
+    def contains_points_batch(self, points: Any) -> np.ndarray:
+        return np.zeros(len(_kernel.as_points(points)), dtype=bool)
 
     def contains_object(self, scenic_object: Any) -> bool:
         return False
@@ -146,6 +184,11 @@ class CircularRegion(Region):
 
     def contains_point(self, point: VectorLike) -> bool:
         return self.center.distance_to(point) <= self.radius + 1e-9
+
+    def contains_points_batch(self, points: Any) -> np.ndarray:
+        pts = _kernel.as_points(points)
+        distances = np.hypot(pts[:, 0] - self.center.x, pts[:, 1] - self.center.y)
+        return distances <= self.radius + 1e-9
 
     def uniform_point(self, rng):
         r = self.radius * math.sqrt(rng.random())
@@ -201,6 +244,20 @@ class SectorRegion(Region):
         relative = abs(normalize_angle(offset.angle() - self.heading))
         return relative <= self.angle / 2 + 1e-9
 
+    def contains_points_batch(self, points: Any) -> np.ndarray:
+        pts = _kernel.as_points(points)
+        dx = pts[:, 0] - self.center.x
+        dy = pts[:, 1] - self.center.y
+        norms = np.hypot(dx, dy)
+        in_radius = norms <= self.radius + 1e-9
+        if self.angle >= 2 * math.pi - 1e-9:
+            return in_radius
+        # Heading of the offset (anticlockwise from North), wrapped to (-pi, pi].
+        angles = np.arctan2(-dx, dy)
+        relative = np.abs(_normalize_angles(angles - self.heading))
+        in_cone = (relative <= self.angle / 2 + 1e-9) | (norms < 1e-12)
+        return in_radius & in_cone
+
     def uniform_point(self, rng):
         half = min(self.angle, 2 * math.pi) / 2
         theta = self.heading + rng.uniform(-half, half)
@@ -244,6 +301,18 @@ class RectangularRegion(Region):
         local = (Vector.from_any(point) - self.center).rotated_by(-self.heading)
         return abs(local.x) <= self.width / 2 + 1e-9 and abs(local.y) <= self.height / 2 + 1e-9
 
+    def contains_points_batch(self, points: Any) -> np.ndarray:
+        pts = _kernel.as_points(points)
+        dx = pts[:, 0] - self.center.x
+        dy = pts[:, 1] - self.center.y
+        cos_h = math.cos(-self.heading)
+        sin_h = math.sin(-self.heading)
+        local_x = dx * cos_h - dy * sin_h
+        local_y = dx * sin_h + dy * cos_h
+        return (np.abs(local_x) <= self.width / 2 + 1e-9) & (
+            np.abs(local_y) <= self.height / 2 + 1e-9
+        )
+
     def uniform_point(self, rng):
         local = Vector(
             rng.uniform(-self.width / 2, self.width / 2),
@@ -282,9 +351,69 @@ class PolygonalRegion(Region):
         for polygon_area in self._areas:
             running += polygon_area / self._total_area
             self._cumulative.append(running)
+        self._vertex_arrays: Optional[List[np.ndarray]] = None
+        self._boxes: Optional[np.ndarray] = None
+        self._grid: Optional[SpatialGrid] = None
+
+    #: Unions with at least this many pieces index them in a SpatialGrid, so
+    #: each query point is tested against its nearby pieces only.
+    _GRID_MIN_POLYGONS = 8
+
+    def _batch_tables(self) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Lazily built per-piece vertex arrays and (margin-padded) bounds."""
+        if self._vertex_arrays is None:
+            vertex_arrays = [
+                np.array([(v.x, v.y) for v in polygon.vertices], dtype=float)
+                for polygon in self.polygons
+            ]
+            boxes = np.empty((len(self.polygons), 4), dtype=float)
+            for index, vertices in enumerate(vertex_arrays):
+                boxes[index, 0:2] = vertices.min(axis=0)
+                boxes[index, 2:4] = vertices.max(axis=0)
+            # The scalar containment test accepts boundary points within a
+            # ~1e-9 tolerance; pad the prefilter boxes so it cannot prune them.
+            boxes += np.array([-1e-6, -1e-6, 1e-6, 1e-6])
+            self._boxes = boxes
+            if len(self.polygons) >= self._GRID_MIN_POLYGONS:
+                self._grid = SpatialGrid(boxes)
+            # Published last: concurrent callers key off _vertex_arrays, so
+            # boxes and grid must be visible before it is (parallel sampling
+            # shares one region across worker threads).
+            self._vertex_arrays = vertex_arrays
+        return self._vertex_arrays, self._boxes
 
     def contains_point(self, point: VectorLike) -> bool:
         return any(polygon.contains_point(point) for polygon in self.polygons)
+
+    def contains_points_batch(self, points: Any) -> np.ndarray:
+        pts = _kernel.as_points(points)
+        result = np.zeros(len(pts), dtype=bool)
+        if len(pts) == 0:
+            return result
+        vertex_arrays, boxes = self._batch_tables()
+        if self._grid is not None:
+            point_indices, piece_indices = self._grid.candidates_for_points(pts)
+            for piece in np.unique(piece_indices):
+                members = point_indices[piece_indices == piece]
+                members = members[~result[members]]
+                if len(members) == 0:
+                    continue
+                result[members] = _kernel.points_in_polygon(
+                    vertex_arrays[piece], pts[members]
+                )
+            return result
+        for vertices, box in zip(vertex_arrays, boxes):
+            pending = (
+                ~result
+                & (pts[:, 0] >= box[0])
+                & (pts[:, 0] <= box[2])
+                & (pts[:, 1] >= box[1])
+                & (pts[:, 1] <= box[3])
+            )
+            if pending.any():
+                candidates = np.flatnonzero(pending)
+                result[candidates] = _kernel.points_in_polygon(vertices, pts[candidates])
+        return result
 
     def uniform_point(self, rng):
         u = rng.random()
@@ -343,6 +472,26 @@ class PolylineRegion(Region):
             _point_segment_distance(point, a, b) <= tolerance for a, b in self.segments
         )
 
+    def contains_points_batch(self, points: Any, tolerance: float = 0.5) -> np.ndarray:
+        pts = _kernel.as_points(points)
+        result = np.zeros(len(pts), dtype=bool)
+        if len(pts) == 0:
+            return result
+        starts = np.array([(a.x, a.y) for a, _b in self.segments], dtype=float)
+        ends = np.array([(b.x, b.y) for _a, b in self.segments], dtype=float)
+        segments = ends - starts  # (S, 2)
+        lengths_sq = (segments ** 2).sum(axis=1)
+        # Project every point onto every segment: (N, S) parameters clamped to [0, 1].
+        offsets_x = pts[:, 0:1] - starts[None, :, 0]
+        offsets_y = pts[:, 1:2] - starts[None, :, 1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = (offsets_x * segments[None, :, 0] + offsets_y * segments[None, :, 1]) / lengths_sq
+        t = np.clip(np.where(lengths_sq > 0, t, 0.0), 0.0, 1.0)
+        nearest_dx = offsets_x - t * segments[None, :, 0]
+        nearest_dy = offsets_y - t * segments[None, :, 1]
+        distances = np.hypot(nearest_dx, nearest_dy)
+        return (distances <= tolerance).any(axis=1)
+
     def uniform_point(self, rng):
         target = rng.random() * self._total_length
         running = 0.0
@@ -388,6 +537,16 @@ class PointSetRegion(Region):
         point = Vector.from_any(point)
         return any(point.distance_to(p) <= self.tolerance for p in self.points)
 
+    def contains_points_batch(self, points: Any) -> np.ndarray:
+        pts = _kernel.as_points(points)
+        if len(pts) == 0:
+            return np.zeros(0, dtype=bool)
+        anchors = np.array([(p.x, p.y) for p in self.points], dtype=float)
+        distances = np.hypot(
+            pts[:, 0:1] - anchors[None, :, 0], pts[:, 1:2] - anchors[None, :, 1]
+        )
+        return (distances <= self.tolerance).any(axis=1)
+
     def uniform_point(self, rng):
         return rng.choice(self.points)
 
@@ -426,6 +585,10 @@ class IntersectionRegion(Region):
     def contains_point(self, point: VectorLike) -> bool:
         return self.first.contains_point(point) and self.second.contains_point(point)
 
+    def contains_points_batch(self, points: Any) -> np.ndarray:
+        pts = _kernel.as_points(points)
+        return self.first.contains_points_batch(pts) & self.second.contains_points_batch(pts)
+
     def uniform_point(self, rng):
         source, filter_region = self._sampling_order()
         for _ in range(self.max_attempts):
@@ -462,6 +625,10 @@ class DifferenceRegion(Region):
     def contains_point(self, point: VectorLike) -> bool:
         return self.first.contains_point(point) and not self.second.contains_point(point)
 
+    def contains_points_batch(self, points: Any) -> np.ndarray:
+        pts = _kernel.as_points(points)
+        return self.first.contains_points_batch(pts) & ~self.second.contains_points_batch(pts)
+
     def uniform_point(self, rng):
         for _ in range(self.max_attempts):
             candidate = self.first.uniform_point(rng)
@@ -474,6 +641,12 @@ class DifferenceRegion(Region):
 
     def area(self) -> float:
         return self.first.area()
+
+
+def _normalize_angles(angles: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.core.utils.normalize_angle`: wrap into (-pi, pi]."""
+    wrapped = np.mod(angles, 2 * math.pi)
+    return np.where(wrapped > math.pi, wrapped - 2 * math.pi, wrapped)
 
 
 def _point_segment_distance(point: Vector, a: Vector, b: Vector) -> float:

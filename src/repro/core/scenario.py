@@ -138,7 +138,7 @@ class Scenario:
         max_iterations: int = 2000,
         rng: Optional[_random.Random] = None,
         seed: Optional[int] = None,
-        strategy: Union[str, Any] = "rejection",
+        strategy: Union[str, Any] = "vectorized",
         **strategy_options: Any,
     ) -> List[Scene]:
         """Sample *count* independent scenes.
@@ -147,6 +147,12 @@ class Scenario:
         whose ``stats`` attribute aggregates the :class:`GenerationStats` of
         the *whole* batch; :attr:`last_stats` is set to the batch-wide total
         (not just the final scene's stats), also when a draw fails mid-batch.
+
+        The default strategy is ``"vectorized"``: batch generation is where
+        block-drawing candidates and rejecting them in bulk through the
+        geometry kernel pays off most (single ``generate`` calls keep plain
+        ``"rejection"`` as the reference semantics).  Pass
+        ``strategy="rejection"`` for draw-for-draw parity with ``generate``.
         """
         engine = self._engine_for(strategy, strategy_options)
         try:

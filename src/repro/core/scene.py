@@ -49,7 +49,19 @@ class Scene:
         return min(others, key=lambda other: self.distance_between(reference, other))
 
     def has_collisions(self) -> bool:
-        """True if any pair of collision-checked objects overlaps."""
+        """True if any pair of collision-checked objects overlaps.
+
+        Routed through the batched separating-axis kernel (with grid pruning
+        for large scenes); small scenes keep the scalar pair loop.
+        """
+        if len(self.objects) >= 4:
+            from ..geometry import kernel
+
+            collidable = [not obj.allowCollisions for obj in self.objects]
+            if sum(collidable) >= 2:
+                corners = kernel.corners_array(self.objects)
+                return len(kernel.pairwise_collisions(corners, collidable)) > 0
+            return False
         for i, first in enumerate(self.objects):
             for second in self.objects[i + 1:]:
                 if first.allowCollisions or second.allowCollisions:

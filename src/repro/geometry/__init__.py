@@ -9,6 +9,12 @@ this reproduction implements the needed subset from scratch:
   uniform sampling of points inside polygons.
 * :mod:`repro.geometry.morphology` — conservative erosion and dilation used
   by the pruning algorithms of Sec. 5.2.
+* :mod:`repro.geometry.kernel` — numpy-backed batch evaluation of the
+  sampling hot path's predicates (point containment, object containment,
+  pairwise collision) over whole candidate batches at once.
+* :mod:`repro.geometry.spatial_index` — a uniform-grid index pruning the
+  O(n²) collision pair enumeration and accelerating point location in
+  large polygonal unions.
 """
 
 from .polygon import (
@@ -22,6 +28,14 @@ from .polygon import (
 )
 from .triangulation import triangulate, sample_point_in_polygon, sample_point_in_triangle
 from .morphology import erode_polygon, dilate_polygon
+from .kernel import (
+    contains_points,
+    objects_contained,
+    pairwise_collisions,
+    quads_overlap,
+    points_in_polygon,
+)
+from .spatial_index import SpatialGrid
 
 __all__ = [
     "Polygon",
@@ -36,4 +50,10 @@ __all__ = [
     "sample_point_in_triangle",
     "erode_polygon",
     "dilate_polygon",
+    "contains_points",
+    "objects_contained",
+    "pairwise_collisions",
+    "quads_overlap",
+    "points_in_polygon",
+    "SpatialGrid",
 ]

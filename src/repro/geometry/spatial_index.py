@@ -1,0 +1,184 @@
+"""A uniform-grid spatial index over axis-aligned bounding boxes.
+
+Two hot paths need "which items are near X" queries:
+
+* the pairwise collision check — :meth:`SpatialGrid.candidate_pairs` prunes
+  the O(n²) pair enumeration down to pairs sharing at least one grid cell;
+* point location in large polygonal regions (triangulated road maps) —
+  :meth:`SpatialGrid.candidates_for_points` buckets query points by cell and
+  returns, per point, only the polygons whose bounds cover that cell.
+
+The grid is conservative by construction: an item is registered in every
+cell its (optionally margin-expanded) bounding box touches, so a query can
+only over-approximate, never miss.  Exact predicates (separating-axis
+overlap, ray-casting containment) run on the surviving candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class SpatialGrid:
+    """A uniform grid over ``(N, 4)`` boxes of (minx, miny, maxx, maxy) rows."""
+
+    def __init__(
+        self,
+        boxes: np.ndarray,
+        cell_size: Optional[float] = None,
+        margin: float = 0.0,
+    ):
+        boxes = np.asarray(boxes, dtype=float).reshape(-1, 4)
+        if margin:
+            boxes = boxes + np.array([-margin, -margin, margin, margin])
+        self.boxes = boxes
+        self.count = len(boxes)
+        if self.count == 0:
+            self.cell_size = 1.0
+            self.origin = (0.0, 0.0)
+            self._cells: Dict[Tuple[int, int], List[int]] = {}
+            self._occupied_bounds = (0, 0, -1, -1)
+            return
+        if cell_size is None:
+            # Twice the median box extent keeps most items in O(1) cells
+            # while cells stay small enough to separate distant items.
+            extents = np.maximum(boxes[:, 2] - boxes[:, 0], boxes[:, 3] - boxes[:, 1])
+            cell_size = 2.0 * float(np.median(extents))
+            if cell_size <= 0.0:
+                cell_size = 1.0
+        self.cell_size = float(cell_size)
+        self.origin = (float(boxes[:, 0].min()), float(boxes[:, 1].min()))
+        self._cells = {}
+        for index in range(self.count):
+            for key in self._covered_cells(boxes[index]):
+                self._cells.setdefault(key, []).append(index)
+        occupied_x = [key[0] for key in self._cells]
+        occupied_y = [key[1] for key in self._cells]
+        self._occupied_bounds = (
+            min(occupied_x), min(occupied_y), max(occupied_x), max(occupied_y)
+        )
+
+    @classmethod
+    def from_polygons(cls, polygons: Sequence[Any], margin: float = 1e-6,
+                      cell_size: Optional[float] = None) -> "SpatialGrid":
+        """A grid over polygon bounding boxes (margin absorbs edge tolerances)."""
+        boxes = np.empty((len(polygons), 4), dtype=float)
+        for index, polygon in enumerate(polygons):
+            box = polygon.bounding_box()
+            boxes[index] = (box.min_x, box.min_y, box.max_x, box.max_y)
+        return cls(boxes, cell_size=cell_size, margin=margin)
+
+    # -- cell arithmetic ---------------------------------------------------------
+
+    def _cell_range(self, box: np.ndarray) -> Tuple[int, int, int, int]:
+        ox, oy = self.origin
+        size = self.cell_size
+        min_cx = int(np.floor((box[0] - ox) / size))
+        min_cy = int(np.floor((box[1] - oy) / size))
+        max_cx = int(np.floor((box[2] - ox) / size))
+        max_cy = int(np.floor((box[3] - oy) / size))
+        return min_cx, min_cy, max_cx, max_cy
+
+    def _covered_cells(self, box: np.ndarray) -> Iterable[Tuple[int, int]]:
+        min_cx, min_cy, max_cx, max_cy = self._cell_range(box)
+        for cx in range(min_cx, max_cx + 1):
+            for cy in range(min_cy, max_cy + 1):
+                yield (cx, cy)
+
+    # -- queries -----------------------------------------------------------------
+
+    def query_box(self, box: Any) -> np.ndarray:
+        """Indices of items whose cells intersect *box*, sorted ascending.
+
+        *box* is (minx, miny, maxx, maxy) or a ``BoundingBox``.  The result
+        over-approximates true AABB intersection (cell granularity), never
+        misses.
+        """
+        if hasattr(box, "min_x"):
+            box = (box.min_x, box.min_y, box.max_x, box.max_y)
+        box = np.asarray(box, dtype=float)
+        if not self._cells:
+            return np.zeros(0, dtype=int)
+        # Clamp to the occupied cell range: a query box spanning the whole
+        # workspace must not iterate millions of empty cells.
+        min_cx, min_cy, max_cx, max_cy = self._cell_range(box)
+        low_x, low_y, high_x, high_y = self._occupied_bounds
+        found: set = set()
+        for cx in range(max(min_cx, low_x), min(max_cx, high_x) + 1):
+            for cy in range(max(min_cy, low_y), min(max_cy, high_y) + 1):
+                bucket = self._cells.get((cx, cy))
+                if bucket:
+                    found.update(bucket)
+        return np.array(sorted(found), dtype=int)
+
+    def query_point(self, x: float, y: float) -> np.ndarray:
+        """Indices of items whose cells cover the point, sorted ascending."""
+        return self.query_box((x, y, x, y))
+
+    def candidate_pairs(self) -> np.ndarray:
+        """All item pairs sharing at least one cell, as ``(M, 2)`` with i < j.
+
+        Pairs come out in lexicographic order, so downstream results match
+        the scalar double loop's enumeration order.
+        """
+        pairs: set = set()
+        for bucket in self._cells.values():
+            if len(bucket) < 2:
+                continue
+            for position, first in enumerate(bucket):
+                for second in bucket[position + 1:]:
+                    if first < second:
+                        pairs.add((first, second))
+                    else:
+                        pairs.add((second, first))
+        if not pairs:
+            return np.zeros((0, 2), dtype=int)
+        return np.array(sorted(pairs), dtype=int)
+
+    def candidates_for_points(self, points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Point→item candidate assignments for batched point location.
+
+        Returns ``(point_indices, item_indices)`` — parallel int arrays where
+        item ``item_indices[k]``'s cells cover point ``point_indices[k]``.
+        Grouping by item index then lets the caller run one vectorized
+        containment test per polygon over just its nearby points.
+        """
+        pts = np.asarray(points, dtype=float).reshape(-1, 2)
+        if len(pts) == 0 or not self._cells:
+            return np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+        ox, oy = self.origin
+        cell_x = np.floor((pts[:, 0] - ox) / self.cell_size).astype(int)
+        cell_y = np.floor((pts[:, 1] - oy) / self.cell_size).astype(int)
+        point_indices: List[int] = []
+        item_indices: List[int] = []
+        # Group points by cell so each bucket is looked up once.
+        order = np.lexsort((cell_y, cell_x))
+        sorted_x, sorted_y = cell_x[order], cell_y[order]
+        boundaries = np.flatnonzero(
+            (np.diff(sorted_x) != 0) | (np.diff(sorted_y) != 0)
+        )
+        starts = np.concatenate([[0], boundaries + 1])
+        ends = np.concatenate([boundaries + 1, [len(order)]])
+        for start, end in zip(starts, ends):
+            bucket = self._cells.get((int(sorted_x[start]), int(sorted_y[start])))
+            if not bucket:
+                continue
+            members = order[start:end]
+            for item in bucket:
+                point_indices.extend(members)
+                item_indices.extend([item] * len(members))
+        return np.array(point_indices, dtype=int), np.array(item_indices, dtype=int)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialGrid({self.count} items, cell={self.cell_size:g}, "
+            f"{len(self._cells)} occupied cells)"
+        )
+
+
+__all__ = ["SpatialGrid"]

@@ -9,9 +9,13 @@ strategies:
 * ``"batch"`` (:class:`BatchSampler`) — dependency-aware batched candidates
   with partial resampling of independent object groups;
 * ``"parallel"`` (:class:`ParallelSampler`) — deterministic worker-pool
-  batches.
+  batches;
+* ``"vectorized"`` (:class:`VectorizedSampler`) — block candidate drawing
+  with bulk geometric rejection through the numpy kernel
+  (:mod:`repro.geometry.kernel`); the default for ``generate_batch``.
 
-See ``docs/sampling.md`` for the API guide.
+See ``docs/sampling.md`` for the API guide and ``docs/geometry.md`` for the
+kernel underneath.
 """
 
 from .dependency import DependencyGraph, ObjectGroup
@@ -24,6 +28,7 @@ from .strategies import (
     PruningAwareSampler,
     RejectionSampler,
     SamplingStrategy,
+    VectorizedSampler,
     check_builtin_requirements,
     check_user_requirements,
     draw_candidate,
@@ -38,6 +43,7 @@ __all__ = [
     "PruningAwareSampler",
     "BatchSampler",
     "ParallelSampler",
+    "VectorizedSampler",
     "DependencyGraph",
     "ObjectGroup",
     "AggregateStats",

@@ -19,6 +19,15 @@ scenes; they differ in *how* candidates are proposed:
   scene index gets its own deterministically derived RNG, so the merged
   batch is a pure function of the seed, independent of worker count and
   thread scheduling.
+* :class:`VectorizedSampler` — draws a whole block of candidate scenes,
+  then runs the containment and collision checks for the entire block in
+  one pass through the numpy kernel (:mod:`repro.geometry.kernel`); the
+  default for ``Scenario.generate_batch``.
+
+The shared candidate checks themselves (``contained_in_workspace``,
+``no_pairwise_collisions``) route through the kernel whenever the scene is
+large enough for batching to pay for itself, so *every* strategy rides the
+vectorized hot path.
 
 Strategies are registered by name in :data:`STRATEGIES`; third-party code
 can plug in new ones with :func:`register_strategy`.
@@ -31,11 +40,14 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple, Type
 
+import numpy as np
+
 from ..core.distributions import Sample, concretize
 from ..core.errors import RejectSample, RejectionError
 from ..core.pruning import PruningReport, prune_scenario
 from ..core.scenario import GenerationStats, Scenario
 from ..core.scene import Scene
+from ..geometry import kernel as _kernel
 from .dependency import DependencyGraph, ObjectGroup
 from .stats import AggregateStats
 
@@ -44,11 +56,32 @@ from .stats import AggregateStats
 # ---------------------------------------------------------------------------
 
 
+#: Below these sizes the scalar loops win: numpy call overhead outweighs the
+#: vectorization for one or two objects / a handful of pairs.
+_KERNEL_MIN_OBJECTS = 3
+_KERNEL_MIN_COLLIDERS = 4
+
+
 def contained_in_workspace(workspace, concrete_objects: List[Any], stats: GenerationStats) -> bool:
-    """Every object inside the workspace (counts a containment rejection)."""
+    """Every object inside the workspace (counts a containment rejection).
+
+    Large scenes batch all objects' test points through the geometry kernel
+    (one vectorized containment query instead of ``8 * n`` scalar ones);
+    regions with custom ``contains_object`` semantics and small scenes take
+    the scalar path.  Accept/reject decisions are identical either way.
+    """
     if workspace.is_unbounded:
         return True
     workspace_region = workspace.region
+    if (
+        len(concrete_objects) >= _KERNEL_MIN_OBJECTS
+        and _kernel.region_supports_batch_objects(workspace_region)
+    ):
+        corners = _kernel.corners_array(concrete_objects)
+        if bool(_kernel.objects_contained(workspace_region, corners).all()):
+            return True
+        stats.rejections_containment += 1
+        return False
     for scenic_object in concrete_objects:
         if not workspace_region.contains_object(scenic_object):
             stats.rejections_containment += 1
@@ -67,7 +100,24 @@ def no_pairwise_collisions(
     that pair must be checked — the batch strategy uses it to split the
     check into intra-group and cross-group halves without duplicating the
     rejection semantics.
+
+    Unfiltered checks on larger scenes run through the kernel's batched
+    separating-axis test (grid-pruned for many objects); the scalar loop
+    remains for filtered checks and small scenes.
     """
+    if pair_filter is None and len(concrete_objects) >= _KERNEL_MIN_COLLIDERS:
+        collidable = np.fromiter(
+            (not scenic_object.allowCollisions for scenic_object in concrete_objects),
+            dtype=bool,
+            count=len(concrete_objects),
+        )
+        if collidable.sum() >= 2:
+            corners = _kernel.corners_array(concrete_objects)
+            if len(_kernel.pairwise_collisions(corners, collidable)) > 0:
+                stats.rejections_collision += 1
+                return False
+            return True
+        return True
     for index, first in enumerate(concrete_objects):
         for jndex in range(index + 1, len(concrete_objects)):
             second = concrete_objects[jndex]
@@ -450,12 +500,155 @@ class ParallelSampler(SamplingStrategy):
         return scenes
 
 
+# ---------------------------------------------------------------------------
+# Vectorized block sampling
+# ---------------------------------------------------------------------------
+
+
+@register_strategy
+class VectorizedSampler(SamplingStrategy):
+    """Propose candidates in blocks and reject them in bulk through the kernel.
+
+    Each round draws up to ``block_size`` candidate scenes' worth of samples
+    (concretization stays per-candidate Python — it must evaluate arbitrary
+    specifier expressions), then checks workspace containment for *all*
+    objects of *all* candidates in one batched kernel query and all pairwise
+    collisions in one batched separating-axis pass.  Candidates are then
+    examined in draw order; the first one that also passes the (scalar)
+    visibility and user-requirement checks is accepted.
+
+    The induced distribution is exactly plain rejection's: candidates are
+    i.i.d. draws from the prior, examined in the order they were drawn, and
+    acceptance depends only on the candidate itself.  The RNG *stream* is
+    consumed in a different interleaving than ``RejectionSampler`` (a whole
+    block is drawn before any soft-requirement coin flips), so per-seed
+    outputs differ between the two strategies while per-seed determinism
+    holds for each — the golden-scene corpus pins both down.
+
+    ``stats.iterations`` counts examined candidates only, so exhaustion
+    semantics match rejection: ``max_iterations=1`` examines exactly one
+    candidate.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, block_size: int = 32):
+        self.block_size = max(1, int(block_size))
+
+    def sample(self, scenario, max_iterations, rng):
+        self.bind(scenario)
+        stats = GenerationStats()
+        start_time = time.perf_counter()
+        scene: Optional[Scene] = None
+        while scene is None and stats.iterations < max_iterations:
+            block = min(self.block_size, max_iterations - stats.iterations)
+            candidates = self._draw_block(scenario, rng, block)
+            failures = self._bulk_geometry_failures(scenario, candidates)
+            for candidate, failure in zip(candidates, failures):
+                stats.iterations += 1
+                if candidate is None:
+                    stats.rejections_sampling += 1
+                    continue
+                if failure == "containment":
+                    stats.rejections_containment += 1
+                    continue
+                if failure == "collision":
+                    stats.rejections_collision += 1
+                    continue
+                sample, concrete_objects, concrete_ego, concrete_params = candidate
+                if not all_required_visible(concrete_objects, concrete_ego, stats):
+                    continue
+                if not check_user_requirements(scenario, sample, rng, stats):
+                    continue
+                scene = Scene(concrete_objects, concrete_ego, concrete_params, scenario.workspace)
+                break
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return scene, stats
+
+    # -- internals ---------------------------------------------------------------
+
+    def _draw_block(self, scenario, rng, count):
+        """Concretize *count* candidates; ``None`` marks a RejectSample draw."""
+        candidates = []
+        for _ in range(count):
+            try:
+                sample = Sample(rng)
+                concrete_objects = [
+                    scenic_object._concretize(sample) for scenic_object in scenario.objects
+                ]
+                concrete_ego = scenario.ego._concretize(sample)
+                concrete_params = {
+                    name: concretize(value, sample) for name, value in scenario.params.items()
+                }
+                candidates.append((sample, concrete_objects, concrete_ego, concrete_params))
+            except RejectSample:
+                candidates.append(None)
+        return candidates
+
+    def _bulk_geometry_failures(self, scenario, candidates):
+        """First geometric failure per candidate: "containment", "collision" or None."""
+        failures: List[Optional[str]] = [None] * len(candidates)
+        live = [index for index, candidate in enumerate(candidates) if candidate is not None]
+        if not live:
+            return failures
+        corners = np.stack(
+            [_kernel.corners_array(candidates[index][1]) for index in live]
+        )  # (K, n, 4, 2)
+        workspace = scenario.workspace
+        if not workspace.is_unbounded:
+            region = workspace.region
+            if _kernel.region_supports_batch_objects(region):
+                per_object = _kernel.objects_contained(
+                    region, corners.reshape(-1, 4, 2)
+                ).reshape(len(live), -1)
+                contained = per_object.all(axis=1)
+            else:
+                contained = np.fromiter(
+                    (
+                        all(
+                            region.contains_object(scenic_object)
+                            for scenic_object in candidates[index][1]
+                        )
+                        for index in live
+                    ),
+                    dtype=bool,
+                    count=len(live),
+                )
+            for position, index in enumerate(live):
+                if not contained[position]:
+                    failures[index] = "containment"
+            keep = np.flatnonzero(contained)
+            corners = corners[keep]
+            live = [live[int(position)] for position in keep]
+            if not live:
+                return failures
+        collidable = np.stack(
+            [
+                np.fromiter(
+                    (
+                        not scenic_object.allowCollisions
+                        for scenic_object in candidates[index][1]
+                    ),
+                    dtype=bool,
+                    count=corners.shape[1],
+                )
+                for index in live
+            ]
+        )
+        collision_free = _kernel.batch_collision_free(corners, collidable)
+        for position, index in enumerate(live):
+            if not collision_free[position]:
+                failures[index] = "collision"
+        return failures
+
+
 __all__ = [
     "SamplingStrategy",
     "RejectionSampler",
     "PruningAwareSampler",
     "BatchSampler",
     "ParallelSampler",
+    "VectorizedSampler",
     "STRATEGIES",
     "register_strategy",
     "make_strategy",

@@ -106,6 +106,37 @@ class TestPolygonalRegion:
         assert region.contains_object(inside)
         assert not region.contains_object(straddling)
 
+    def test_contains_object_rejects_box_straddling_concave_notch(self):
+        # Regression: a U-shaped region whose notch cuts into an object's
+        # edge.  All four corners sit inside the arms of the U, but the
+        # bottom edge's midpoint hangs over the notch — the historical
+        # corner-only test wrongly accepted this object.
+        from repro.core import At, Facing, Object
+
+        u_shape = PolygonalRegion(
+            [
+                Polygon(
+                    [
+                        (0, 0), (10, 0), (10, 10), (6, 10),
+                        (6, 2), (4, 2), (4, 10), (0, 10),
+                    ]
+                )
+            ]
+        )
+        over_notch = Object(At((5, 5)), Facing(0.0), width=8, height=2)
+        corners_only = all(u_shape.contains_point(corner) for corner in over_notch.corners)
+        assert corners_only  # the broken approximation would have said "contained"
+        assert not u_shape.contains_object(over_notch)
+        # The batched kernel agrees with the fixed scalar test.
+        from repro.geometry import kernel
+
+        assert kernel.objects_contained(
+            u_shape, kernel.corners_array([over_notch])
+        ).tolist() == [False]
+        # Objects genuinely inside one arm of the U are still accepted.
+        in_arm = Object(At((2, 6)), Facing(0.0), width=2, height=2)
+        assert u_shape.contains_object(in_arm)
+
     def test_empty_region_list_rejected(self):
         with pytest.raises(ScenicError):
             PolygonalRegion([])

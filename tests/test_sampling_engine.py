@@ -249,7 +249,8 @@ class TestBatchResultAggregation:
         assert scenario.last_stats.iterations == 20
         assert scenario.last_stats.rejections_collision == 20
         # Failed draws are recorded but not counted as accepted scenes.
-        engine = scenario._engine_cache[("rejection", ())]
+        # (generate_batch defaults to the vectorized strategy.)
+        engine = scenario._engine_cache[("vectorized", ())]
         assert engine.aggregate.draws == 1
         assert engine.aggregate.scenes == 0
         assert engine.aggregate.acceptance_rate == 0.0
@@ -268,6 +269,95 @@ class TestBatchResultAggregation:
         rollup = engine.aggregate.by_strategy()
         assert set(rollup) == {"batch"}
         assert rollup["batch"].iterations == engine.aggregate.total_iterations
+
+
+class TestEngineEdgeCases:
+    def test_empty_batch_returns_empty_scene_batch(self):
+        engine = SamplerEngine(containment_heavy_scenario(1), "rejection")
+        batch = engine.sample_batch(0, seed=0)
+        assert isinstance(batch, SceneBatch)
+        assert len(batch) == 0
+        assert batch.stats.scenes == 0
+        assert batch.stats.total_iterations == 0
+
+    def test_empty_batch_under_every_builtin_strategy(self):
+        for name in ("rejection", "batch", "parallel", "vectorized"):
+            batch = containment_heavy_scenario(1).generate_batch(0, seed=0, strategy=name)
+            assert list(batch) == []
+
+    @pytest.mark.parametrize("name", ["rejection", "batch", "vectorized"])
+    def test_max_iterations_one_exhausts_with_aggregated_stats(self, name):
+        with ScenarioBuilder() as builder:
+            builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+            Object(At((0.2, 0.2)), Facing(0.0))  # forced overlap: unsatisfiable
+        scenario = builder.scenario()
+        engine = SamplerEngine(scenario, name)
+        with pytest.raises(RejectionError, match="1"):
+            engine.sample(max_iterations=1, seed=0)
+        # Exactly one candidate was examined, its rejection cause recorded,
+        # and the failed draw still landed in the aggregate.
+        assert engine.last_stats.iterations == 1
+        assert engine.last_stats.total_rejections == 1
+        assert engine.last_stats.rejections_collision == 1
+        assert engine.aggregate.draws == 1
+        assert engine.aggregate.scenes == 0
+        assert engine.aggregate.total_iterations == 1
+
+    def test_parallel_determinism_when_workers_exceed_batch_size(self):
+        source = scenarios.two_cars()
+
+        def fingerprints(workers):
+            engine = SamplerEngine(
+                scenarios.compile_scenario(source), "parallel", workers=workers
+            )
+            batch = engine.sample_batch(3, seed=13, max_iterations=20000)
+            return [scene_fingerprint(scene) for scene in batch]
+
+        # 8 workers for 3 scenes: most workers sit idle, the merge order and
+        # the per-index seeds must make the batch identical regardless.
+        assert fingerprints(8) == fingerprints(1)
+        assert fingerprints(8) == fingerprints(8)
+
+
+class TestVectorizedSampler:
+    def test_registered_and_default_for_generate_batch(self):
+        from repro.sampling import VectorizedSampler
+
+        assert "vectorized" in STRATEGIES
+        assert isinstance(make_strategy("vectorized"), VectorizedSampler)
+        scenario = containment_heavy_scenario(1)
+        scenario.generate_batch(2, seed=0, max_iterations=100000)
+        assert ("vectorized", ()) in scenario._engine_cache
+
+    def test_matches_rejection_without_soft_requirements(self):
+        # No RNG draw separates block drawing from one-at-a-time rejection
+        # unless a soft requirement rolls the RNG between candidates.
+        source = scenarios.two_cars()
+        via_rejection = scenarios.compile_scenario(source).generate(
+            seed=21, max_iterations=20000, strategy="rejection"
+        )
+        via_vectorized = scenarios.compile_scenario(source).generate(
+            seed=21, max_iterations=20000, strategy="vectorized"
+        )
+        assert scene_fingerprint(via_rejection) == scene_fingerprint(via_vectorized)
+
+    def test_scenes_are_valid(self):
+        engine = SamplerEngine(containment_heavy_scenario(2), "vectorized")
+        batch = engine.sample_batch(5, seed=3, max_iterations=200000)
+        for scene in batch:
+            assert not scene.has_collisions()
+            for scenic_object in scene.objects:
+                assert scene.workspace.contains_object(scenic_object)
+
+    def test_block_size_does_not_change_accepted_scene(self):
+        source = scenarios.two_cars()
+
+        def fingerprint(block_size):
+            scenario = scenarios.compile_scenario(source)
+            engine = SamplerEngine(scenario, "vectorized", block_size=block_size)
+            return scene_fingerprint(engine.sample(seed=17, max_iterations=20000))
+
+        assert fingerprint(1) == fingerprint(64)
 
 
 class TestStrategyRegistry:
