@@ -1,0 +1,20 @@
+# 'apparently facing' combined with nested classes and allowcollisions.
+# Promoted from the fuzzer (repro/fuzz, generator seed 3); kept
+# verbatim below so the golden corpus pins its sampling behaviour.
+# fuzz-generated scenario (seed 3)
+gap = (-16.286 deg, 16.286 deg)
+b = Range(3.346, 5.544)
+class Totem(Object):
+    width: (1.682, 1.699)
+    height: (1.184, 2.77)
+class Box(Totem):
+    height: (0.794, 1.768)
+ego = Box at 0 @ 0, facing 136.373 deg
+obj1 = Box left of ego by 1.248, apparently facing (-14.934 deg, 12.041 deg), with requireVisible False, with allowCollisions True
+obj2 = Totem behind obj1 by resample(gap), with height Range(1.507, 2.542), with width Range(1.022, 2.028)
+if 4 >= 1:
+    Box left of ego by Uniform(5.434, 0.611, 2.849), facing 94.188 deg, with cargo Discrete({1: 2, 2: 1})
+else:
+    Box left of obj2 by (2.203, 5.992)
+obj4 = Box ahead of obj1 by 4.294, with allowCollisions True
+require (distance to obj2) <= 111.511

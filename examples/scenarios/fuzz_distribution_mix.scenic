@@ -1,0 +1,25 @@
+# Nested classes mixing range/normal/uniform/discrete and a beyond placement.
+# Promoted from the fuzzer (repro/fuzz, generator seed 201); kept
+# verbatim below so the golden corpus pins its sampling behaviour.
+# fuzz-generated scenario (seed 201)
+k = (-9.222 deg, 9.222 deg)
+class Kiosk(Object):
+    width: Range(1.502, 2.329)
+    height: (0.952, 2.028)
+    shade: Uniform('red', 'green', 'blue')
+class Crate(Object):
+    width: (1.079, 1.199)
+    height: Range(1.055, 2.498)
+    halfWidth: self.width / 2
+class Totem(Crate):
+    height: Range(1.211, 1.62)
+ego = Totem at 0 @ 0, facing k
+obj1 = Crate at Range(-2.925, 7.576) @ -3.107
+if 1 >= 3:
+    Totem left of obj1 by (2.161 + 0.162), facing toward (-9.881, 0.486) @ resample(k)
+else:
+    Kiosk ahead of ego by TruncatedNormal(3.25, 0.917, 0.5, 6), facing k, with cargo Discrete({1: 2, 2: 1})
+Crate beyond obj1 by Uniform(1.908, -1.353) @ Uniform(3.281, 2.013)
+param label = 'fuzz'
+param label = 'fuzz'
+require abs(relative heading of obj1) <= 164.164 deg

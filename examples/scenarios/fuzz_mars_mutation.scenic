@@ -1,0 +1,25 @@
+# Mars rubble with a helper function, apparent headings and a mutated rock.
+# Promoted from the fuzzer (repro/fuzz, generator seed 1131); kept
+# verbatim below so the golden corpus pins its sampling behaviour.
+# fuzz-generated scenario (seed 1131)
+import mars
+a = (-11.47 deg, 11.47 deg)
+a = (-7.872 deg, 7.872 deg)
+class Crate(Pipe):
+    halfWidth: self.width / 2
+def placeNear(anchor, gap=0.933):
+    return Crate ahead of anchor by gap
+ego = Rover at -0.936 @ -1.735
+if 4 >= 1:
+    Crate left of ego by TruncatedNormal(0.575, 0.142, 0.15, 1)
+else:
+    Rock beyond ego by 0.411 @ (0.54, 0.715), with allowCollisions True
+Pipe left of ego by 1, facing 12.146 deg, with requireVisible False, with height (0.253, 0.449)
+Rock behind ego by Uniform(0.174, 0.88, 0.409, 0.406), facing -98.051 deg
+if 1 >= 1:
+    BigRock at resample(a) @ (0.688 * 0.112), apparently facing (-15.166 deg, 9.603 deg), with allowCollisions True, with width (0.259, 0.314)
+else:
+    BigRock at (-1.268, -0.428) @ (1.227 * 1.886), with width Range(0.094, 0.321), with allowCollisions True
+param time = (12.032, 15.83) * 60
+param label = 'fuzz'
+mutate

@@ -1,0 +1,23 @@
+# Mutation combined with hard distance requirements.
+# Promoted from the fuzzer (repro/fuzz, generator seed 342); kept
+# verbatim below so the golden corpus pins its sampling behaviour.
+# fuzz-generated scenario (seed 342)
+b = (-13.617 deg, 13.617 deg)
+b = 3.074
+class Kiosk(Object):
+    width: Range(0.663, 2.15)
+    height: Range(2.319, 2.646)
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=5.503):
+    return Kiosk ahead of anchor by gap
+ego = Kiosk at 0 @ 0
+obj1 = Kiosk left of ego by 2.184, facing (50.435) deg
+if 4 >= 4:
+    Kiosk beyond obj1 by (-1.782 + 0.887) @ (2.351, 2.797), with allowCollisions True
+else:
+    Kiosk right of obj1 by 1.006, with cargo Discrete({1: 2, 2: 1})
+obj3 = Kiosk behind ego by 4.254, facing (153.681) deg
+param quality = (0.133, 0.915)
+mutate obj3 by 0.625
+require (distance to obj1) <= 74.387

@@ -1,0 +1,26 @@
+# Gta traffic with a for-loop platoon, 'following roaddirection' and scene-wide mutation.
+# Promoted from the fuzzer (repro/fuzz, generator seed 34); kept
+# verbatim below so the golden corpus pins its sampling behaviour.
+# fuzz-generated scenario (seed 34)
+import gtaLib
+a = 4.595
+spread = (-23.874 deg, 23.874 deg)
+class Drone(Car):
+    width: (1.217, 1.716)
+    height: Range(2.148, 2.46)
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=5.451):
+    return Car behind anchor by gap, with requireVisible False
+ego = EgoCar
+if 4 >= 2:
+    Car following roadDirection for TruncatedNormal(7.5, 1.5, 3, 12), with requireVisible False, facing toward 3.425 @ -1.11, with width (1.814, 2.279)
+else:
+    Car behind ego by Range(3.362, 5.491), with requireVisible False, with height (1.297, 1.941)
+if 1 >= 3:
+    Car right of ego by Range(4.691, 5.157), with requireVisible False, facing away from Uniform(-8.698, 4.682, -3.278) @ 5.393, with cargo Discrete({1: 2, 2: 1}), with height (2.022, 2.404)
+else:
+    Car left of ego by 3.258, with requireVisible False, with height Range(1.534, 2.472)
+for i in range(2):
+    Drone offset by (i * 5.956 - 5.84) @ (5.84, 13.84), with requireVisible False
+mutate

@@ -1,0 +1,31 @@
+# Three-level class hierarchy with self-dependent defaults and a helper function.
+# Promoted from the fuzzer (repro/fuzz, generator seed 467); kept
+# verbatim below so the golden corpus pins its sampling behaviour.
+# fuzz-generated scenario (seed 467)
+b = (-22.266 deg, 22.266 deg)
+class Drone(Object):
+    width: (2.32, 2.373)
+    height: (0.874, 1.032)
+    halfWidth: self.width / 2
+class Buoy(Drone):
+    height: (1.205, 1.808)
+class Totem(Buoy):
+    width: Range(1.244, 1.512)
+    height: Range(0.742, 1.968)
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=5.58):
+    return Totem right of anchor by gap
+ego = Drone at 0 @ 0
+if 2 >= 3:
+    Drone left of ego by resample(b), facing b
+else:
+    Buoy at -2.753 @ Uniform(0.252, 4.343), facing b, with cargo Discrete({1: 2, 2: 1}), with height (1.108, 1.449)
+obj2 = Drone behind ego by 0.949, facing away from Uniform(1.034, -0.652) @ -2.515, with width Range(1.18, 1.929), with height (0.716, 1.985)
+if 1 >= 1:
+    Buoy ahead of obj2 by 4.071, with allowCollisions True, with requireVisible False
+else:
+    Totem at Range(-0.616, 2.072) @ (-5.221, 10.422), facing toward 3.8 @ -4.451
+param time = Range(4.304, 21.395) * 60
+require (distance to obj2) <= 128.002
+require abs(relative heading of obj2) <= 157.56 deg

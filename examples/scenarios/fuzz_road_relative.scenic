@@ -1,0 +1,15 @@
+# Gta 'on road' placements with headings relative to roaddirection (rejection-heavy).
+# Promoted from the fuzzer (repro/fuzz, generator seed 58); kept
+# verbatim below so the golden corpus pins its sampling behaviour.
+# fuzz-generated scenario (seed 58)
+import gtaLib
+ego = Car with visibleDistance 60
+obj1 = Car on road, apparently facing (-20.414 deg, 18.798 deg)
+obj2 = Car offset by 1.005 @ 4.624, facing toward TruncatedNormal(0, 3.333, -10, 10) @ Uniform(-6.825, -1.034)
+obj3 = Car ahead of obj1 by TruncatedNormal(3.25, 0.917, 0.5, 6), facing -83.09 deg, with allowCollisions True, with cargo Discrete({1: 2, 2: 1})
+if 2 >= 4:
+    Car on road, with requireVisible False, apparently facing (-11.15 deg, 12.828 deg), with cargo Discrete({1: 2, 2: 1})
+else:
+    Car left of obj3 by Uniform(5.35, 1.205, 3.348, 0.688), with requireVisible False, with roadDeviation (-10.192 deg, 11.062 deg) relative to roadDirection, with allowCollisions True, with cargo Discrete({1: 2, 2: 1})
+param label = 'fuzz'
+require abs(relative heading of obj2) <= 120.941 deg

@@ -467,14 +467,19 @@ def FacingAwayFrom(target: Any) -> Specifier:
 
 def ApparentlyFacing(heading: Any, from_point: Any = None) -> Specifier:
     """``apparently facing H [from V]`` — heading relative to the line of sight."""
+    from .lazy import required_properties_of, value_in_context
     from .operators import angle_between
 
     viewer = from_point if from_point is not None else current_ego()
 
     def evaluator(obj: Any) -> Any:
-        return heading_of(heading) + angle_between(position_of(viewer), obj.position)
+        # H may itself be lazy (e.g. ``H relative to field``): resolve it
+        # against the object under construction before coercing to a heading.
+        resolved = value_in_context(heading, obj)
+        return heading_of(resolved) + angle_between(position_of(viewer), obj.position)
 
-    return Specifier("apparently facing", {"heading": DelayedArgument({"position"}, evaluator)})
+    requirements = {"position"} | required_properties_of(heading)
+    return Specifier("apparently facing", {"heading": DelayedArgument(requirements, evaluator)})
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,65 @@
+"""Grammar-driven scenario fuzzing with cross-strategy differential oracles.
+
+The subsystem has four parts:
+
+* :mod:`repro.fuzz.program_gen` — seeded generation of random well-formed
+  (and deliberately invalid) Scenic programs, plus corpus mutation;
+* :mod:`repro.fuzz.oracles` — the differential oracles: strategy
+  equivalence, geometry-kernel equivalence, and independent requirement
+  re-checks;
+* :mod:`repro.fuzz.shrink` — ddmin delta-shrinking of failing programs to
+  minimal reproducers;
+* :mod:`repro.fuzz.runner` — campaign orchestration and persistence of
+  finds into ``tests/fuzz_regressions/``.
+
+Run a campaign from the command line with::
+
+    PYTHONPATH=src python -m repro.fuzz --seed 0 --n 500 --time-budget 60
+
+See ``docs/fuzzing.md`` for the full workflow (run, triage, shrink,
+promote).
+"""
+
+from .oracles import (
+    EXACT_EQUIVALENCE_STRATEGIES,
+    OracleFailure,
+    OracleReport,
+    run_oracles,
+)
+from .program_gen import (
+    GeneratedProgram,
+    PlannedCheck,
+    ProgramGenerator,
+    generate_invalid_program,
+    generate_program,
+    mutate_program,
+)
+from .runner import (
+    CampaignConfig,
+    CampaignResult,
+    Find,
+    check_invalid_program,
+    derive_seed,
+    run_campaign,
+)
+from .shrink import shrink_program
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "EXACT_EQUIVALENCE_STRATEGIES",
+    "Find",
+    "GeneratedProgram",
+    "OracleFailure",
+    "OracleReport",
+    "PlannedCheck",
+    "ProgramGenerator",
+    "check_invalid_program",
+    "derive_seed",
+    "generate_invalid_program",
+    "generate_program",
+    "mutate_program",
+    "run_campaign",
+    "run_oracles",
+    "shrink_program",
+]

@@ -1,0 +1,111 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Given a program and a *predicate* (``predicate(source) -> bool``, True when
+the source still exhibits the failure of interest), :func:`shrink_program`
+produces a smaller program that still satisfies the predicate.  The
+reduction is the classic ddmin loop over source lines (coarse chunks first,
+then single lines), followed by cheap cleanup passes: dedenting orphaned
+blocks is *not* attempted — removing a block header and its body together is
+handled naturally by the chunked phase — but trailing blank lines and
+comments are dropped, and numeric literals are simplified towards ``0``/``1``
+when the failure survives.
+
+Predicates must be total: they are called on arbitrarily mangled sources, so
+:func:`safe_predicate` is provided to wrap oracle-based predicates such that
+any unexpected exception counts as "failure not reproduced" rather than
+crashing the shrink.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Sequence
+
+Predicate = Callable[[str], bool]
+
+
+def safe_predicate(predicate: Predicate) -> Predicate:
+    """Wrap *predicate* so that exceptions count as ``False``."""
+
+    def wrapped(source: str) -> bool:
+        try:
+            return bool(predicate(source))
+        except Exception:  # noqa: BLE001 - shrinking must never crash
+            return False
+
+    return wrapped
+
+
+def _join(lines: Sequence[str]) -> str:
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _ddmin_lines(lines: List[str], predicate: Predicate) -> List[str]:
+    """Minimise *lines* under *predicate* with the ddmin chunking schedule."""
+    granularity = 2
+    while len(lines) >= 2:
+        chunk_size = max(1, len(lines) // granularity)
+        reduced = False
+        start = 0
+        while start < len(lines):
+            candidate = lines[:start] + lines[start + chunk_size:]
+            if candidate and predicate(_join(candidate)):
+                lines = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Restart scanning the shrunk list from the beginning.
+                start = 0
+                continue
+            start += chunk_size
+        if not reduced:
+            if chunk_size == 1:
+                break
+            granularity = min(granularity * 2, len(lines))
+    return lines
+
+
+_NUMBER = re.compile(r"-?\d+\.\d+|-?\d+")
+
+
+def _simplify_numbers(lines: List[str], predicate: Predicate) -> List[str]:
+    """Try rewriting each numeric literal to ``0`` (then ``1``)."""
+    for index, line in enumerate(lines):
+        for match in list(_NUMBER.finditer(line))[::-1]:
+            original = match.group()
+            if original in ("0", "1"):
+                continue
+            for replacement in ("0", "1"):
+                candidate_line = line[: match.start()] + replacement + line[match.end():]
+                candidate = lines[:index] + [candidate_line] + lines[index + 1:]
+                if predicate(_join(candidate)):
+                    line = candidate_line
+                    lines = candidate
+                    break
+    return lines
+
+
+def shrink_program(source: str, predicate: Predicate, *, simplify_literals: bool = True) -> str:
+    """Shrink *source* to a (locally) minimal program still failing *predicate*.
+
+    The input itself must satisfy the predicate; otherwise it is returned
+    unchanged (nothing to shrink towards).
+    """
+    predicate = safe_predicate(predicate)
+    if not predicate(source):
+        return source
+    lines = [line for line in source.splitlines()]
+
+    # Drop comments and blank lines first - they never carry the failure,
+    # and a smaller starting list makes ddmin's schedule cheaper.
+    stripped = [line for line in lines if line.strip() and not line.lstrip().startswith("#")]
+    if stripped and predicate(_join(stripped)):
+        lines = stripped
+
+    lines = _ddmin_lines(lines, predicate)
+    if simplify_literals:
+        lines = _simplify_numbers(lines, predicate)
+    lines = _ddmin_lines(lines, predicate)
+    return _join(lines)
+
+
+__all__ = ["shrink_program", "safe_predicate", "Predicate"]

@@ -78,16 +78,36 @@ DEGREES_TO_RADIANS = math.pi / 180.0
 class _ReturnValue(Exception):
     """Internal control flow for ``return`` statements."""
 
-    def __init__(self, value: Any):
+    def __init__(self, value: Any, line: Optional[int] = None):
         self.value = value
+        self.line = line
 
 
 class _BreakLoop(Exception):
-    pass
+    def __init__(self, line: Optional[int] = None):
+        self.line = line
+        super().__init__()
 
 
 class _ContinueLoop(Exception):
-    pass
+    def __init__(self, line: Optional[int] = None):
+        self.line = line
+        super().__init__()
+
+
+#: Python-level exceptions that user programs can trigger at evaluation time
+#: (bad arithmetic, bad indexing, bad coercions in the core runtime, ...).
+#: They are converted to :class:`InterpreterError` with the source line so
+#: the front end never leaks a raw Python traceback for a program bug.
+_RUNTIME_ERRORS = (
+    TypeError,
+    ValueError,
+    KeyError,
+    IndexError,
+    AttributeError,
+    ArithmeticError,  # includes ZeroDivisionError and OverflowError
+    RecursionError,
+)
 
 
 class _SelfPlaceholder:
@@ -140,6 +160,13 @@ class ScenicFunction:
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
         definition = self.definition
+        interpreter = self.interpreter
+        if interpreter.call_depth >= interpreter.MAX_CALL_DEPTH:
+            raise InterpreterError(
+                f"maximum call depth ({interpreter.MAX_CALL_DEPTH}) exceeded "
+                f"while calling {definition.name}()",
+                definition.line,
+            )
         scope = Environment(self.closure)
         parameters = definition.parameters
         if len(args) > len(parameters):
@@ -162,10 +189,17 @@ class ScenicFunction:
                 bound[parameter] = self.interpreter.evaluate(default, self.closure)
         for name, value in bound.items():
             scope.assign(name, value)
+        interpreter.call_depth += 1
         try:
             self.interpreter.execute_block(definition.body, scope)
         except _ReturnValue as result:
             return result.value
+        except _BreakLoop as escape:
+            raise InterpreterError("'break' outside a loop", escape.line) from None
+        except _ContinueLoop as escape:
+            raise InterpreterError("'continue' outside a loop", escape.line) from None
+        finally:
+            interpreter.call_depth -= 1
         return None
 
     def __repr__(self) -> str:
@@ -215,6 +249,12 @@ def _scenic_abs(value: Any) -> Any:
 class Interpreter:
     """Executes Scenic programs against the core runtime."""
 
+    #: Maximum nesting of Scenic-level function calls before the interpreter
+    #: reports unbounded recursion instead of dying with a RecursionError.
+    #: Each Scenic call costs a couple of dozen Python frames, so the cap
+    #: must fire well before CPython's own recursion limit would.
+    MAX_CALL_DEPTH = 32
+
     def __init__(self, extra_names: Optional[Dict[str, Any]] = None):
         self.globals = Environment()
         for name, value in _make_builtins().items():
@@ -224,16 +264,35 @@ class Interpreter:
                 self.globals.assign(name, value)
         self.context: Optional[ScenarioContext] = None
         self.workspace: Optional[Workspace] = None
+        self.call_depth = 0
 
     # -- top level ---------------------------------------------------------------
 
     def run(self, source: str, workspace: Optional[Workspace] = None) -> Scenario:
-        """Execute *source* and return the resulting scenario."""
+        """Execute *source* and return the resulting scenario.
+
+        Program failures surface as :class:`~repro.core.errors.ScenicError`
+        subclasses, with source lines wherever they are known; ``break`` /
+        ``continue`` / ``return`` at module level are reported rather than
+        leaking the interpreter's internal control-flow exceptions, and any
+        residual Python exception is converted as a last resort (the
+        "never crashes" contract relied on by :mod:`repro.fuzz`).
+        """
         program = parse_program(source)
         self.context = push_context()
         self.workspace = workspace
         try:
             self.execute_block(program.statements, self.globals)
+        except _BreakLoop as escape:
+            raise InterpreterError("'break' outside a loop", escape.line) from None
+        except _ContinueLoop as escape:
+            raise InterpreterError("'continue' outside a loop", escape.line) from None
+        except _ReturnValue as escape:
+            raise InterpreterError("'return' outside a function", escape.line) from None
+        except ScenicError:
+            raise
+        except Exception as error:
+            raise InterpreterError(f"internal error: {type(error).__name__}: {error}") from error
         finally:
             context = pop_context()
         self.context = None
@@ -273,12 +332,12 @@ class Interpreter:
             return
         if isinstance(target, ast.Attribute):
             base = self.evaluate(target.target, env)
-            setattr(base, target.attribute, value)
+            self._guard(node, setattr, base, target.attribute, value)
             return
         if isinstance(target, ast.Subscript):
             base = self.evaluate(target.target, env)
             index = self.evaluate(target.index, env)
-            base[index] = value
+            self._guard(node, lambda: base.__setitem__(index, value))
             return
         raise InterpreterError("invalid assignment target", node.line)
 
@@ -326,6 +385,7 @@ class Interpreter:
     def _execute_ForStatement(self, node: ast.ForStatement, env: Environment) -> None:
         iterable = self.evaluate(node.iterable, env)
         self._check_not_random(iterable, node, "loop iteration")
+        iterable = self._guard(node, iter, iterable)
         for item in iterable:
             env.assign(node.variable, item)
             try:
@@ -357,19 +417,21 @@ class Interpreter:
 
     def _execute_ReturnStatement(self, node: ast.ReturnStatement, env: Environment) -> None:
         value = self.evaluate(node.value, env) if node.value is not None else None
-        raise _ReturnValue(value)
+        raise _ReturnValue(value, node.line)
 
     def _execute_BreakStatement(self, node: ast.BreakStatement, env: Environment) -> None:
-        raise _BreakLoop()
+        raise _BreakLoop(node.line)
 
     def _execute_ContinueStatement(self, node: ast.ContinueStatement, env: Environment) -> None:
-        raise _ContinueLoop()
+        raise _ContinueLoop(node.line)
 
     def _execute_PassStatement(self, node: ast.PassStatement, env: Environment) -> None:
         return None
 
     def _execute_ClassDefinition(self, node: ast.ClassDefinition, env: Environment) -> None:
         if node.superclass is not None:
+            if not env.contains(node.superclass):
+                raise InterpreterError(f"name '{node.superclass}' is not defined", node.line)
             superclass = env.lookup(node.superclass)
             if not (isinstance(superclass, type) and issubclass(superclass, Point)):
                 raise InterpreterError(f"'{node.superclass}' is not a Scenic class", node.line)
@@ -436,15 +498,15 @@ class Interpreter:
     def _eval_UnaryOp(self, node: ast.UnaryOp, env: Environment) -> Any:
         operand = self.evaluate(node.operand, env)
         if node.operator == "-":
-            return self._unary("neg", operand, lambda value: -value)
+            return self._guard(node, self._unary, "neg", operand, lambda value: -value)
         if node.operator == "not":
-            return self._unary("not", operand, lambda value: not value)
+            return self._guard(node, self._unary, "not", operand, lambda value: not value)
         raise InterpreterError(f"unknown unary operator {node.operator}", node.line)
 
     def _eval_BinaryOp(self, node: ast.BinaryOp, env: Environment) -> Any:
         left = self.evaluate(node.left, env)
         right = self.evaluate(node.right, env)
-        return self._binary(node.operator, left, right)
+        return self._guard(node, self._binary, node.operator, left, right)
 
     def _eval_Comparison(self, node: ast.Comparison, env: Environment) -> Any:
         left = self.evaluate(node.left, env)
@@ -453,7 +515,7 @@ class Interpreter:
             return left is right
         if node.operator == "is not":
             return left is not right
-        return self._binary(node.operator, left, right)
+        return self._guard(node, self._binary, node.operator, left, right)
 
     def _eval_BoolOp(self, node: ast.BoolOp, env: Environment) -> Any:
         left = self.evaluate(node.left, env)
@@ -483,7 +545,7 @@ class Interpreter:
         index = self.evaluate(node.index, env)
         if isinstance(target, Distribution) or isinstance(index, Distribution):
             return OperatorDistribution("getitem", target, index)
-        return target[index]
+        return self._guard(node, lambda: target[index])
 
     def _eval_Call(self, node: ast.Call, env: Environment) -> Any:
         function = self.evaluate(node.function, env)
@@ -491,7 +553,7 @@ class Interpreter:
         kwargs = {name: self.evaluate(value, env) for name, value in node.keyword_args}
         if not callable(function):
             raise InterpreterError(f"{function!r} is not callable", node.line)
-        return function(*args, **kwargs)
+        return self._guard(node, function, *args, **kwargs)
 
     # Scenic-specific expressions
 
@@ -604,8 +666,10 @@ class Interpreter:
             raise InterpreterError(f"unknown class '{node.class_name}'", node.line)
         if not (isinstance(klass, type) and issubclass(klass, Point)):
             raise InterpreterError(f"'{node.class_name}' is not a Scenic class", node.line)
-        specifiers = [self._build_specifier(spec, env) for spec in node.specifiers]
-        return klass(*specifiers)
+        specifiers = [
+            self._guard(spec, self._build_specifier, spec, env) for spec in node.specifiers
+        ]
+        return self._guard(node, klass, *specifiers)
 
     # -- specifier construction ------------------------------------------------------
 
@@ -654,6 +718,23 @@ class Interpreter:
         raise InterpreterError(f"unknown specifier kind '{kind}'", node.line)
 
     # -- helpers -----------------------------------------------------------------------
+
+    def _guard(self, node: ast.Node, function: Callable, *args: Any, **kwargs: Any) -> Any:
+        """Run *function*, converting raw Python errors to InterpreterErrors.
+
+        ScenicErrors (including RejectSample and errors already carrying a
+        line) pass through untouched; everything in :data:`_RUNTIME_ERRORS`
+        becomes an :class:`InterpreterError` pinned to *node*'s source line.
+        """
+        try:
+            return function(*args, **kwargs)
+        except ScenicError:
+            raise
+        except (_ReturnValue, _BreakLoop, _ContinueLoop):
+            raise
+        except _RUNTIME_ERRORS as error:
+            message = str(error) or type(error).__name__
+            raise InterpreterError(f"{type(error).__name__}: {message}", node.line) from error
 
     def _require_context(self, node: ast.Node) -> ScenarioContext:
         if self.context is None:

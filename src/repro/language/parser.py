@@ -97,8 +97,41 @@ class _TokenStream:
 class Parser:
     """Parses a token stream into a :class:`repro.language.ast_nodes.Program`."""
 
+    #: Maximum expression-nesting depth.  Each nesting level costs about a
+    #: dozen Python stack frames through the precedence ladder, so without a
+    #: cap a few hundred nested parentheses (or a long chain of unary
+    #: operators) would escape as a raw ``RecursionError`` instead of a
+    #: proper syntax error.  The value leaves ample stack headroom even when
+    #: the host process starts deep in its own call stack (e.g. pytest).
+    MAX_EXPRESSION_DEPTH = 32
+
+    #: Maximum statement (block) nesting depth.
+    MAX_STATEMENT_DEPTH = 50
+
     def __init__(self, tokens: List[Token]):
         self.stream = _TokenStream(tokens)
+        self._expression_depth = 0
+        self._statement_depth = 0
+
+    def _descend(self, kind: str) -> None:
+        if kind == "expression":
+            self._expression_depth += 1
+            if self._expression_depth > self.MAX_EXPRESSION_DEPTH:
+                token = self.stream.peek()
+                raise syntax_error(
+                    f"expression nesting exceeds {self.MAX_EXPRESSION_DEPTH} levels",
+                    token.line,
+                    token.column,
+                )
+        else:
+            self._statement_depth += 1
+            if self._statement_depth > self.MAX_STATEMENT_DEPTH:
+                token = self.stream.peek()
+                raise syntax_error(
+                    f"statement nesting exceeds {self.MAX_STATEMENT_DEPTH} levels",
+                    token.line,
+                    token.column,
+                )
 
     # -- program and statements -------------------------------------------------
 
@@ -111,6 +144,13 @@ class Parser:
         return ast.Program(statements, line=1)
 
     def parse_statement(self) -> ast.Node:
+        self._descend("statement")
+        try:
+            return self._parse_statement_inner()
+        finally:
+            self._statement_depth -= 1
+
+    def _parse_statement_inner(self) -> ast.Node:
         token = self.stream.peek()
         if token.kind is TokenKind.NAME:
             keyword = token.value
@@ -468,7 +508,11 @@ class Parser:
     # -- expressions ---------------------------------------------------------------
 
     def parse_expression(self) -> ast.Node:
-        return self._parse_ternary()
+        self._descend("expression")
+        try:
+            return self._parse_ternary()
+        finally:
+            self._expression_depth -= 1
 
     def _parse_ternary(self) -> ast.Node:
         value = self._parse_disjunction()
@@ -476,7 +520,11 @@ class Parser:
             line = self.stream.advance().line
             condition = self._parse_disjunction()
             self.stream.expect_name("else")
-            else_value = self._parse_ternary()
+            self._descend("expression")
+            try:
+                else_value = self._parse_ternary()
+            finally:
+                self._expression_depth -= 1
             return ast.Conditional(value, condition, else_value, line=line)
         return value
 
@@ -499,7 +547,12 @@ class Parser:
     def _parse_negation(self) -> ast.Node:
         if self.stream.peek().is_name("not"):
             line = self.stream.advance().line
-            return ast.UnaryOp("not", self._parse_negation(), line=line)
+            self._descend("expression")
+            try:
+                operand = self._parse_negation()
+            finally:
+                self._expression_depth -= 1
+            return ast.UnaryOp("not", operand, line=line)
         return self._parse_comparison()
 
     def _parse_comparison(self) -> ast.Node:
@@ -590,19 +643,27 @@ class Parser:
 
     def _parse_unary(self) -> ast.Node:
         token = self.stream.peek()
-        if token.is_operator("-"):
+        if token.is_operator("-", "+"):
             self.stream.advance()
-            return ast.UnaryOp("-", self._parse_unary(), line=token.line)
-        if token.is_operator("+"):
-            self.stream.advance()
-            return self._parse_unary()
+            self._descend("expression")
+            try:
+                operand = self._parse_unary()
+            finally:
+                self._expression_depth -= 1
+            if token.is_operator("+"):
+                return operand
+            return ast.UnaryOp("-", operand, line=token.line)
         return self._parse_power()
 
     def _parse_power(self) -> ast.Node:
         base = self._parse_postfix()
         if self.stream.peek().is_operator("**"):
             token = self.stream.advance()
-            exponent = self._parse_unary()
+            self._descend("expression")
+            try:
+                exponent = self._parse_unary()
+            finally:
+                self._expression_depth -= 1
             return ast.BinaryOp("**", base, exponent, line=token.line)
         return base
 

@@ -1,0 +1,3 @@
+import gtaLib
+ego = Car
+Car on road, apparently facing 10 deg relative to roadDirection, with requireVisible False

@@ -1,0 +1,3 @@
+def f():
+    return f()
+x = f()

@@ -1,0 +1,260 @@
+"""Property-based (Hypothesis) tests for the language layer.
+
+``test_property_based.py`` covers core data structures and geometry; this
+module covers the front end: lexer round-trips, the parser on generated
+expression strings, and interpreter arithmetic / specifier invariants.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz import generate_program
+from repro.language import scenario_from_string
+from repro.language.lexer import Token, TokenKind, tokenize
+from repro.language.parser import parse_program
+from repro.language import ast_nodes as ast
+
+# ---------------------------------------------------------------------------
+# Lexer round-trips
+# ---------------------------------------------------------------------------
+
+_names = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,8}", fullmatch=True)
+_integers = st.integers(min_value=0, max_value=10**9)
+_floats = st.floats(
+    min_value=0.001, max_value=1e6, allow_nan=False, allow_infinity=False
+).map(lambda x: round(x, 6))
+_operators = st.sampled_from(
+    ["+", "-", "*", "/", "//", "%", "**", "==", "!=", "<", ">", "<=", ">=",
+     "=", ",", ":", ".", "@", "(", ")", "[", "]"]
+)
+_strings = st.from_regex(r"[a-zA-Z0-9 _.,-]{0,12}", fullmatch=True)
+
+
+@st.composite
+def token_specs(draw):
+    """A list of (expected kind, expected value, source text) triples."""
+    specs = []
+    for _ in range(draw(st.integers(1, 12))):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            name = draw(_names)
+            specs.append((TokenKind.NAME, name, name))
+        elif choice == 1:
+            number = draw(st.one_of(_integers.map(str), _floats.map(repr)))
+            specs.append((TokenKind.NUMBER, number, number))
+        elif choice == 2:
+            operator = draw(_operators)
+            specs.append((TokenKind.OPERATOR, operator, operator))
+        else:
+            text = draw(_strings)
+            specs.append((TokenKind.STRING, text, f"'{text}'"))
+    return specs
+
+
+class TestLexerRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(token_specs())
+    def test_tokens_round_trip_through_source(self, specs):
+        """Rendering tokens with separating spaces and re-lexing is lossless."""
+        # Balance brackets so the lexer does not reject the line: emit the
+        # token list, then close anything left open.
+        source_parts = []
+        depth = 0
+        filtered = []
+        for kind, value, text in specs:
+            if kind is TokenKind.OPERATOR and value in ")]":
+                if depth == 0:
+                    continue  # would be an unmatched closer
+                depth -= 1
+            if kind is TokenKind.OPERATOR and value in "([":
+                depth += 1
+            filtered.append((kind, value, text))
+            source_parts.append(text)
+        closers = {0: ")", 1: "]"}
+        open_stack = []
+        for kind, value, _ in filtered:
+            if kind is TokenKind.OPERATOR and value in "([":
+                open_stack.append(")" if value == "(" else "]")
+            elif kind is TokenKind.OPERATOR and value in ")]":
+                open_stack.pop()
+        for closer in reversed(open_stack):
+            filtered.append((TokenKind.OPERATOR, closer, closer))
+            source_parts.append(closer)
+        source = " ".join(source_parts)
+
+        tokens = tokenize(source)
+        lexed = [t for t in tokens if t.kind not in (TokenKind.NEWLINE, TokenKind.END)]
+        assert len(lexed) == len(filtered)
+        for token, (kind, value, _) in zip(lexed, filtered):
+            assert token.kind is kind, (token, kind)
+            if kind is TokenKind.NUMBER:
+                assert float(token.value) == float(value)
+            else:
+                assert token.value == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_generated_programs_have_balanced_indentation(self, seed):
+        """INDENT/DEDENT tokens always balance on generator output."""
+        source = generate_program(seed % 5000).source
+        tokens = tokenize(source)
+        depth = 0
+        for token in tokens:
+            if token.kind is TokenKind.INDENT:
+                depth += 1
+            elif token.kind is TokenKind.DEDENT:
+                depth -= 1
+            assert depth >= 0
+        assert depth == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="abc123+-*/()[]{}'\"# \t\n\\@.,:=<>!%", max_size=60))
+    def test_lexer_totality_on_garbage(self, source):
+        """The lexer either tokenizes or raises a ScenicError - never crashes."""
+        from repro.core.errors import ScenicError
+
+        try:
+            tokenize(source)
+        except ScenicError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parser on generated expression strings
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def arithmetic_expressions(draw, depth=0):
+    """An expression string over ints with +, -, *, parentheses and unary -."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(-50, 50))
+        return f"({value})" if value < 0 else str(value)
+    left = draw(arithmetic_expressions(depth=depth + 1))
+    right = draw(arithmetic_expressions(depth=depth + 1))
+    operator = draw(st.sampled_from(["+", "-", "*"]))
+    rendered = f"{left} {operator} {right}"
+    if draw(st.booleans()):
+        rendered = f"({rendered})"
+    return rendered
+
+
+class TestParserProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(arithmetic_expressions())
+    def test_arithmetic_parses_and_matches_python(self, expression):
+        program = parse_program(f"x = {expression}\n")
+        assert len(program.statements) == 1
+        assert isinstance(program.statements[0], ast.Assignment)
+        # The interpreter must agree with Python on concrete arithmetic.
+        scenario = scenario_from_string(
+            f"ego = Object at 0 @ 0\nparam result = {expression}\n"
+        )
+        assert scenario.params["result"] == eval(expression)
+
+    @settings(max_examples=80, deadline=None)
+    @given(arithmetic_expressions(), arithmetic_expressions())
+    def test_comparison_operators_match_python(self, left, right):
+        for operator in ("<", "<=", "==", "!=", ">", ">="):
+            scenario = scenario_from_string(
+                f"ego = Object at 0 @ 0\nparam result = ({left}) {operator} ({right})\n"
+            )
+            assert scenario.params["result"] == eval(f"({left}) {operator} ({right})")
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_generator_output_parses_to_a_program(self, seed):
+        source = generate_program(seed % 5000).source
+        program = parse_program(source)
+        assert isinstance(program, ast.Program)
+        assert program.statements
+
+
+# ---------------------------------------------------------------------------
+# Interpreter invariants
+# ---------------------------------------------------------------------------
+
+_coords = st.floats(min_value=-100, max_value=100, allow_nan=False).map(
+    lambda x: round(x, 6)
+)
+_angles_deg = st.floats(min_value=-720, max_value=720, allow_nan=False).map(
+    lambda x: round(x, 4)
+)
+
+
+def _fmt(value):
+    return repr(float(value))
+
+
+class TestInterpreterInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(_coords, _coords)
+    def test_at_places_exactly(self, x, y):
+        scenario = scenario_from_string(f"ego = Object at {_fmt(x)} @ {_fmt(y)}\n")
+        scene = scenario.generate(seed=0)
+        assert scene.ego.position.x == float(x)
+        assert scene.ego.position.y == float(y)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_coords, _coords, _coords, _coords)
+    def test_offset_by_is_vector_addition_for_unrotated_ego(self, ex, ey, dx, dy):
+        scenario = scenario_from_string(
+            f"ego = Object at {_fmt(ex)} @ {_fmt(ey)}, facing 0 deg\n"
+            f"Object offset by {_fmt(dx)} @ {_fmt(dy)}, with allowCollisions True, "
+            f"with requireVisible False\n"
+        )
+        scene = scenario.generate(seed=0)
+        other = scene.non_ego_objects[0]
+        assert math.isclose(other.position.x, float(ex) + float(dx), abs_tol=1e-9)
+        assert math.isclose(other.position.y, float(ey) + float(dy), abs_tol=1e-9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_angles_deg)
+    def test_deg_operator_converts_to_radians(self, degrees):
+        scenario = scenario_from_string(
+            f"ego = Object at 0 @ 0\nparam result = {_fmt(degrees)} deg\n"
+        )
+        assert math.isclose(
+            scenario.params["result"], math.radians(float(degrees)), rel_tol=1e-12, abs_tol=1e-12
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(_angles_deg)
+    def test_facing_sets_heading(self, degrees):
+        scenario = scenario_from_string(
+            f"ego = Object at 0 @ 0, facing {_fmt(degrees)} deg\n"
+        )
+        scene = scenario.generate(seed=0)
+        expected = math.radians(float(degrees))
+        difference = (scene.ego.heading - expected) % (2 * math.pi)
+        assert min(difference, 2 * math.pi - difference) < 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=0.01, max_value=60, allow_nan=False),
+        st.integers(0, 2**31),
+    )
+    def test_range_param_samples_inside_interval(self, low, width, seed):
+        low = round(low, 6)
+        high = round(low + width, 6)
+        scenario = scenario_from_string(
+            f"ego = Object at 0 @ 0\nparam result = ({low!r}, {high!r})\n"
+        )
+        scene = scenario.generate(seed=seed)
+        assert low - 1e-9 <= scene.params["result"] <= high + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=20, allow_nan=False), st.integers(0, 2**31))
+    def test_ahead_of_separates_bounding_boxes_by_the_gap(self, gap, seed):
+        gap = round(gap, 6)
+        scenario = scenario_from_string(
+            "ego = Object at 0 @ 0, facing 0 deg\n"
+            f"Object ahead of ego by {gap!r}, with requireVisible False\n"
+        )
+        scene = scenario.generate(seed=seed)
+        other = scene.non_ego_objects[0]
+        front_edge = scene.ego.position.y + scene.ego.height / 2
+        back_edge = other.position.y - other.height / 2
+        assert math.isclose(back_edge - front_edge, float(gap), abs_tol=1e-9)

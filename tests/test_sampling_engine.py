@@ -388,3 +388,82 @@ class TestStrategyRegistry:
     def test_strategy_instance_with_options_rejected(self):
         with pytest.raises(TypeError):
             SamplerEngine(containment_heavy_scenario(1), RejectionSampler(), workers=2)
+
+
+class TestStrategyRegistryEdgeCases:
+    """Registry misuse and overwrite semantics (fuzz-oracle prerequisites)."""
+
+    def test_unknown_name_error_lists_known_strategies(self):
+        with pytest.raises(ValueError) as info:
+            make_strategy("definitely-not-a-strategy")
+        message = str(info.value)
+        for name in ("rejection", "pruning", "batch", "parallel", "vectorized"):
+            assert name in message
+
+    def test_unknown_options_raise_type_error(self):
+        with pytest.raises(TypeError):
+            make_strategy("rejection", bogus_option=1)
+        with pytest.raises(TypeError):
+            make_strategy("vectorized", block_size=8, nope=True)
+
+    def test_register_strategy_overwrites_same_name(self):
+        original = STRATEGIES["rejection"]
+
+        @register_strategy
+        class ShadowingSampler(RejectionSampler):
+            name = "rejection"
+
+        try:
+            # Latest registration wins, and the engine resolves through the
+            # live registry (not a snapshot taken at import time).
+            assert STRATEGIES["rejection"] is ShadowingSampler
+            assert isinstance(make_strategy("rejection"), ShadowingSampler)
+            engine = SamplerEngine(containment_heavy_scenario(1), "rejection")
+            assert isinstance(engine.strategy, ShadowingSampler)
+        finally:
+            STRATEGIES["rejection"] = original
+        assert isinstance(make_strategy("rejection"), original)
+
+    def test_register_strategy_returns_class_for_decorator_use(self):
+        class Plug(RejectionSampler):
+            name = "test-plug"
+
+        try:
+            assert register_strategy(Plug) is Plug
+            assert STRATEGIES["test-plug"] is Plug
+        finally:
+            STRATEGIES.pop("test-plug", None)
+
+    def test_parallel_rejects_unknown_base_strategy(self):
+        with pytest.raises(ValueError, match="unknown sampling strategy"):
+            make_strategy("parallel", base_strategy="nope")
+
+    def test_parallel_forwards_base_options(self):
+        sampler = make_strategy("parallel", base_strategy="batch", local_redraw_cap=5)
+        assert isinstance(sampler.base, BatchSampler)
+        assert sampler.base.local_redraw_cap == 5
+
+    def test_parallel_single_draw_equals_rejection(self):
+        """A single ``sample()`` must delegate to the base strategy verbatim
+        (the contract the fuzz oracle's exact-equivalence class relies on)."""
+        source = scenarios.two_cars()
+        reference = SamplerEngine(
+            scenarios.compile_scenario(source), "rejection"
+        ).sample(seed=11, max_iterations=20000)
+        delegated = SamplerEngine(
+            scenarios.compile_scenario(source), "parallel", workers=3
+        ).sample(seed=11, max_iterations=20000)
+        assert scene_fingerprint(reference) == scene_fingerprint(delegated)
+
+    def test_parallel_seeding_is_per_scene_not_per_worker(self):
+        """Worker-count invariance must hold even when workers > batch size."""
+        source = scenarios.two_cars()
+
+        def fingerprints(workers):
+            engine = SamplerEngine(
+                scenarios.compile_scenario(source), "parallel", workers=workers
+            )
+            batch = engine.sample_batch(3, seed=21, max_iterations=20000)
+            return [scene_fingerprint(scene) for scene in batch]
+
+        assert fingerprints(2) == fingerprints(8)
