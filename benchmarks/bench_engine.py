@@ -1,18 +1,26 @@
 """Strategy shoot-out for the pluggable sampling engine (`repro/sampling/`).
 
-Two hard cases:
+Hard cases under assertion (the engine exists to make sampling measurably
+cheaper, and this benchmark is the regression guard):
 
 * a containment-heavy scenario (several independent objects drawn from a
   region much larger than the workspace) where plain rejection must redraw
   the *joint* sample on every containment failure, while ``BatchSampler``
   re-draws only the offending object group;
 * a gallery scenario where ``PruningAwareSampler`` shrinks the feasible
-  road region before sampling.
+  road region before sampling;
+* the geometry kernel against the scalar hot-path checks (≥3x);
+* the compiled-artifact cache: warm-path scenario construction must be
+  ≥10x faster than a cold compile (lexer+parser+interpreter);
+* the generation service's warm-path throughput (recorded, not asserted —
+  CI runners have too few cores for a meaningful parallel-speedup bound).
 
-Both comparisons are asserted, not just reported: the engine exists to make
-sampling measurably cheaper, and this benchmark is the regression guard.
+Headline numbers are also written to ``results/BENCH_4.json`` (see
+``conftest.save_bench_json``) so future PRs have a machine-readable perf
+trajectory to diff against.
 """
 
+import asyncio
 import random
 import time
 
@@ -24,9 +32,10 @@ from repro.experiments import scenarios
 from repro.experiments.pruning_eval import measure_sampling
 from repro.geometry import kernel
 from repro.geometry.polygon import Polygon, polygons_intersect
+from repro.language import ArtifactCache, compile_scenario
 from repro.sampling import SamplerEngine
 
-from conftest import save_result
+from conftest import save_bench_json, save_result
 
 
 def containment_heavy_scenario(object_count: int = 4):
@@ -87,6 +96,11 @@ def test_batch_sampler_beats_rejection_on_containment(benchmark, record_result):
         "\nsample, so its candidate count collapses.",
     )
     by_name = {row["strategy"]: row for row in rows}
+    save_bench_json(
+        "engine_strategies",
+        {row["strategy"]: {k: row[k] for k in ("iterations", "redraws", "wall_seconds")}
+         for row in rows},
+    )
     # The acceptance criterion: measurably fewer full candidates AND lower
     # wall time than plain rejection.  The margin is huge (>100x in practice);
     # assert a conservative 5x so noise cannot flake the benchmark.
@@ -215,9 +229,147 @@ def test_vectorized_kernel_beats_scalar_geometry(benchmark, record_result):
         "8-piece polygonal workspace;\ncontainment (corners + edge midpoints) "
         "and pairwise collision verdicts\nidentical between the two paths.",
     )
+    save_bench_json(
+        "geometry_kernel",
+        {
+            "scalar_seconds": scalar_seconds,
+            "kernel_seconds": kernel_seconds,
+            "speedup": speedup,
+            "candidates": candidate_count,
+            "objects": object_count,
+        },
+    )
     # The acceptance criterion: the vectorized kernel is at least 3x faster
     # (in practice far more) on the containment-heavy 20-object workload.
     assert speedup >= 3.0, f"kernel only {speedup:.2f}x faster than scalar"
+
+
+def test_compiled_artifact_cache_warm_vs_cold(benchmark, record_result, record_bench_json):
+    """Warm-path scenario construction must be >= 10x faster than cold compile.
+
+    Cold: the full front end per construction (lexer → parser → interpreter,
+    ``compile_scenario(source, cache=None).scenario(fresh=True)``).  Warm:
+    the content-addressed artifact cache's interned scenario
+    (``cache.get(source).scenario()``), i.e. what ``SamplerEngine(source)``
+    and the generation service's workers pay after their first request.
+    The margin is enormous in practice (a dict lookup vs re-running the
+    whole front end); 10x is the conservative regression bound from the
+    issue's acceptance criteria.
+    """
+    sources = [
+        scenarios.two_cars(),
+        scenarios.platoon(),
+        scenarios.bad_conditions(4),
+        scenarios.mars_bottleneck(),
+    ]
+    rounds = 15
+
+    def cold_pass():
+        for source in sources:
+            compile_scenario(source, cache=None).scenario(fresh=True)
+
+    def warm_pass(cache):
+        for source in sources:
+            cache.get(source).scenario()
+
+    def measure():
+        cache = ArtifactCache()
+        warm_pass(cache)  # populate: the warm path presumes a prior compile
+        cold_start = time.perf_counter()
+        for _ in range(rounds):
+            cold_pass()
+        cold_seconds = time.perf_counter() - cold_start
+        warm_start = time.perf_counter()
+        for _ in range(rounds):
+            warm_pass(cache)
+        warm_seconds = time.perf_counter() - warm_start
+        return cold_seconds, warm_seconds
+
+    cold_seconds, warm_seconds = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = cold_seconds / warm_seconds
+    per_construction_cold = cold_seconds / (rounds * len(sources)) * 1e3
+    per_construction_warm = warm_seconds / (rounds * len(sources)) * 1e3
+    record_result(
+        "compile_cache",
+        f"cold compile:   {per_construction_cold:8.3f} ms / scenario construction\n"
+        f"warm artifact:  {per_construction_warm:8.3f} ms / scenario construction\n"
+        f"speedup:        {speedup:8.1f}x\n"
+        f"\n{rounds} rounds x {len(sources)} gallery programs (two_cars, platoon,"
+        "\n4-car bad conditions, mars_bottleneck).  Cold runs the whole front end"
+        "\n(lexer, parser, interpreter); warm is a content-hash lookup returning"
+        "\nthe artifact's interned scenario.",
+    )
+    record_bench_json(
+        "compile_cache",
+        {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "constructions": rounds * len(sources),
+            "cold_ms_per_construction": per_construction_cold,
+            "warm_ms_per_construction": per_construction_warm,
+        },
+    )
+    # The issue's acceptance criterion.
+    assert speedup >= 10.0, f"warm path only {speedup:.1f}x faster than cold compile"
+
+
+def test_service_throughput(benchmark, record_result, record_bench_json):
+    """Warm-path generation-service throughput (recorded as perf trajectory).
+
+    Measures a sharded 60-scene request against a 2-process pool after a
+    warm-up request (so workers hold the compiled artifact), plus the
+    cold-vs-warm request latency.  Throughput is *recorded* into
+    ``results/BENCH_4.json`` rather than asserted against a bound: CI
+    runners often expose a single core, where a process pool cannot beat
+    inline execution.  Correctness (scene count, shard fan-out) is asserted.
+    """
+    from repro.service import GenerationService
+
+    source = scenarios.two_cars()
+    scene_count = 60
+
+    async def run():
+        async with GenerationService(workers=2) as service:
+            cold_start = time.perf_counter()
+            await service.generate(source, n=2, seed=0, max_iterations=20000)
+            cold_request = time.perf_counter() - cold_start
+
+            warm_start = time.perf_counter()
+            response = await service.generate(
+                source, n=scene_count, seed=7, strategy="vectorized",
+                max_iterations=20000,
+            )
+            warm_request = time.perf_counter() - warm_start
+            return cold_request, warm_request, response
+
+    cold_request, warm_request, response = benchmark.pedantic(
+        lambda: asyncio.run(run()), rounds=1, iterations=1
+    )
+    assert len(response.scenes) == scene_count
+    assert response.stats["shards"] == 2
+    throughput = scene_count / warm_request
+    record_result(
+        "service_throughput",
+        f"cold request (2 scenes, compile + first sample): {cold_request * 1e3:8.1f} ms\n"
+        f"warm request ({scene_count} scenes, vectorized): {warm_request * 1e3:8.1f} ms\n"
+        f"throughput:                    {throughput:8.1f} scenes/s\n"
+        f"worker cache hits: {response.stats['worker_cache_hits']}/{response.stats['shards']}"
+        f" shards, workers: {len(response.stats['workers'])}\n"
+        "\n2-process pool, splitmix64 per-scene seeds (bit-identical to any"
+        "\nother worker count), two_cars gallery scenario.",
+    )
+    record_bench_json(
+        "service_throughput",
+        {
+            "scenes": scene_count,
+            "cold_request_seconds": cold_request,
+            "warm_request_seconds": warm_request,
+            "scenes_per_second": throughput,
+            "workers": 2,
+            "strategy": "vectorized",
+        },
+    )
 
 
 def test_parallel_sampler_is_deterministic(benchmark):

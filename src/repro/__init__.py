@@ -6,14 +6,25 @@ Subpackages
 
 * :mod:`repro.core` — the probabilistic runtime (distributions, objects,
   specifiers, scenarios, rejection sampling and pruning).
-* :mod:`repro.geometry` — the computational-geometry substrate.
-* :mod:`repro.language` — the Scenic DSL: lexer, parser and interpreter.
+* :mod:`repro.geometry` — the computational-geometry substrate (scalar ops
+  plus the vectorized batch kernel).
+* :mod:`repro.language` — the Scenic DSL: lexer, parser, interpreter, and
+  the compile-once artifact cache (``compile_scenario``).
+* :mod:`repro.sampling` — the pluggable scene-sampling engine and its
+  strategies (rejection / pruning / batch / parallel / vectorized).
+* :mod:`repro.service` — the async, process-sharded generation service over
+  compiled artifacts (``GenerationService``, JSON-lines TCP server, CLI).
+* :mod:`repro.fuzz` — the grammar-driven scenario fuzzer and differential
+  oracles guarding all of the above.
 * :mod:`repro.worlds` — world libraries (the GTA-like road world used by the
   case study, and the Mars-rover world).
 * :mod:`repro.perception` — the synthetic rendering + car-detection pipeline
   standing in for GTA V + squeezeDet.
 * :mod:`repro.experiments` — harnesses regenerating every table and figure of
   the paper's evaluation.
+
+The documentation site under ``docs/`` starts at ``docs/index.md`` (layered
+architecture overview) and ``docs/language.md`` (the language reference).
 """
 
 __version__ = "1.0.0"

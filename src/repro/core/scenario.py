@@ -82,8 +82,26 @@ class Scenario:
         self.workspace = workspace if workspace is not None else Workspace()
         self.last_stats: Optional[GenerationStats] = None
         self._engine_cache: Dict[Any, Any] = {}
+        #: Content address of the compiled artifact this scenario came from
+        #: (set by :mod:`repro.language.compiler`); ``None`` for scenarios
+        #: built directly through the Python API.
+        self.compiled_fingerprint: Optional[str] = None
 
     # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def from_source(cls, source: str, fresh: bool = True, **scenario_options: Any) -> "Scenario":
+        """Compile Scenic *source* into a scenario via the artifact cache.
+
+        A convenience front door to :func:`repro.language.compile_scenario`:
+        warm compiles skip the lexer and parser (and, with ``fresh=False``,
+        the interpreter too — returning the artifact's shared scenario; see
+        the sharing caveat on
+        :meth:`repro.language.CompiledScenario.scenario`).
+        """
+        from ..language.compiler import compile_scenario  # language builds on core
+
+        return compile_scenario(source).scenario(fresh=fresh, **scenario_options)
 
     @classmethod
     def from_context(cls, context: ScenarioContext, workspace: Optional[Workspace] = None) -> "Scenario":

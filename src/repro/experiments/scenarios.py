@@ -368,7 +368,15 @@ GALLERY = {
 
 
 def compile_scenario(source: str) -> Scenario:
-    """Compile Scenic source text into a scenario ready for sampling."""
+    """Compile Scenic source text into a scenario ready for sampling.
+
+    Routed through the content-addressed artifact cache of
+    :mod:`repro.language.compiler`: experiments re-compile the same handful
+    of gallery programs hundreds of times, and warm compiles skip the lexer
+    and parser.  Each call still returns an *independent* scenario (the
+    pruning harnesses mutate sampling regions in place, so sharing would be
+    unsound — see ``docs/sampling.md``).
+    """
     return scenario_from_string(source)
 
 

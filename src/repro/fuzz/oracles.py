@@ -356,6 +356,13 @@ def check_kernel_equivalence(scenario, scene, seed: int, points_per_region: int 
 
 
 def _fresh_compile(source: str):
+    """An independent scenario per strategy, via the cached compile artifact.
+
+    ``scenario_from_string`` routes through the content-addressed artifact
+    cache, so the oracles' N-strategies-per-program pattern parses each
+    program once and re-runs only the interpreter per strategy — while the
+    scenarios stay independent (pruning mutates regions in place).
+    """
     return scenario_from_string(source)
 
 

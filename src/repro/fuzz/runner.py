@@ -113,12 +113,14 @@ def check_invalid_program(source: str) -> Optional[str]:
 
     Returns a failure description when compilation escapes with anything
     that is not a :class:`ScenicError` — the "never crashes" contract of the
-    front end.
+    front end.  Runs through :func:`repro.language.compile_scenario` so the
+    artifact-cache layer is itself under the fuzzer's crash contract, and so
+    a mutation-mode recheck of an already-seen program skips the parser.
     """
-    from ..language import scenario_from_string
+    from ..language import compile_scenario
 
     try:
-        scenario_from_string(source)
+        compile_scenario(source).scenario(fresh=True)
     except ScenicError:
         return None
     except Exception as error:  # noqa: BLE001 - this is the point

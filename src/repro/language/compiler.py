@@ -1,0 +1,587 @@
+"""Compile-once, sample-many: scenario artifacts and the artifact cache.
+
+The paper treats a Scenic program as an artifact that is *compiled once and
+sampled many times* (Sec. 5), but historically every ``Scenario``
+construction re-lexed, re-parsed and re-interpreted the source.  This module
+splits compilation into an explicit, reusable step:
+
+``compile_scenario(source)`` returns a :class:`CompiledScenario` — the
+parsed AST plus lazily-derived static metadata (resolved class table,
+dependency-group structure, per-object sampling facts) — and caches it,
+keyed by a content hash of the source, in a process-wide LRU
+(:class:`ArtifactCache`) with an optional on-disk layer.  Warm-path
+construction therefore skips the lexer and parser entirely; the fully
+interned fast path (``compile_scenario(source).scenario()``) also skips the
+interpreter and returns a shared, ready-to-sample
+:class:`~repro.core.scenario.Scenario`.
+
+Typical use::
+
+    from repro.language import compile_scenario
+
+    artifact = compile_scenario(open("two_cars.scenic").read())
+    artifact.fingerprint            # content address (sha256, stable)
+    scenario = artifact.scenario()  # shared instance; parser+interpreter skipped when warm
+    scene = scenario.generate(seed=0)
+
+    fresh = artifact.scenario(fresh=True)   # independent Scenario (e.g. for pruning)
+    artifact.metadata.class_table           # {'Car': ClassSummary(...), ...}
+
+Artifacts are picklable (the live interned :class:`Scenario` is dropped and
+rebuilt lazily on first use), which is what lets :mod:`repro.service`
+workers ship and cache them across process boundaries, and what backs the
+disk layer of :class:`ArtifactCache`.
+
+Sharing caveat: ``artifact.scenario()`` returns one shared ``Scenario``
+instance per artifact.  The ``"pruning"`` strategy rewrites sampling regions
+in place, so anything that mutates a scenario should request
+``scenario(fresh=True)`` (``SamplerEngine`` does this automatically when
+given an artifact and the pruning strategy).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import ScenicError
+from ..core.scenario import Scenario
+from . import ast_nodes as ast
+from .parser import parse_program
+
+#: Bumped whenever the AST node set or the artifact layout changes in a way
+#: that makes previously pickled artifacts unusable; stale disk entries are
+#: then treated as cache misses and recompiled, never deserialized.
+ARTIFACT_FORMAT_VERSION = 1
+
+#: Environment variable naming a directory for the default cache's disk
+#: layer.  Unset (the default) keeps the default cache memory-only.
+CACHE_DIR_ENV = "REPRO_SCENIC_CACHE_DIR"
+
+
+class StaleArtifactError(ScenicError):
+    """A pickled artifact was produced by an incompatible format version."""
+
+
+# ---------------------------------------------------------------------------
+# Content addressing
+# ---------------------------------------------------------------------------
+
+
+def normalize_source(source: str) -> str:
+    """Canonical text form used for fingerprinting.
+
+    Differences that cannot change the token stream — line-ending style,
+    trailing whitespace, trailing blank lines — are erased, so equivalent
+    sources share one artifact.
+    """
+    text = source.replace("\r\n", "\n").replace("\r", "\n")
+    lines = [line.rstrip() for line in text.split("\n")]
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def source_fingerprint(source: str) -> str:
+    """The artifact cache key: a stable sha256 over the normalized source.
+
+    The format version is folded into the hash so a format bump re-addresses
+    every artifact at once (old disk entries simply stop being referenced).
+    """
+    digest = hashlib.sha256()
+    digest.update(f"scenic-artifact-v{ARTIFACT_FORMAT_VERSION}\n".encode("utf-8"))
+    digest.update(normalize_source(source).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Static metadata
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """One entry of the resolved class table: a class defined by the program."""
+
+    name: str
+    superclass: Optional[str]  # None = implicit Object base
+    properties: Tuple[str, ...]  # property names given default values
+
+
+@dataclass(frozen=True)
+class ObjectSummary:
+    """Static sampling facts about one scenario object (by scenario index)."""
+
+    index: int
+    class_name: str
+    random_properties: Tuple[str, ...]  # properties that draw from the RNG
+    is_static: bool  # concretizes identically on every draw
+    mutation_enabled: bool
+
+
+@dataclass(frozen=True)
+class ArtifactMetadata:
+    """Per-program static analysis, derived once and shipped with the artifact.
+
+    Everything here is plain picklable data: the service uses it for request
+    diagnostics, and strategies could use it to pre-size their buffers
+    without touching the live scenario.
+    """
+
+    object_count: int
+    ego_index: int
+    param_names: Tuple[str, ...]
+    requirement_count: int
+    soft_requirement_count: int
+    class_table: Tuple[ClassSummary, ...]
+    objects: Tuple[ObjectSummary, ...]
+    #: Independence partition as scenario-object indices, mirroring
+    #: :class:`repro.sampling.DependencyGraph` groups in scenario order.
+    dependency_groups: Tuple[Tuple[int, ...], ...]
+
+
+def _class_table_from_program(program: ast.Program) -> Tuple[ClassSummary, ...]:
+    """Collect every class definition in the program (including nested ones)."""
+    summaries: List[ClassSummary] = []
+    stack: List[Any] = list(program.statements)
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, ast.ClassDefinition):
+            summaries.append(
+                ClassSummary(
+                    name=node.name,
+                    superclass=node.superclass,
+                    properties=tuple(name for name, _ in node.properties),
+                )
+            )
+        for value in vars(node).values():
+            if isinstance(value, ast.Node):
+                stack.append(value)
+            elif isinstance(value, (list, tuple)):
+                stack.extend(item for item in value if isinstance(item, ast.Node))
+    return tuple(summaries)
+
+
+def _metadata_from_scenario(program: ast.Program, scenario: Scenario) -> ArtifactMetadata:
+    from ..core.distributions import needs_sampling
+    from ..core.lazy import is_lazy
+    from ..sampling.dependency import DependencyGraph, closure_nodes, _random_ids
+
+    object_summaries: List[ObjectSummary] = []
+    for index, scenic_object in enumerate(scenario.objects):
+        random_properties = tuple(
+            sorted(
+                name
+                for name, value in scenic_object.properties.items()
+                if needs_sampling(value) or is_lazy(value)
+            )
+        )
+        closure = closure_nodes(scenic_object)
+        scale = scenic_object.properties.get("mutationScale", 0.0)
+        try:
+            mutation = needs_sampling(scale) or float(scale) != 0.0
+        except (TypeError, ValueError):
+            mutation = True
+        object_summaries.append(
+            ObjectSummary(
+                index=index,
+                class_name=type(scenic_object).__name__,
+                random_properties=random_properties,
+                is_static=not _random_ids(closure),
+                mutation_enabled=mutation,
+            )
+        )
+
+    graph = DependencyGraph(scenario)
+    index_of = {id(obj): index for index, obj in enumerate(scenario.objects)}
+    groups = tuple(
+        tuple(index_of[id(member)] for member in group.objects) for group in graph.groups
+    )
+
+    return ArtifactMetadata(
+        object_count=len(scenario.objects),
+        ego_index=scenario.objects.index(scenario.ego),
+        param_names=tuple(sorted(scenario.params)),
+        requirement_count=len(scenario.requirements),
+        soft_requirement_count=sum(
+            1 for requirement in scenario.requirements if requirement.probability < 1.0
+        ),
+        class_table=_class_table_from_program(program),
+        objects=tuple(object_summaries),
+        dependency_groups=groups,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The compiled artifact
+# ---------------------------------------------------------------------------
+
+
+class CompiledScenario:
+    """A compile-once, sample-many Scenic program artifact.
+
+    Holds the parsed AST (``program``), the content address
+    (``fingerprint``) and lazily-computed :class:`ArtifactMetadata`.  The
+    interpreter runs only when a :class:`Scenario` is actually requested;
+    the default call interns one shared scenario per artifact so repeated
+    warm-path construction costs a dictionary lookup.
+
+    Pickling ships the AST and metadata only — the interned scenario (whose
+    objects close over live interpreter state) is rebuilt lazily on the
+    receiving side.  This is the unit :mod:`repro.service` workers exchange
+    and the payload of :class:`ArtifactCache`'s disk layer.
+    """
+
+    def __init__(self, source: str, fingerprint: str, program: ast.Program):
+        self.source = source
+        self.fingerprint = fingerprint
+        self.program = program
+        self._lock = threading.Lock()
+        self._shared_scenario: Optional[Scenario] = None
+        self._metadata: Optional[ArtifactMetadata] = None
+
+    # -- scenario construction ---------------------------------------------------
+
+    def scenario(
+        self,
+        fresh: bool = False,
+        workspace: Optional[Any] = None,
+        extra_names: Optional[Dict[str, Any]] = None,
+    ) -> Scenario:
+        """A :class:`Scenario` for this program, skipping the parser entirely.
+
+        With no arguments, returns a *shared* interned scenario (built on
+        first use): the warm fast path.  ``fresh=True`` — or passing a
+        *workspace* / *extra_names* override — re-runs the interpreter over
+        the cached AST and returns an independent scenario; use it whenever
+        the scenario will be mutated (the ``"pruning"`` strategy rewrites
+        sampling regions in place) or when call sites must not share RNG-free
+        state such as engine caches.
+        """
+        if fresh or workspace is not None or extra_names is not None:
+            return self._interpret(workspace=workspace, extra_names=extra_names)
+        with self._lock:
+            if self._shared_scenario is None:
+                self._shared_scenario = self._interpret()
+            return self._shared_scenario
+
+    def _interpret(
+        self,
+        workspace: Optional[Any] = None,
+        extra_names: Optional[Dict[str, Any]] = None,
+    ) -> Scenario:
+        from .interpreter import Interpreter
+
+        interpreter = Interpreter(extra_names=extra_names)
+        scenario = interpreter.run_program(self.program, workspace=workspace)
+        scenario.compiled_fingerprint = self.fingerprint
+        return scenario
+
+    # -- static analysis -----------------------------------------------------------
+
+    @property
+    def metadata(self) -> ArtifactMetadata:
+        """Static facts about the program (computed once, then cached).
+
+        Deriving per-object sampling metadata needs one interpretation, so
+        first access builds (and interns) the shared scenario as a side
+        effect; subsequent accesses are free.
+        """
+        with self._lock:
+            if self._metadata is not None:
+                return self._metadata
+        scenario = self.scenario()
+        with self._lock:
+            if self._metadata is None:
+                self._metadata = _metadata_from_scenario(self.program, scenario)
+            return self._metadata
+
+    # -- pickling ------------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "source": self.source,
+            "fingerprint": self.fingerprint,
+            "program": self.program,
+            "metadata": self._metadata,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        if state.get("format_version") != ARTIFACT_FORMAT_VERSION:
+            raise StaleArtifactError(
+                f"artifact format {state.get('format_version')!r} does not match "
+                f"this build's version {ARTIFACT_FORMAT_VERSION}"
+            )
+        self.source = state["source"]
+        self.fingerprint = state["fingerprint"]
+        self.program = state["program"]
+        self._lock = threading.Lock()
+        self._shared_scenario = None
+        self._metadata = state.get("metadata")
+
+    def __repr__(self) -> str:
+        return f"CompiledScenario({self.fingerprint[:12]}…, {len(self.source)} chars)"
+
+
+# ---------------------------------------------------------------------------
+# The artifact cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`ArtifactCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class ArtifactCache:
+    """Content-addressed cache of :class:`CompiledScenario` artifacts.
+
+    Two layers, checked in order:
+
+    * an in-process LRU (``max_memory`` artifacts, thread-safe), and
+    * an optional on-disk layer (``disk_dir``) of pickled artifacts named by
+      fingerprint — shared between processes and across runs.  Disk writes
+      are atomic (temp file + rename); unreadable or stale entries are
+      treated as misses and silently recompiled.
+
+    ``get`` is the only entry point most callers need::
+
+        cache = ArtifactCache(max_memory=64, disk_dir="~/.cache/scenic")
+        artifact = cache.get(source)      # compiles at most once per content
+        cache.stats.memory_hits
+    """
+
+    def __init__(self, max_memory: int = 128, disk_dir: Optional[Any] = None):
+        self.max_memory = max(1, int(max_memory))
+        self.disk_dir = Path(disk_dir).expanduser() if disk_dir else None
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, CompiledScenario]" = OrderedDict()
+
+    # -- lookup -------------------------------------------------------------------
+
+    def get(self, source: str) -> CompiledScenario:
+        """The artifact for *source*: memory hit, disk hit, or fresh compile."""
+        fingerprint = source_fingerprint(source)
+        artifact = self._lookup(fingerprint)
+        if artifact is not None:
+            return artifact
+        with self._lock:
+            self.stats.misses += 1
+        artifact = CompiledScenario(source, fingerprint, parse_program(source))
+        self.put(artifact)
+        return artifact
+
+    def lookup_fingerprint(self, fingerprint: str) -> Optional[CompiledScenario]:
+        """The cached artifact for a known content address, or ``None``.
+
+        Lets clients address previously published programs by hash alone
+        (the :mod:`repro.service` protocol does this); unlike :meth:`get`
+        it can not compile, so a miss is just ``None``.
+        """
+        return self._lookup(fingerprint)
+
+    def _lookup(self, fingerprint: str) -> Optional[CompiledScenario]:
+        with self._lock:
+            artifact = self._memory.get(fingerprint)
+            if artifact is not None:
+                self._memory.move_to_end(fingerprint)
+                self.stats.memory_hits += 1
+                return artifact
+        artifact = self._read_disk(fingerprint)
+        if artifact is not None:
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._remember(artifact)
+        return artifact
+
+    # -- insertion ----------------------------------------------------------------
+
+    def put(self, artifact: CompiledScenario) -> None:
+        """Insert an artifact into both layers (evicting LRU entries as needed)."""
+        with self._lock:
+            self._remember(artifact)
+        self._write_disk(artifact)
+
+    def _remember(self, artifact: CompiledScenario) -> None:
+        self._memory[artifact.fingerprint] = artifact
+        self._memory.move_to_end(artifact.fingerprint)
+        while len(self._memory) > self.max_memory:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory layer (and, with ``disk=True``, the disk entries)."""
+        with self._lock:
+            self._memory.clear()
+        if disk and self.disk_dir is not None and self.disk_dir.exists():
+            for path in self.disk_dir.glob("*.scenic-artifact.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._memory
+
+    # -- disk layer ---------------------------------------------------------------
+
+    def _disk_path(self, fingerprint: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{fingerprint}.scenic-artifact.pkl"
+
+    def _read_disk(self, fingerprint: str) -> Optional[CompiledScenario]:
+        path = self._disk_path(fingerprint)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                artifact = pickle.load(handle)
+        except Exception:
+            # Corrupt, truncated or format-stale entry: recompile instead.
+            return None
+        if not isinstance(artifact, CompiledScenario) or artifact.fingerprint != fingerprint:
+            return None
+        return artifact
+
+    def _write_disk(self, artifact: CompiledScenario) -> None:
+        path = self._disk_path(artifact.fingerprint)
+        if path is None:
+            return
+        try:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                mode="wb", dir=self.disk_dir, suffix=".tmp", delete=False
+            )
+            try:
+                with handle:
+                    pickle.dump(artifact, handle)
+                os.replace(handle.name, path)
+            except BaseException:
+                os.unlink(handle.name)
+                raise
+        except OSError:
+            pass  # disk layer is best-effort; the memory layer already has it
+
+
+# ---------------------------------------------------------------------------
+# Module-level default cache and entry points
+# ---------------------------------------------------------------------------
+
+_default_cache = ArtifactCache(disk_dir=os.environ.get(CACHE_DIR_ENV) or None)
+_default_cache_lock = threading.Lock()
+
+#: Sentinel distinguishing "use the default cache" from "no cache at all".
+_USE_DEFAULT = object()
+
+
+def get_default_cache() -> ArtifactCache:
+    """The process-wide artifact cache used when no cache is passed explicitly."""
+    return _default_cache
+
+
+def set_default_cache(cache: ArtifactCache) -> ArtifactCache:
+    """Replace the process-wide cache; returns the previous one."""
+    global _default_cache
+    with _default_cache_lock:
+        previous, _default_cache = _default_cache, cache
+    return previous
+
+
+def compile_scenario(source: str, cache: Optional[ArtifactCache] = _USE_DEFAULT) -> CompiledScenario:
+    """Compile Scenic *source* into a cached :class:`CompiledScenario`.
+
+    The single front door to compilation: the artifact is looked up in
+    *cache* (the process-wide default unless overridden; pass ``None`` to
+    force an uncached fresh compile) by content hash, so compiling the same
+    program twice parses it once.  Syntax errors surface immediately as
+    :class:`~repro.core.errors.ScenicError` subclasses and are never cached;
+    runtime errors surface when a scenario is requested from the artifact.
+    """
+    if cache is None:
+        source_text = str(source)
+        return CompiledScenario(
+            source_text, source_fingerprint(source_text), parse_program(source_text)
+        )
+    if cache is _USE_DEFAULT:
+        cache = _default_cache
+    return cache.get(str(source))
+
+
+def scenario_from_string(
+    source: str,
+    workspace: Optional[Any] = None,
+    extra_names: Optional[Dict[str, Any]] = None,
+) -> Scenario:
+    """Compile a Scenic program given as a string into a Scenario.
+
+    Routed through the artifact cache: repeated compilation of the same
+    source skips the lexer and parser and re-runs only the interpreter, so
+    each call still gets an *independent* scenario (matching the historical
+    semantics — callers may prune or otherwise mutate the result freely).
+    For the fully interned fast path that also skips the interpreter, use
+    ``compile_scenario(source).scenario()``.
+    """
+    return compile_scenario(source).scenario(
+        fresh=True, workspace=workspace, extra_names=extra_names
+    )
+
+
+def scenario_from_file(
+    path: Any,
+    workspace: Optional[Any] = None,
+    extra_names: Optional[Dict[str, Any]] = None,
+) -> Scenario:
+    """Compile a ``.scenic`` file into a Scenario (see :func:`scenario_from_string`)."""
+    source = Path(path).read_text()
+    return scenario_from_string(source, workspace=workspace, extra_names=extra_names)
+
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactCache",
+    "ArtifactMetadata",
+    "CacheStats",
+    "ClassSummary",
+    "CompiledScenario",
+    "ObjectSummary",
+    "StaleArtifactError",
+    "compile_scenario",
+    "get_default_cache",
+    "normalize_source",
+    "scenario_from_file",
+    "scenario_from_string",
+    "set_default_cache",
+    "source_fingerprint",
+]

@@ -269,7 +269,17 @@ class Interpreter:
     # -- top level ---------------------------------------------------------------
 
     def run(self, source: str, workspace: Optional[Workspace] = None) -> Scenario:
-        """Execute *source* and return the resulting scenario.
+        """Parse and execute *source*, returning the resulting scenario.
+
+        Equivalent to ``run_program(parse_program(source))``; callers with a
+        pre-parsed AST (the compiled-artifact warm path of
+        :mod:`repro.language.compiler`) should call :meth:`run_program`
+        directly and skip the lexer and parser entirely.
+        """
+        return self.run_program(parse_program(source), workspace=workspace)
+
+    def run_program(self, program: ast.Program, workspace: Optional[Workspace] = None) -> Scenario:
+        """Execute an already-parsed *program* and return the resulting scenario.
 
         Program failures surface as :class:`~repro.core.errors.ScenicError`
         subclasses, with source lines wherever they are known; ``break`` /
@@ -277,8 +287,12 @@ class Interpreter:
         leaking the interpreter's internal control-flow exceptions, and any
         residual Python exception is converted as a last resort (the
         "never crashes" contract relied on by :mod:`repro.fuzz`).
+
+        The AST is treated as read-only: one parsed program may be executed
+        any number of times (each run yields an independent scenario), which
+        is what makes :class:`~repro.language.compiler.CompiledScenario`
+        artifacts reusable and shareable across threads and processes.
         """
-        program = parse_program(source)
         self.context = push_context()
         self.workspace = workspace
         try:
@@ -855,9 +869,15 @@ def scenario_from_string(
     workspace: Optional[Workspace] = None,
     extra_names: Optional[Dict[str, Any]] = None,
 ) -> Scenario:
-    """Compile a Scenic program given as a string into a Scenario."""
-    interpreter = Interpreter(extra_names=extra_names)
-    return interpreter.run(source, workspace=workspace)
+    """Compile a Scenic program given as a string into a Scenario.
+
+    Delegates to :mod:`repro.language.compiler`, which caches the parsed AST
+    by content hash — repeated compilations of the same source skip the
+    lexer and parser while still returning independent scenarios.
+    """
+    from .compiler import scenario_from_string as _compile
+
+    return _compile(source, workspace=workspace, extra_names=extra_names)
 
 
 def scenario_from_file(
@@ -865,7 +885,7 @@ def scenario_from_file(
     workspace: Optional[Workspace] = None,
     extra_names: Optional[Dict[str, Any]] = None,
 ) -> Scenario:
-    """Compile a ``.scenic`` file into a Scenario."""
+    """Compile a ``.scenic`` file into a Scenario (see :func:`scenario_from_string`)."""
     source = Path(path).read_text()
     return scenario_from_string(source, workspace=workspace, extra_names=extra_names)
 

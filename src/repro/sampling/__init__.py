@@ -14,12 +14,21 @@ strategies:
   with bulk geometric rejection through the numpy kernel
   (:mod:`repro.geometry.kernel`); the default for ``generate_batch``.
 
-See ``docs/sampling.md`` for the API guide and ``docs/geometry.md`` for the
-kernel underneath.
+``SamplerEngine`` accepts a live ``Scenario``, a compiled artifact
+(:func:`repro.language.compile_scenario` — the warm path that skips the
+parser and interpreter), or raw Scenic source::
+
+    from repro.sampling import SamplerEngine
+
+    engine = SamplerEngine("ego = Object at 0 @ 0")   # compiles via the artifact cache
+    scene = engine.sample(seed=0)
+
+See ``docs/sampling.md`` for the API guide, ``docs/geometry.md`` for the
+kernel underneath, and ``docs/service.md`` for the serving layer on top.
 """
 
 from .dependency import DependencyGraph, ObjectGroup
-from .engine import SamplerEngine
+from .engine import SamplerEngine, resolve_scenario
 from .stats import AggregateStats, SceneBatch, merge_generation_stats
 from .strategies import (
     STRATEGIES,
@@ -38,6 +47,7 @@ from .strategies import (
 
 __all__ = [
     "SamplerEngine",
+    "resolve_scenario",
     "SamplingStrategy",
     "RejectionSampler",
     "PruningAwareSampler",

@@ -6,10 +6,25 @@ per-scene diagnostics up into an :class:`~repro.sampling.stats.AggregateStats`.
 
 Typical use::
 
+    from repro.sampling import SamplerEngine
+
     engine = SamplerEngine(scenario, strategy="pruning", max_distance=30.0)
     scene = engine.sample(seed=0)
     batch = engine.sample_batch(100, seed=1)     # a SceneBatch (list + .stats)
     engine.aggregate.rejection_breakdown()
+
+The engine also accepts *precompiled artifacts* and raw Scenic source — the
+compile-once, sample-many path of :mod:`repro.language.compiler`::
+
+    from repro.language import compile_scenario
+
+    artifact = compile_scenario(source)          # cached by content hash
+    engine = SamplerEngine(artifact)             # parser + interpreter skipped when warm
+    engine = SamplerEngine("ego = Object at 0 @ 0")   # source text works too (docs/language.md)
+
+Artifact-backed engines share the artifact's interned scenario, except for
+strategies declaring ``mutates_scenario`` (pruning rewrites sampling
+regions in place) which get an independent, freshly interpreted scenario.
 
 ``Scenario.generate`` / ``generate_batch`` are thin wrappers over this class
 with the default ``"rejection"`` strategy, preserving the seed's behaviour
@@ -28,22 +43,52 @@ from .stats import AggregateStats, SceneBatch
 from .strategies import SamplingStrategy, make_strategy
 
 
+def resolve_scenario(source_like: Any, fresh: bool = False) -> Scenario:
+    """Turn a Scenario, :class:`CompiledScenario` or Scenic source into a Scenario.
+
+    Artifacts resolve to their shared interned scenario — the warm path that
+    skips the parser and interpreter — unless *fresh* is true, which forces
+    an independent re-interpretation of the cached AST.  The engine passes
+    the bound strategy's ``mutates_scenario`` flag here, so strategies that
+    rewrite the scenario in place (pruning) can never corrupt the shared
+    instance.  Raw source text is routed through the process-wide artifact
+    cache (:func:`repro.language.compile_scenario`).
+    """
+    if isinstance(source_like, Scenario):
+        return source_like
+    from ..language.compiler import CompiledScenario, compile_scenario
+
+    if isinstance(source_like, str):
+        source_like = compile_scenario(source_like)
+    if isinstance(source_like, CompiledScenario):
+        return source_like.scenario(fresh=fresh)
+    raise TypeError(
+        f"expected a Scenario, CompiledScenario or Scenic source text, "
+        f"got {type(source_like).__name__}"
+    )
+
+
 class SamplerEngine:
-    """Samples scenes from one scenario through a pluggable strategy."""
+    """Samples scenes from one scenario through a pluggable strategy.
+
+    *scenario* may be a live :class:`~repro.core.scenario.Scenario`, a
+    :class:`~repro.language.CompiledScenario` artifact, or Scenic source
+    text (compiled through the artifact cache); see :func:`resolve_scenario`.
+    """
 
     def __init__(
         self,
-        scenario: Scenario,
+        scenario: Union[Scenario, Any],
         strategy: Union[str, SamplingStrategy] = "rejection",
         **strategy_options: Any,
     ):
-        self.scenario = scenario
         if isinstance(strategy, SamplingStrategy):
             if strategy_options:
                 raise TypeError("strategy options only apply when the strategy is given by name")
             self.strategy = strategy
         else:
             self.strategy = make_strategy(strategy, **strategy_options)
+        self.scenario = resolve_scenario(scenario, fresh=self.strategy.mutates_scenario)
         self.aggregate = AggregateStats()
         self.last_stats: Optional[GenerationStats] = None
         self._bound = False
@@ -111,4 +156,4 @@ class SamplerEngine:
         return f"SamplerEngine({self.scenario!r}, strategy={self.strategy.name!r})"
 
 
-__all__ = ["SamplerEngine"]
+__all__ = ["SamplerEngine", "resolve_scenario"]

@@ -30,7 +30,24 @@ large enough for batching to pay for itself, so *every* strategy rides the
 vectorized hot path.
 
 Strategies are registered by name in :data:`STRATEGIES`; third-party code
-can plug in new ones with :func:`register_strategy`.
+can plug in new ones with :func:`register_strategy`::
+
+    from repro.sampling import RejectionSampler, register_strategy
+
+    @register_strategy
+    class MySampler(RejectionSampler):
+        name = "mine"
+        # override bind() for one-time analysis, _draw_candidate() for the
+        # proposal, or sample()/sample_batch() for the whole loop
+
+    scenario.generate(seed=0, strategy="mine")
+    SamplerEngine(scenario, strategy="mine").sample_batch(100, seed=1)
+
+Strategies always receive a live, fully-bound
+:class:`~repro.core.scenario.Scenario`; compiled artifacts and raw source
+are resolved one level up by :func:`repro.sampling.engine.resolve_scenario`
+(see ``docs/sampling.md``), so strategy authors never deal with the
+compilation pipeline.
 """
 
 from __future__ import annotations
@@ -204,6 +221,13 @@ class SamplingStrategy:
 
     name = "abstract"
 
+    #: Strategies that rewrite the scenario in place during :meth:`bind`
+    #: (e.g. pruning shrinks sampling regions) must set this, so shared
+    #: infrastructure — notably compiled artifacts' interned scenarios, see
+    #: :func:`repro.sampling.engine.resolve_scenario` — hands them an
+    #: independent scenario instead of a shared one.
+    mutates_scenario = False
+
     def bind(self, scenario: Scenario) -> None:
         """One-time, per-scenario analysis (pruning, dependency graphs, ...).
 
@@ -319,6 +343,7 @@ class PruningAwareSampler(RejectionSampler):
     """
 
     name = "pruning"
+    mutates_scenario = True  # prune_scenario rewrites sampling regions in place
 
     def __init__(
         self,

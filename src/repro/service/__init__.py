@@ -1,0 +1,51 @@
+"""Async, sharded scene-generation service over compiled-scenario artifacts.
+
+This package is the serving layer on top of the sampling stack (see
+``docs/index.md`` for the full layer diagram and ``docs/service.md`` for the
+guide):
+
+* :mod:`repro.service.service` — :class:`GenerationService`, the asyncio
+  front end: ``await service.generate(source_or_hash, n, seed, strategy)``
+  shards a batch across a persistent worker-process pool with
+  splitmix64-derived per-scene seeds (bit-identical results regardless of
+  worker count), enforces backpressure, and rolls per-request sampling
+  statistics up into the response.
+* :mod:`repro.service.worker` — the worker-process side: a process-local
+  artifact cache plus bound-engine reuse, so warm shards skip the parser
+  and interpreter entirely.
+* :mod:`repro.service.server` — a dependency-free JSON-lines TCP front end.
+* :mod:`repro.service.protocol` — the plain-data request/response types and
+  the seed-derivation contract.
+
+CLI: ``python -m repro.service serve|smoke|bench|generate`` (see
+``python -m repro.service --help``).
+"""
+
+from .protocol import (
+    GenerateResponse,
+    derive_scene_seeds,
+    scene_record,
+    splitmix64,
+)
+from .server import GenerationServer, request_over_tcp
+from .service import (
+    GenerationFailedError,
+    GenerationService,
+    ServiceError,
+    ServiceOverloadedError,
+    generate_sync,
+)
+
+__all__ = [
+    "GenerateResponse",
+    "GenerationFailedError",
+    "GenerationServer",
+    "GenerationService",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "derive_scene_seeds",
+    "generate_sync",
+    "request_over_tcp",
+    "scene_record",
+    "splitmix64",
+]

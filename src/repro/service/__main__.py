@@ -1,0 +1,197 @@
+"""CLI for the generation service: ``python -m repro.service <command>``.
+
+Commands
+--------
+
+``serve``
+    Start the JSON-lines TCP server and run until a ``shutdown`` op (or
+    Ctrl-C).  ``--port 0`` picks an ephemeral port and prints it.
+``smoke``
+    Self-contained health check used by CI: starts a service, fires
+    concurrent mixed-strategy requests at it, verifies the determinism
+    contract (same request twice → identical scenes; sharded result is
+    worker-count independent), and shuts down cleanly.  Exits non-zero on
+    any mismatch.
+``bench``
+    Measure request throughput (scenes/second, warm cache) and print a
+    small machine-readable JSON blob.
+``generate``
+    One-shot: compile a ``.scenic`` file (or ``-`` for stdin), sample ``-n``
+    scenes, print the response JSON.
+
+Examples::
+
+    python -m repro.service serve --port 8923 --workers 2
+    python -m repro.service smoke
+    python -m repro.service generate examples/scenarios/two_cars.scenic -n 5 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from .server import GenerationServer
+from .service import GenerationService
+
+
+def _sample_sources() -> dict:
+    """Small embedded programs so the CLI needs no repository checkout."""
+    from ..experiments import scenarios
+
+    return {
+        "two_cars": scenarios.two_cars(),
+        "close_car": scenarios.close_car(),
+        "mars": "import mars\nego = Rover at 0 @ -2\nRock\nRock\nPipe\n",
+    }
+
+
+async def _cmd_serve(args: argparse.Namespace) -> int:
+    service = GenerationService(workers=args.workers, cache_dir=args.cache_dir)
+    server = GenerationServer(service, host=args.host, port=args.port)
+    await server.start()
+    print(f"repro.service listening on {server.host}:{server.port} "
+          f"({args.workers} workers)", flush=True)
+    try:
+        await server.serve_until_shutdown()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        await server.close()
+    print("repro.service: clean shutdown")
+    return 0
+
+
+async def _cmd_smoke(args: argparse.Namespace) -> int:
+    """The CI smoke: concurrency + determinism + clean shutdown, end to end."""
+    sources = _sample_sources()
+    failures = []
+
+    async with GenerationService(workers=args.workers) as service:
+        # 1. Sustained concurrency: >= 8 simultaneous mixed requests.
+        requests = []
+        for index in range(args.requests):
+            name = list(sources)[index % len(sources)]
+            strategy = ("rejection", "vectorized", "batch")[index % 3]
+            requests.append(
+                service.generate(
+                    sources[name], n=3, seed=1000 + index, strategy=strategy,
+                    max_iterations=20000,
+                )
+            )
+        responses = await asyncio.gather(*requests)
+        total_scenes = sum(len(response.scenes) for response in responses)
+        print(f"smoke: {len(responses)} concurrent requests -> {total_scenes} scenes")
+
+        # 2. Determinism: identical request -> identical scenes.
+        first = await service.generate(sources["two_cars"], n=6, seed=42, max_iterations=20000)
+        second = await service.generate(sources["two_cars"], n=6, seed=42, max_iterations=20000)
+        if first.scenes != second.scenes:
+            failures.append("repeat of an identical request changed the scenes")
+
+        stats = service.service_stats()
+        print(f"smoke: stats {json.dumps(stats, default=str)}")
+
+    # 3. Worker-count invariance of the sharded (splitmix) path.
+    async with GenerationService(workers=0) as inline_service:
+        inline = await inline_service.generate(
+            sources["two_cars"], n=6, seed=42, max_iterations=20000
+        )
+        if inline.scenes != first.scenes:
+            failures.append(
+                f"sharded result differs between workers={args.workers} and inline execution"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("smoke: determinism + concurrency + clean shutdown OK")
+    return 0
+
+
+async def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    source = _sample_sources()["two_cars"]
+    async with GenerationService(workers=args.workers) as service:
+        await service.generate(source, n=2, seed=0, max_iterations=20000)  # warm the workers
+        start = time.perf_counter()
+        response = await service.generate(
+            source, n=args.scenes, seed=7, strategy=args.strategy, max_iterations=20000
+        )
+        wall = time.perf_counter() - start
+    result = {
+        "scenes": len(response.scenes),
+        "wall_seconds": wall,
+        "scenes_per_second": len(response.scenes) / wall if wall else float("inf"),
+        "strategy": args.strategy,
+        "workers": args.workers,
+        "iterations": response.stats["iterations"],
+    }
+    print(json.dumps(result, indent=1))
+    return 0
+
+
+async def _cmd_generate(args: argparse.Namespace) -> int:
+    source = sys.stdin.read() if args.file == "-" else Path(args.file).read_text()
+    async with GenerationService(workers=args.workers) as service:
+        response = await service.generate(
+            source,
+            n=args.n,
+            seed=args.seed,
+            strategy=args.strategy,
+            max_iterations=args.max_iterations,
+            derive=args.derive,
+        )
+    print(json.dumps(response.as_dict(), indent=1))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro.service", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the JSON-lines TCP server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8923)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--cache-dir", default=None,
+                       help="shared on-disk artifact cache directory")
+
+    smoke = sub.add_parser("smoke", help="CI smoke: concurrency + determinism + shutdown")
+    smoke.add_argument("--workers", type=int, default=2)
+    smoke.add_argument("--requests", type=int, default=8,
+                       help="concurrent generate requests to sustain (>= 8 in CI)")
+
+    bench = sub.add_parser("bench", help="measure warm-path request throughput")
+    bench.add_argument("--scenes", type=int, default=50)
+    bench.add_argument("--workers", type=int, default=2)
+    bench.add_argument("--strategy", default="vectorized")
+
+    generate = sub.add_parser("generate", help="one-shot generation from a .scenic file")
+    generate.add_argument("file", help="path to a .scenic program, or - for stdin")
+    generate.add_argument("-n", type=int, default=1)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--strategy", default="rejection")
+    generate.add_argument("--max-iterations", type=int, default=20000)
+    generate.add_argument("--derive", default="splitmix", choices=("splitmix", "direct"))
+    generate.add_argument("--workers", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    command = {
+        "serve": _cmd_serve,
+        "smoke": _cmd_smoke,
+        "bench": _cmd_bench,
+        "generate": _cmd_generate,
+    }[args.command]
+    return asyncio.run(command(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""A JSON-lines TCP front end for :class:`~repro.service.GenerationService`.
+
+One request per line, one response per line, UTF-8 JSON.  The protocol is
+deliberately tiny (and dependency-free) — it exists so the service can be
+driven from outside the process (`python -m repro.service serve`), load
+tested, and smoke tested in CI over a real socket.
+
+Operations (``{"op": ..., ...}``):
+
+``ping``
+    Liveness probe → ``{"ok": true, "op": "ping"}``.
+``publish``
+    ``{"source": "..."}`` → ``{"ok": true, "fingerprint": "..."}``.  The
+    program can then be requested by fingerprint alone.
+``generate``
+    ``{"source": "..."} | {"fingerprint": "..."}`` plus optional ``n``,
+    ``seed``, ``strategy``, ``max_iterations``, ``derive``, ``options``
+    (strategy options object) → the full
+    :meth:`~repro.service.protocol.GenerateResponse.as_dict` payload.
+``stats``
+    → ``{"ok": true, "stats": {...}}`` (service-level counters).
+``shutdown``
+    Acknowledges, then stops the server loop (used for clean shutdown in
+    tests and the CLI).
+
+Errors never drop the connection: they come back as
+``{"ok": false, "error": {"type": ..., "message": ...}}``, with overload
+shedding distinguishable as ``type == "ServiceOverloadedError"``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from .service import GenerationService
+
+
+class GenerationServer:
+    """Serve a :class:`GenerationService` over newline-delimited JSON."""
+
+    def __init__(self, service: GenerationService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; the bound port lands here after start()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> "GenerationServer":
+        await self.service.start()
+        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` op arrives (or the task is cancelled)."""
+        await self._shutdown.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        await self.service.close()
+        self._shutdown.set()
+
+    async def __aenter__(self) -> "GenerationServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()
+
+    # -- request handling ---------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line.strip():
+                    if not line:
+                        break
+                    continue
+                response = await self._dispatch_line(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+                if response.get("op") == "shutdown" and response.get("ok"):
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            # Swallow CancelledError too: server.close() cancels handler
+            # tasks mid-await, and a cancelled cleanup is still a clean close.
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            request = json.loads(line.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            return await self._dispatch(request)
+        except Exception as error:  # noqa: BLE001 - protocol errors must answer
+            # ServiceErrors (overload, generation failure) and protocol
+            # errors alike answer in-band; the type travels in the payload.
+            return _error_response(error)
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op", "generate")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return {"ok": True, "op": "stats", "stats": self.service.service_stats()}
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}
+        if op == "publish":
+            fingerprint = self.service.publish(str(request["source"]))
+            return {"ok": True, "op": "publish", "fingerprint": fingerprint}
+        if op == "generate":
+            source_or_hash = request.get("source") or request.get("fingerprint")
+            if not source_or_hash:
+                raise ValueError("generate needs 'source' or 'fingerprint'")
+            options = request.get("options") or {}
+            if not isinstance(options, dict):
+                raise ValueError("'options' must be an object of strategy options")
+            response = await self.service.generate(
+                str(source_or_hash),
+                n=int(request.get("n", 1)),
+                seed=int(request.get("seed", 0)),
+                strategy=str(request.get("strategy", "rejection")),
+                max_iterations=int(request.get("max_iterations", 2000)),
+                derive=str(request.get("derive", "splitmix")),
+                **options,
+            )
+            return {"ok": True, "op": "generate", **response.as_dict()}
+        raise ValueError(f"unknown op {op!r}")
+
+
+def _error_response(error: Exception) -> Dict[str, Any]:
+    return {
+        "ok": False,
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }
+
+
+async def request_over_tcp(host: str, port: int, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Send one JSON-lines request and await its response (client helper)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(request).encode("utf-8") + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection without answering")
+        return json.loads(line.decode("utf-8"))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+__all__ = ["GenerationServer", "request_over_tcp"]

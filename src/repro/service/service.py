@@ -1,0 +1,356 @@
+"""The asyncio generation front end over a persistent worker-process pool.
+
+:class:`GenerationService` is the serving layer the ROADMAP's "heavy
+traffic" north star asks for, built on the compile-once artifacts of
+:mod:`repro.language.compiler`:
+
+* **compile once** — workers keep a process-local artifact cache (optionally
+  backed by one shared disk directory), so a program's parse/interpret cost
+  is paid once per worker, not once per request;
+* **shard** — a batch request is cut into per-worker shards whose scene
+  seeds are derived with splitmix64 from ``(master_seed, scene_index)``, so
+  the merged batch is bit-identical regardless of worker count or shard
+  boundaries (the cross-process extension of ``ParallelSampler``'s
+  determinism contract, pinned by the golden corpus);
+* **async + backpressure** — ``generate`` is a coroutine; at most
+  ``max_inflight`` requests run concurrently, at most ``max_queue`` wait,
+  and anything beyond that fails fast with
+  :class:`ServiceOverloadedError` instead of growing an unbounded queue;
+* **stats** — every response carries the request-wide
+  :class:`~repro.sampling.AggregateStats`-style roll-up (iterations,
+  rejection breakdown by cause, worker cache hits, wall time).
+
+Typical use::
+
+    import asyncio
+    from repro.service import GenerationService
+
+    async def main():
+        async with GenerationService(workers=2) as service:
+            response = await service.generate(source, n=100, seed=7)
+            response.scenes[0]["objects"]        # scene records, index order
+            response.stats["rejections"]
+
+    asyncio.run(main())
+
+For the TCP front end see :mod:`repro.service.server`; for the CLI,
+``python -m repro.service --help`` (``docs/service.md`` walks through both).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from ..language.compiler import ArtifactCache, compile_scenario, source_fingerprint
+from .protocol import (
+    DERIVE_MODES,
+    GenerateResponse,
+    ShardOutcome,
+    ShardPayload,
+    derive_scene_seeds,
+    merge_shard_stats,
+)
+from .worker import initialize_worker, run_shard
+
+
+class ServiceError(RuntimeError):
+    """Base class for generation-service failures."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The request was shed: the inflight slots and the wait queue are full."""
+
+
+class GenerationFailedError(ServiceError):
+    """A shard could not produce its scenes (budget exhausted, bad program, ...)."""
+
+    def __init__(self, message: str, detail: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.detail = detail or {}
+
+
+class GenerationService:
+    """Async, process-sharded scene generation over compiled artifacts.
+
+    Parameters
+    ----------
+    workers:
+        Size of the persistent worker-process pool.  ``0`` runs shards
+        inline on a thread (no subprocesses) — handy for debugging and for
+        platforms where forking is unavailable; the request/response
+        semantics (and determinism) are identical.
+    max_inflight:
+        Requests allowed to run concurrently (default ``2 * max(workers, 1)``).
+    max_queue:
+        Requests allowed to *wait* for an inflight slot before new arrivals
+        are shed with :class:`ServiceOverloadedError`.
+    cache_dir:
+        Optional directory for the workers' shared on-disk artifact layer;
+        also used by the coordinator's own cache.
+    worker_cache_size:
+        Per-worker in-memory artifact LRU size.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_inflight: Optional[int] = None,
+        max_queue: int = 32,
+        cache_dir: Optional[str] = None,
+        worker_cache_size: int = 64,
+    ):
+        self.workers = max(0, int(workers))
+        self.max_inflight = max_inflight if max_inflight is not None else 2 * max(self.workers, 1)
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.max_queue = max(0, int(max_queue))
+        self.cache_dir = cache_dir
+        self.worker_cache_size = worker_cache_size
+        self.cache = ArtifactCache(disk_dir=cache_dir)
+        self._sources: Dict[str, str] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._inflight = asyncio.Semaphore(self.max_inflight)
+        self._pending = 0
+        self._started = False
+        self.stats: Dict[str, Any] = {
+            "requests": 0,
+            "scenes": 0,
+            "failures": 0,
+            "shed": 0,
+            "peak_pending": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> "GenerationService":
+        """Spin up the worker pool (idempotent)."""
+        if self._started:
+            return self
+        if self.workers > 0:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=initialize_worker,
+                initargs=(self.cache_dir, self.worker_cache_size),
+            )
+        self._started = True
+        return self
+
+    async def close(self) -> None:
+        """Drain and shut the pool down; safe to call twice."""
+        pool, self._pool = self._pool, None
+        self._started = False
+        if pool is not None:
+            await asyncio.get_running_loop().run_in_executor(None, pool.shutdown)
+
+    async def __aenter__(self) -> "GenerationService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()
+
+    # -- program registry ---------------------------------------------------------
+
+    def publish(self, source: str) -> str:
+        """Register *source* and return its content address.
+
+        Published programs can later be requested by fingerprint alone
+        (``generate(fingerprint, ...)``), which is how remote clients avoid
+        re-sending program text on every request.  Publishing also warms the
+        coordinator's artifact cache (compile errors surface here, not at
+        request time).
+        """
+        artifact = compile_scenario(source, cache=self.cache)
+        self._sources[artifact.fingerprint] = artifact.source
+        return artifact.fingerprint
+
+    def resolve(self, source_or_hash: str) -> str:
+        """Map a request's ``source_or_hash`` to program source text."""
+        if source_or_hash in self._sources:
+            return self._sources[source_or_hash]
+        return source_or_hash
+
+    # -- the front door -----------------------------------------------------------
+
+    async def generate(
+        self,
+        source_or_hash: str,
+        n: int = 1,
+        seed: int = 0,
+        strategy: str = "rejection",
+        max_iterations: int = 2000,
+        derive: str = "splitmix",
+        **strategy_options: Any,
+    ) -> GenerateResponse:
+        """Sample *n* scenes of a program; the service's one front door.
+
+        *source_or_hash* is Scenic source text, or the fingerprint of a
+        program previously :meth:`publish`\\ ed.  *derive* picks the seed
+        contract (see :func:`repro.service.protocol.derive_scene_seeds`):
+        ``"splitmix"`` shards freely with per-scene seeds; ``"direct"`` runs
+        unsharded, draw-for-draw equal to ``Scenario.generate_batch`` (and,
+        with ``n=1``, to ``Scenario.generate`` — the golden corpus).
+
+        Backpressure: waits for an inflight slot while the wait queue is
+        below ``max_queue``, sheds with :class:`ServiceOverloadedError`
+        beyond that.  Failures of any shard (infeasible program, exhausted
+        budget, compile error) raise :class:`GenerationFailedError` with the
+        worker's diagnostic attached.
+        """
+        if not self._started:
+            await self.start()
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if derive not in DERIVE_MODES:
+            raise ValueError(f"unknown derive mode {derive!r} (known: {DERIVE_MODES})")
+
+        if self._pending >= self.max_inflight + self.max_queue:
+            self.stats["shed"] += 1
+            raise ServiceOverloadedError(
+                f"service overloaded: {self._pending} requests pending "
+                f"(max_inflight={self.max_inflight}, max_queue={self.max_queue})"
+            )
+        self._pending += 1
+        self.stats["peak_pending"] = max(self.stats["peak_pending"], self._pending)
+        try:
+            async with self._inflight:
+                return await self._generate_admitted(
+                    source_or_hash, n, seed, strategy, max_iterations, derive, strategy_options
+                )
+        finally:
+            self._pending -= 1
+
+    async def _generate_admitted(
+        self,
+        source_or_hash: str,
+        n: int,
+        seed: int,
+        strategy: str,
+        max_iterations: int,
+        derive: str,
+        strategy_options: Dict[str, Any],
+    ) -> GenerateResponse:
+        start = time.perf_counter()
+        source = self.resolve(source_or_hash)
+        fingerprint = source_fingerprint(source)
+        self.stats["requests"] += 1
+
+        response = GenerateResponse(
+            fingerprint=fingerprint, strategy=strategy, seed=seed, derive=derive
+        )
+        if n == 0:
+            response.stats = merge_shard_stats([])
+            response.stats["wall_seconds"] = time.perf_counter() - start
+            return response
+
+        seeds = derive_scene_seeds(seed, n, derive)
+        payloads = self._make_payloads(
+            fingerprint, source, strategy, strategy_options, max_iterations, n, seed, seeds
+        )
+        outcomes = await asyncio.gather(
+            *(self._run_payload(payload) for payload in payloads)
+        )
+
+        scenes: List[Optional[Dict[str, Any]]] = [None] * n
+        for outcome in outcomes:
+            if outcome.error is not None:
+                self.stats["failures"] += 1
+                raise GenerationFailedError(
+                    f"shard failed with {outcome.error['type']}: {outcome.error['message']}",
+                    detail=outcome.error,
+                )
+            for index, record in zip(outcome.indices, outcome.records):
+                scenes[index] = record
+        response.scenes = scenes  # type: ignore[assignment]  # all filled or we raised
+        response.stats = merge_shard_stats(list(outcomes))
+        response.stats["wall_seconds"] = time.perf_counter() - start
+        self.stats["scenes"] += n
+        return response
+
+    def _make_payloads(
+        self,
+        fingerprint: str,
+        source: str,
+        strategy: str,
+        strategy_options: Dict[str, Any],
+        max_iterations: int,
+        n: int,
+        seed: int,
+        seeds: Optional[List[int]],
+    ) -> List[ShardPayload]:
+        """Cut the request into contiguous index shards (1 shard in direct mode)."""
+        shard_count = 1 if seeds is None else max(1, min(max(self.workers, 1), n))
+        base, extra = divmod(n, shard_count)
+        payloads: List[ShardPayload] = []
+        next_index = 0
+        for shard in range(shard_count):
+            size = base + (1 if shard < extra else 0)
+            if size == 0:
+                continue
+            indices = list(range(next_index, next_index + size))
+            next_index += size
+            payloads.append(
+                ShardPayload(
+                    fingerprint=fingerprint,
+                    source=source,
+                    strategy=strategy,
+                    strategy_options=dict(strategy_options),
+                    max_iterations=max_iterations,
+                    indices=indices,
+                    seeds=None if seeds is None else [seeds[index] for index in indices],
+                    master_seed=seed,
+                )
+            )
+        return payloads
+
+    async def _run_payload(self, payload: ShardPayload) -> ShardOutcome:
+        loop = asyncio.get_running_loop()
+        # workers=0: run_in_executor(None) -> default thread pool, same code path.
+        return await loop.run_in_executor(self._pool, run_shard, payload)
+
+    # -- diagnostics --------------------------------------------------------------
+
+    def service_stats(self) -> Dict[str, Any]:
+        """Service-level counters (request totals, shedding, queue state)."""
+        return {
+            **self.stats,
+            "pending": self._pending,
+            "workers": self.workers,
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "published_programs": len(self._sources),
+            "coordinator_cache": self.cache.stats.as_dict(),
+        }
+
+
+def generate_sync(
+    source: str,
+    n: int = 1,
+    seed: int = 0,
+    strategy: str = "rejection",
+    workers: int = 0,
+    **kwargs: Any,
+) -> GenerateResponse:
+    """One-shot synchronous convenience wrapper around a temporary service.
+
+    Spins a service up (inline workers by default), runs a single
+    ``generate`` request, and tears it down — useful in scripts and tests;
+    long-lived callers should manage a :class:`GenerationService` instead.
+    """
+
+    async def _run() -> GenerateResponse:
+        async with GenerationService(workers=workers) as service:
+            return await service.generate(source, n=n, seed=seed, strategy=strategy, **kwargs)
+
+    return asyncio.run(_run())
+
+
+__all__ = [
+    "GenerationFailedError",
+    "GenerationService",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "generate_sync",
+]

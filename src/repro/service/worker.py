@@ -1,0 +1,185 @@
+"""Worker-process side of the generation service.
+
+Each worker in the service's process pool runs :func:`initialize_worker`
+once (pool initializer) and then :func:`run_shard` per task.  Workers are
+*persistent*: they hold a process-local :class:`~repro.language.ArtifactCache`
+plus a bound-engine cache, so the first shard of a program pays the compile
+(or an unpickle from the shared disk layer) and every later shard — from any
+request — skips the parser and interpreter entirely and starts sampling
+immediately.
+
+Everything entering and leaving this module is plain data
+(:class:`~repro.service.protocol.ShardPayload` /
+:class:`~repro.service.protocol.ShardOutcome`): live scenes never cross the
+process boundary.  Worker-side failures are folded into the outcome's
+``error`` field rather than raised, so one infeasible shard cannot poison
+the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import random as _random
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .protocol import ShardOutcome, ShardPayload, scene_record
+
+# Process-local state, created by initialize_worker (or lazily on first use
+# when shards run inline in the coordinator process, workers=0).
+_CACHE = None
+_ENGINES: Dict[Tuple[str, str, Tuple[Tuple[str, Any], ...]], Any] = {}
+_MAX_ENGINES = 32
+
+#: Serializes run_shard within one process.  Pool workers are
+#: single-threaded so this is free there; it exists for the inline
+#: (``workers=0``) mode, where the service dispatches shards onto the
+#: default *thread* pool and the engine cache, the engines' ``last_stats``
+#: and the LRU eviction above would otherwise race.
+_SHARD_LOCK = threading.Lock()
+
+
+def initialize_worker(cache_dir: Optional[str] = None, cache_size: int = 64) -> None:
+    """Pool initializer: build this worker's artifact cache.
+
+    *cache_dir*, when set, points every worker at one shared on-disk artifact
+    store, so a program compiled by any worker (or by a previous service
+    run) is a disk hit for all the others.
+    """
+    global _CACHE
+    from ..language.compiler import ArtifactCache
+
+    _CACHE = ArtifactCache(max_memory=cache_size, disk_dir=cache_dir)
+    _ENGINES.clear()
+
+
+def _cache():
+    global _CACHE
+    if _CACHE is None:
+        initialize_worker()
+    return _CACHE
+
+
+def _engine_for(payload: ShardPayload) -> Tuple[Any, bool]:
+    """A bound, reusable engine for (program, strategy, options).
+
+    Returns ``(engine, artifact_was_warm)``.  Engine reuse is what amortises
+    bind-time analysis (pruning pass, dependency graph) across shards and
+    requests; the small LRU-ish cap just bounds memory on a long-lived
+    worker serving many distinct programs.
+    """
+    from ..sampling import SamplerEngine
+
+    options_key = tuple(sorted(payload.strategy_options.items()))
+    key = (payload.fingerprint, payload.strategy, options_key)
+    engine = _ENGINES.get(key)
+    if engine is not None:
+        return engine, True
+
+    cache = _cache()
+    # The coordinator already content-addressed the program: an
+    # address-by-hash lookup skips re-normalizing and re-hashing the source
+    # on every shard; only a genuinely cold worker compiles (or disk-loads).
+    artifact = cache.lookup_fingerprint(payload.fingerprint)
+    warm = artifact is not None
+    if artifact is None:
+        artifact = cache.get(payload.source)
+    engine = SamplerEngine(artifact, strategy=payload.strategy, **payload.strategy_options)
+    if len(_ENGINES) >= _MAX_ENGINES:
+        _ENGINES.pop(next(iter(_ENGINES)))
+    _ENGINES[key] = engine
+    return engine, warm
+
+
+def _stats_dict(aggregate: Any) -> Dict[str, Any]:
+    """Shard stats as plain data, via the engine's own roll-up type.
+
+    :class:`~repro.sampling.AggregateStats` is the single owner of how
+    per-draw :class:`GenerationStats` combine (``combined()``,
+    ``rejection_breakdown()``); this just flattens it for pickling.
+    """
+    combined = aggregate.combined()
+    return {
+        "scenes": aggregate.scenes,
+        "draws": aggregate.draws,
+        "iterations": combined.iterations,
+        "component_redraws": combined.component_redraws,
+        "sampling_seconds": combined.elapsed_seconds,
+        "rejections": aggregate.rejection_breakdown(),
+    }
+
+
+def run_shard(payload: ShardPayload) -> ShardOutcome:
+    """Sample one shard's scene indices; never raises.
+
+    Splitmix mode (``payload.seeds`` given): scene *i* is drawn with its own
+    ``Random(seeds[i])``, so the result is independent of how indices were
+    sharded.  Direct mode: the shard draws sequentially from
+    ``Random(master_seed)``, reproducing the classic
+    ``Scenario.generate_batch`` stream.
+
+    Holds :data:`_SHARD_LOCK` for the duration: shards within one process
+    run serially (only observable in the coordinator's inline
+    ``workers=0`` mode — pool workers are single-threaded anyway), keeping
+    the cached engines' state and stats coherent.
+    """
+    from ..sampling import AggregateStats
+
+    start = time.perf_counter()
+    aggregate = AggregateStats()
+    records: List[Dict[str, Any]] = []
+    error: Optional[Dict[str, Any]] = None
+    cache_hit = False
+    with _SHARD_LOCK:
+        try:
+            engine, cache_hit = _engine_for(payload)
+            sequential_rng = (
+                _random.Random(payload.master_seed) if payload.seeds is None else None
+            )
+            for position, index in enumerate(payload.indices):
+                rng = (
+                    sequential_rng
+                    if sequential_rng is not None
+                    else _random.Random(payload.seeds[position])
+                )
+                stats_before = engine.last_stats
+                try:
+                    scene = engine.sample(max_iterations=payload.max_iterations, rng=rng)
+                except Exception:
+                    # Keep the failing draw's diagnostics (when the engine
+                    # got far enough to produce any) in the shard stats.
+                    if engine.last_stats is not None and engine.last_stats is not stats_before:
+                        aggregate.record(engine.last_stats, payload.strategy, accepted=False)
+                    raise
+                aggregate.record(engine.last_stats, payload.strategy, accepted=True)
+                records.append(
+                    scene_record(
+                        scene,
+                        iterations=(
+                            engine.last_stats.iterations
+                            if payload.record_iterations and engine.last_stats
+                            else None
+                        ),
+                    )
+                )
+        except Exception as exc:  # noqa: BLE001 - outcomes must always pickle home
+            error = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "index": payload.indices[len(records)]
+                if len(records) < len(payload.indices)
+                else None,
+            }
+    return ShardOutcome(
+        indices=list(payload.indices[: len(records)]),
+        records=records,
+        stats=_stats_dict(aggregate),
+        cache_hit=cache_hit,
+        worker_pid=os.getpid(),
+        elapsed_seconds=time.perf_counter() - start,
+        error=error,
+    )
+
+
+__all__ = ["initialize_worker", "run_shard"]
