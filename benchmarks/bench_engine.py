@@ -122,7 +122,6 @@ def test_pruning_sampler_reduces_iterations(benchmark, record_result):
             seed=0,
             name="two_cars+pruning",
             strategy="pruning",
-            max_distance=30.0,
         )
         return baseline, pruned
 
@@ -131,13 +130,105 @@ def test_pruning_sampler_reduces_iterations(benchmark, record_result):
         "engine_pruning",
         f"rejection: mean {baseline.mean_iterations:.1f} iterations/scene\n"
         f"pruning:   mean {pruned.mean_iterations:.1f} iterations/scene\n"
-        "\nPruningAwareSampler runs the Sec. 5.2 pruning pass once, then"
+        "\nPruningAwareSampler runs the Sec. 5.2 pruning pass once (bounds"
+        "\nderived automatically by static requirement analysis), then"
         "\nrejection-samples the shrunken regions.",
     )
     # Pruning is sound: it can only remove sample-space volume that could not
     # have produced a valid scene, so it never makes sampling harder (up to
     # sampling noise on a handful of scenes).
     assert pruned.mean_iterations <= baseline.mean_iterations * 1.5 + 5
+
+
+def test_auto_pruning_beats_containment_only(benchmark, record_result, record_bench_json):
+    """Static-analysis pruning must at least halve the rejected candidates.
+
+    The workload is the heading-constrained example scenarios
+    (``crossing_traffic`` / ``merging_traffic``): a relative-heading
+    requirement pins the second car to a perpendicular carriageway within
+    visibility range.  *Containment-only* pruning (the pre-analysis
+    behaviour: minimum-fit erosion, no orientation/size bounds) is the
+    baseline; *auto* pruning additionally runs Algorithm 2 with the
+    analyzer's derived arc and distance bound.  The acceptance criterion is
+    >= 2x fewer rejected candidate scenes; per-technique area ratios land in
+    ``results/BENCH_5.json``.
+    """
+    from repro.language import compile_scenario as compile_artifact
+    from repro.sampling import PruningAwareSampler
+
+    scene_count = 8
+    cases = {
+        "crossing_traffic": scenarios.crossing_traffic(),
+        "merging_traffic": scenarios.merging_traffic(),
+    }
+
+    def run_case(source, containment_only):
+        artifact = compile_artifact(source, cache=None)
+        bounds = artifact.prune_bounds()
+        if containment_only:
+            strategy = PruningAwareSampler(bounds=bounds.containment_only())
+        else:
+            strategy = PruningAwareSampler(bounds=bounds)
+        engine = SamplerEngine(artifact.scenario(fresh=True), strategy)
+        batch = engine.sample_batch(scene_count, seed=0, max_iterations=200000)
+        combined = batch.stats.combined()
+        return {
+            "iterations": combined.iterations,
+            "rejections": combined.total_rejections,
+            "area_ratio": strategy.report.area_ratio,
+            "technique_ratios": strategy.report.technique_ratios(),
+        }
+
+    def run_all():
+        return {
+            name: {
+                "containment_only": run_case(source, containment_only=True),
+                "auto": run_case(source, containment_only=False),
+            }
+            for name, source in cases.items()
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = []
+    payload = {}
+    for name, rows in results.items():
+        containment, auto = rows["containment_only"], rows["auto"]
+        reduction = containment["rejections"] / max(1, auto["rejections"])
+        lines.append(
+            f"{name:>18s}: containment-only {containment['rejections']:6d} rejected, "
+            f"auto {auto['rejections']:6d} rejected ({reduction:.1f}x fewer), "
+            f"area ratio {auto['area_ratio']:.3f} "
+            f"(per technique: "
+            + ", ".join(
+                f"{tech}={ratio:.3f}" for tech, ratio in auto["technique_ratios"].items()
+            )
+            + ")"
+        )
+        payload[name] = {
+            "scenes": scene_count,
+            "containment_only_rejections": containment["rejections"],
+            "auto_rejections": auto["rejections"],
+            "rejection_reduction": reduction,
+            "containment_only_area_ratio": containment["area_ratio"],
+            "auto_area_ratio": auto["area_ratio"],
+            "auto_technique_area_ratios": auto["technique_ratios"],
+        }
+    record_result(
+        "engine_auto_pruning",
+        "\n".join(lines)
+        + f"\n\n{scene_count} scenes per configuration, fixed seed.  The static"
+        "\nrequirement analyzer derives the relative-heading arc and the"
+        "\nvisibility distance bound; Algorithm 2 then keeps only road cells"
+        "\nwithin sight of a compatible (perpendicular) carriageway.",
+    )
+    record_bench_json("auto_pruning", payload)
+    for name, rows in results.items():
+        auto, containment = rows["auto"], rows["containment_only"]
+        assert auto["rejections"] * 2 <= containment["rejections"], (
+            f"{name}: auto-pruning only reduced rejections "
+            f"{containment['rejections']} -> {auto['rejections']}"
+        )
+        assert auto["area_ratio"] < containment["area_ratio"]
 
 
 def test_vectorized_kernel_beats_scalar_geometry(benchmark, record_result):

@@ -1,0 +1,10 @@
+# Crossing traffic: a visible car cutting across the ego's road from the
+# left (relative heading 60-120 deg).  The flagship demo for automatic
+# orientation pruning (Sec. 5.2, Alg. 2): static analysis derives the
+# relative-heading arc and the 30 m visibility bound, so only road cells
+# within sight of a perpendicular carriageway can host the ego or the car.
+import gtaLib
+ego = EgoCar
+c = Car
+require (relative heading of c) >= 60 deg
+require (relative heading of c) <= 120 deg

@@ -1,0 +1,8 @@
+# Crossing traffic from the right (relative heading -120..-60 deg), written
+# as a single conjunctive requirement.  Like crossing_traffic.scenic this is
+# heading-constrained: automatic pruning keeps only road cells near a
+# perpendicular carriageway.
+import gtaLib
+ego = EgoCar
+c = Car
+require (relative heading of c) >= -120 deg and (relative heading of c) <= -60 deg

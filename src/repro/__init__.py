@@ -10,8 +10,12 @@ Subpackages
   plus the vectorized batch kernel).
 * :mod:`repro.language` — the Scenic DSL: lexer, parser, interpreter, and
   the compile-once artifact cache (``compile_scenario``).
+* :mod:`repro.analysis` — static requirement analysis: interval arithmetic
+  and the AST walk deriving the ``PruneBounds`` that make Sec. 5.2 pruning
+  automatic.
 * :mod:`repro.sampling` — the pluggable scene-sampling engine and its
-  strategies (rejection / pruning / batch / parallel / vectorized).
+  strategies (rejection / pruning / batch / parallel / vectorized /
+  pruned-vectorized).
 * :mod:`repro.service` — the async, process-sharded generation service over
   compiled artifacts (``GenerationService``, JSON-lines TCP server, CLI).
 * :mod:`repro.fuzz` — the grammar-driven scenario fuzzer and differential

@@ -1,0 +1,199 @@
+"""Interval arithmetic for the static requirement analyzer (Sec. 5.2).
+
+Two abstractions:
+
+* :class:`Interval` — a closed interval of reals, the abstract value the
+  analyzer propagates through statically-evaluable Scenic expressions
+  (``(a, b)`` ranges, ``deg`` conversions, arithmetic on constants).
+* :class:`CircularInterval` — an arc of headings on the circle, represented
+  as ``center ± half_width`` with the center normalized to ``(-pi, pi]``.
+
+The circular representation is what makes relative-heading constraints that
+straddle the ±π branch cut safe: an "oncoming traffic" constraint like
+``[170°, 190°]`` (or, with normalized endpoints, ``[170°, -170°]``) is a
+20°-wide arc through π, *not* the 340°-wide complement — naive
+``(low + high) / 2`` midpoint arithmetic on normalized endpoints collapses
+it to the wrong side of the circle.  All constructors here take the sweep
+*anticlockwise from low to high*, so the arc is unambiguous.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.utils import TWO_PI, normalize_angle
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed real interval ``[low, high]`` (the analyzer's abstract scalar)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise ValueError(f"empty interval [{self.low}, {self.high}]")
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        return cls(float(value), float(value))
+
+    @property
+    def is_point(self) -> bool:
+        return self.low == self.high
+
+    @property
+    def magnitude(self) -> float:
+        """Largest absolute value the interval contains."""
+        return max(abs(self.low), abs(self.high))
+
+    @property
+    def min_magnitude(self) -> float:
+        """Smallest absolute value the interval contains."""
+        if self.low <= 0.0 <= self.high:
+            return 0.0
+        return min(abs(self.low), abs(self.high))
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.low + other.low, self.high + other.high)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self.low - other.high, self.high - other.low)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.high, -self.low)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        products = (
+            self.low * other.low,
+            self.low * other.high,
+            self.high * other.low,
+            self.high * other.high,
+        )
+        return Interval(min(products), max(products))
+
+    def divided_by(self, other: "Interval") -> Optional["Interval"]:
+        """Interval division; ``None`` when the divisor straddles zero."""
+        if other.low <= 0.0 <= other.high:
+            return None
+        quotients = (
+            self.low / other.low,
+            self.low / other.high,
+            self.high / other.low,
+            self.high / other.high,
+        )
+        return Interval(min(quotients), max(quotients))
+
+    def abs(self) -> "Interval":
+        return Interval(self.min_magnitude, self.magnitude)
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def scaled(self, factor: float) -> "Interval":
+        return self * Interval.point(factor)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class CircularInterval:
+    """An arc of headings: all angles within ``half_width`` of ``center``.
+
+    ``half_width >= pi`` means the full circle (no constraint); a zero
+    half-width is the single heading ``center``.  The center is stored
+    normalized to ``(-pi, pi]``, so arcs through the branch cut (e.g. the
+    oncoming-traffic arc around π) behave exactly like any other arc.
+    """
+
+    center: float
+    half_width: float
+
+    def __post_init__(self):
+        if self.half_width < 0:
+            raise ValueError(f"negative arc half-width {self.half_width}")
+        object.__setattr__(self, "center", normalize_angle(self.center))
+        object.__setattr__(self, "half_width", min(float(self.half_width), math.pi))
+
+    @classmethod
+    def from_sweep(cls, low: float, high: float) -> "CircularInterval":
+        """The arc swept anticlockwise from *low* to *high*.
+
+        Endpoints may be given unnormalized (``(170°, 190°)``) or normalized
+        (``(170°, -170°)``); either way the arc is the sweep from *low*
+        anticlockwise to *high* — an interval straddling ±π stays a short
+        arc through π and never collapses to its complement.  A sweep of
+        2π or more is the full circle.
+        """
+        width = (high - low) % TWO_PI if high != low else 0.0
+        if high - low >= TWO_PI:
+            width = TWO_PI
+        return cls(low + width / 2.0, width / 2.0)
+
+    @classmethod
+    def full(cls) -> "CircularInterval":
+        return cls(0.0, math.pi)
+
+    @property
+    def is_full(self) -> bool:
+        return self.half_width >= math.pi
+
+    def contains(self, angle: float, slack: float = 0.0) -> bool:
+        if self.half_width + slack >= math.pi:
+            return True
+        return abs(normalize_angle(angle - self.center)) <= self.half_width + slack
+
+    def negated(self) -> "CircularInterval":
+        """The arc of ``-h`` for every ``h`` in this arc (mirror through 0)."""
+        return CircularInterval(-self.center, self.half_width)
+
+    def shifted(self, offset: float) -> "CircularInterval":
+        return CircularInterval(self.center + offset, self.half_width)
+
+    def widened(self, slack: float) -> "CircularInterval":
+        return CircularInterval(self.center, min(self.half_width + slack, math.pi))
+
+    def intersect(self, other: "CircularInterval") -> Optional["CircularInterval"]:
+        """A sound (possibly over-approximate) intersection; ``None`` if empty.
+
+        The true intersection of two arcs can be two disjoint arcs; in that
+        case the smaller input arc is returned, which over-approximates the
+        intersection — sound for pruning, where the constraint set may only
+        ever be *enlarged*.  An exactly-empty intersection returns ``None``.
+        """
+        if self.is_full:
+            return other
+        if other.is_full:
+            return self
+        gap = abs(normalize_angle(other.center - self.center))
+        if gap > self.half_width + other.half_width:
+            return None  # exactly disjoint
+        smaller, larger = sorted((self, other), key=lambda arc: arc.half_width)
+        if gap + smaller.half_width <= larger.half_width:
+            return smaller  # fully nested
+        # When the two arcs also overlap (with positive measure) on the far
+        # side of the circle — a two-arc intersection — returning the
+        # smaller arc keeps every allowed heading.
+        if smaller.half_width + larger.half_width - (TWO_PI - gap) > 1e-12:
+            return smaller
+        # Single overlap: compute endpoints in a frame centred on this arc.
+        other_center = normalize_angle(other.center - self.center)
+        low = max(-self.half_width, other_center - other.half_width)
+        high = min(self.half_width, other_center + other.half_width)
+        if low > high:
+            return None
+        return CircularInterval(self.center + (low + high) / 2.0, (high - low) / 2.0)
+
+    def endpoints(self) -> Tuple[float, float]:
+        """Normalized ``(low, high)`` endpoints of the anticlockwise sweep."""
+        return (
+            normalize_angle(self.center - self.half_width),
+            normalize_angle(self.center + self.half_width),
+        )
+
+
+__all__ = ["Interval", "CircularInterval"]

@@ -82,6 +82,7 @@ from .errors import (
     ScenicSyntaxError,
     SpecifierError,
     InvalidScenarioError,
+    InfeasibleScenarioError,
     RejectionError,
 )
 
@@ -111,5 +112,5 @@ __all__ = [
     "GenerationStats", "prune_scenario", "PruningReport",
     # errors
     "ScenicError", "ScenicSyntaxError", "SpecifierError", "InvalidScenarioError",
-    "RejectionError",
+    "InfeasibleScenarioError", "RejectionError",
 ]

@@ -49,6 +49,16 @@ class InvalidScenarioError(ScenicError):
     """A scenario is semantically invalid (e.g. no ego object was defined)."""
 
 
+class InfeasibleScenarioError(InvalidScenarioError):
+    """Pruning proved the scenario statically infeasible.
+
+    A sound pruning step only ever removes positions that cannot appear in
+    any valid scene, so a region pruning to *empty* means no scene can
+    satisfy the requirements — raised instead of silently entering a
+    zero-acceptance sampling loop.
+    """
+
+
 class RejectionError(ScenicError):
     """The rejection sampler exhausted its iteration budget."""
 

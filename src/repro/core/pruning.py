@@ -15,26 +15,44 @@ every valid position (soundness):
 * **size** — map cells narrower than the configuration's minimum width can
   only host an object if another cell lies within ``M`` (Algorithm 3).
 
-``prune_scenario`` applies containment pruning automatically and the other
-two when the caller provides the bounds (the experiment harness extracts
-them from the scenario, mirroring the paper's static analysis of ``offset
-by`` specifiers and visibility constraints).
+``prune_scenario`` derives the bounds these techniques need *automatically*:
+when the scenario came from a compiled artifact, the static requirement
+analysis of :mod:`repro.analysis` supplies a
+:class:`~repro.analysis.PruneBounds` (relative-heading arcs, distance
+bounds ``M``, minimum-fit radii) and all three techniques run without the
+caller providing anything.  Explicit bounds (or the legacy keyword
+arguments) are still accepted and applied on top.
+
+Soundness guard-rails baked into the driver:
+
+* objects with mutation enabled are skipped entirely — mutation displaces
+  the sampled position *after* the draw, so no region shrink is sound;
+* a region polygon that is close to more than one workspace piece is kept
+  whole during containment pruning — eroding each piece separately would
+  wrongly exclude centres of objects straddling two pieces;
+* partner-based techniques (Algorithms 2–3) only run when the partner
+  object's possible positions provably lie on the orientation field's
+  cells (same-region check, or an exact coverage proof of the workspace);
+* a region that prunes to *empty* raises
+  :class:`~repro.core.errors.InfeasibleScenarioError` instead of leaving a
+  silent zero-acceptance sampling loop behind.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.bounds import ObjectBounds, PruneBounds
+from ..analysis.intervals import CircularInterval
 from ..geometry.morphology import dilate_polygon, erode_polygon, minimum_width
 from ..geometry.polygon import Polygon, clip_polygon, polygons_intersect
 from ..geometry.spatial_index import SpatialGrid
 from .distributions import needs_sampling
+from .errors import InfeasibleScenarioError
 from .objects import Object
 from .regions import PointInRegionDistribution, PolygonalRegion, Region
 from .scenario import Scenario
-from .utils import normalize_angle
 from .vectorfields import PolygonalVectorField
 
 
@@ -43,15 +61,50 @@ class PruningReport:
     """What pruning did to a scenario (for logging and the pruning benchmark)."""
 
     objects_pruned: int = 0
+    objects_skipped_mutation: int = 0
     area_before: float = 0.0
     area_after: float = 0.0
     techniques: Tuple[str, ...] = ()
+    #: Per-technique area bookkeeping: technique name -> [area entering the
+    #: stage, area leaving it], summed over every object it applied to.
+    stage_areas: Dict[str, List[float]] = field(default_factory=dict)
+    #: Summary of the static bounds that drove the pass (None = no bounds).
+    bounds_summary: Optional[Dict[str, int]] = None
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def applied(self) -> bool:
+        """Whether any technique actually restricted a region."""
+        return bool(self.techniques)
 
     @property
     def area_ratio(self) -> float:
+        """Pruned / original sampling area.
+
+        1.0 when pruning did not apply (no prunable objects, or nothing was
+        restricted) — check :attr:`applied` to tell "no reduction" apart
+        from "nothing to prune".  A statically infeasible scenario never
+        produces a report at all: ``prune_scenario`` raises
+        :class:`~repro.core.errors.InfeasibleScenarioError` instead of
+        reporting a zero area.
+        """
         if self.area_before <= 0:
             return 1.0
         return self.area_after / self.area_before
+
+    def technique_ratios(self) -> Dict[str, float]:
+        """Area kept by each technique (area-out / area-in, per stage)."""
+        ratios: Dict[str, float] = {}
+        for technique, (before, after) in self.stage_areas.items():
+            ratios[technique] = (after / before) if before > 0 else 1.0
+        return ratios
+
+    def _record_stage(self, technique: str, before: float, after: float) -> None:
+        entry = self.stage_areas.setdefault(technique, [0.0, 0.0])
+        entry[0] += before
+        entry[1] += after
+        if technique not in self.techniques:
+            self.techniques = self.techniques + (technique,)
 
 
 # ---------------------------------------------------------------------------
@@ -64,37 +117,51 @@ def prune_by_orientation(
     allowed_relative_heading: Tuple[float, float],
     max_distance: float,
     deviation_bound: float,
+    partner_cells: Optional[Sequence[Tuple[Polygon, float]]] = None,
+    total_deviation: Optional[float] = None,
 ) -> List[Polygon]:
     """Restrict field cells to those compatible with a relative-heading constraint.
 
     *cells* are ``(polygon, field heading)`` pairs; *allowed_relative_heading*
-    is the closed interval ``A`` of permitted relative headings between the
-    two objects (it may straddle ±π, e.g. an oncoming-traffic constraint
-    around π); *max_distance* is ``M``; *deviation_bound* is ``δ``, the
-    maximum deviation of each object from the field direction.
+    is the arc ``A`` of permitted relative headings between the two objects,
+    given as the sweep **anticlockwise from low to high** — an oncoming
+    constraint around π may be written ``(pi - 0.1, pi + 0.1)`` or with
+    normalized endpoints ``(pi - 0.1, -(pi - 0.1))``; either way the arc is
+    the short one through π, never its complement (intervals straddling the
+    ±π branch cut must not collapse to empty or full circles).
+    *max_distance* is ``M``.  The heading slack is ``2 * deviation_bound``
+    (the historical per-object ``δ`` form) unless *total_deviation* is given,
+    which is used verbatim (the analyzer passes ``δ_self + δ_partner``).
 
-    Note that a constraint interval containing 0 never prunes anything on its
-    own: every cell is a compatible partner for itself (both objects may lie
-    in the same cell).  The technique pays off for constraints like
-    "roughly facing each other", exactly as in the paper's examples.
+    *partner_cells* are the cells the **other** object may occupy; they
+    default to *cells* (both objects range over the same region).  Passing
+    the orientation field's full cell list is always sound when the partner
+    provably lies on the field.
+
+    Note that a constraint arc containing 0 never prunes anything when the
+    pruned cells are among the partner cells: every cell is a compatible
+    partner for itself.  The technique pays off for constraints like
+    "roughly facing each other" or "crossing traffic", exactly as in the
+    paper's examples.
     """
-    low, high = allowed_relative_heading
-    center = (low + high) / 2.0
-    half_width = abs(high - low) / 2.0
+    # Wrap-safe arc: sweep anticlockwise from low to high (the same
+    # representation the analyzer uses, so the branch-cut handling cannot
+    # drift between the two layers).
+    arc = CircularInterval.from_sweep(*allowed_relative_heading)
+    slack = total_deviation if total_deviation is not None else 2.0 * deviation_bound
+    partners = list(partner_cells) if partner_cells is not None else list(cells)
     pruned: List[Polygon] = []
-    dilated_cells = [dilate_polygon(polygon, max_distance) for polygon, _heading in cells]
-    partner_index = _pair_pruner(dilated_cells)
+    dilated_partners = [dilate_polygon(polygon, max_distance) for polygon, _heading in partners]
+    partner_index = _pair_pruner(dilated_partners)
     for polygon, heading in cells:
         for other_index in partner_index(polygon):
-            other_polygon, other_heading = cells[other_index]
-            dilated = dilated_cells[other_index]
+            other_heading = partners[other_index][1]
+            dilated = dilated_partners[other_index]
             if not polygons_intersect(polygon, dilated):
                 continue
-            relative = normalize_angle(other_heading - heading)
-            # Compatible iff the relative heading, slackened by 2δ, can fall
-            # inside A (angles compared on the circle, so A may wrap ±π).
-            distance_to_center = abs(normalize_angle(relative - center))
-            if distance_to_center <= half_width + 2 * deviation_bound + 1e-12:
+            # Compatible iff the relative heading, slackened by the total
+            # deviation, can fall inside A (compared on the circle).
+            if arc.contains(other_heading - heading, slack=slack + 1e-12):
                 piece = clip_polygon(polygon, dilated)
                 if piece is not None:
                     pruned.append(piece)
@@ -146,26 +213,52 @@ def prune_by_containment(
 ) -> List[Polygon]:
     """Restrict a sampling region to the erosion of its container.
 
-    For every (region, container) polygon pair, keep the part of the region
-    polygon inside the container eroded by *min_radius*.  Erosion is exact
-    for convex containers and a sound no-op otherwise.
+    An object of inradius at least *min_radius* contained in the container
+    *union* has its centre at least *min_radius* from the union's boundary.
+    Per region polygon:
+
+    * polygons that touch no container piece are dropped (the centre always
+      lies inside the union);
+    * polygons within *min_radius* of **more than one** container piece are
+      kept whole — near a shared boundary the union's erosion is strictly
+      larger than any single piece's erosion, so clipping against per-piece
+      erosions would wrongly exclude centres of objects straddling two
+      pieces (the polygon-cell boundary soundness fix);
+    * polygons near exactly one piece are clipped against that piece's
+      erosion (exact for convex pieces, a sound no-op otherwise).
+
+    Returns the restricted polygon list; an empty list means no valid
+    centre exists at all.
     """
+    if min_radius <= 0 or not container_polygons:
+        return _merge_pieces(list(region_polygons))
+    eroded = [erode_polygon(container, min_radius) for container in container_polygons]
+    dilated = [dilate_polygon(container, min_radius) for container in container_polygons]
+    container_pruner = _pair_pruner(dilated)
     pruned: List[Polygon] = []
-    region_pruner = _pair_pruner(list(region_polygons))
-    for container in container_polygons:
-        eroded = erode_polygon(container, min_radius)
-        if eroded is None:
+    for polygon in region_polygons:
+        touching: List[int] = []
+        near: List[int] = []
+        for index in container_pruner(polygon):
+            if polygons_intersect(polygon, dilated[index]):
+                near.append(index)
+                if polygons_intersect(polygon, container_polygons[index]):
+                    touching.append(index)
+        if not touching:
+            continue  # the centre cannot lie in the container union here
+        if len(near) > 1:
+            pruned.append(polygon)  # straddling zone: erosion per piece is unsound
             continue
-        for polygon_index in region_pruner(eroded):
-            polygon = region_polygons[polygon_index]
-            if not polygons_intersect(polygon, eroded):
-                continue
-            if eroded.is_convex():
-                piece = clip_polygon(polygon, eroded)
-            else:
-                piece = polygon
-            if piece is not None:
-                pruned.append(piece)
+        container_index = touching[0]
+        container_eroded = eroded[container_index]
+        if container_eroded is None:
+            continue  # the single nearby piece cannot fit the object at all
+        if container_eroded.is_convex():
+            piece = clip_polygon(polygon, container_eroded)
+        else:
+            piece = polygon
+        if piece is not None:
+            pruned.append(piece)
     return _merge_pieces(pruned)
 
 
@@ -174,8 +267,33 @@ def prune_by_containment(
 # ---------------------------------------------------------------------------
 
 
+def bounds_for_scenario(scenario: Scenario) -> Optional[PruneBounds]:
+    """The static-analysis bounds for *scenario*, if it has a compiled artifact.
+
+    Scenarios produced by :mod:`repro.language.compiler` carry a reference
+    to their :class:`~repro.language.CompiledScenario`; the artifact caches
+    the analysis result (and ships it through the artifact cache's pickle
+    layer), so repeated pruning passes — e.g. service workers binding the
+    ``pruning`` strategy for every shard — pay for the analysis once per
+    program, not once per request.
+    """
+    artifact = getattr(scenario, "compiled_artifact", None)
+    if artifact is None:
+        fingerprint = getattr(scenario, "compiled_fingerprint", None)
+        if fingerprint is not None:
+            from ..language.compiler import get_default_cache
+
+            artifact = get_default_cache().lookup_fingerprint(fingerprint)
+    if artifact is None:
+        return None
+    return artifact.prune_bounds()
+
+
 def prune_scenario(
     scenario: Scenario,
+    bounds: Optional[PruneBounds] = None,
+    *,
+    analyze: bool = True,
     relative_heading_bound: Optional[float] = None,
     relative_heading_center: float = 0.0,
     max_distance: Optional[float] = None,
@@ -185,47 +303,137 @@ def prune_scenario(
     """Apply the pruning techniques to every prunable object of *scenario*.
 
     An object is prunable when its ``position`` is a
-    :class:`PointInRegionDistribution` over a :class:`PolygonalRegion`.  The
-    workspace region acts as the container for containment pruning.  When
-    *relative_heading_bound* (radians) and *max_distance* are given and the
-    region carries a :class:`PolygonalVectorField` orientation, Algorithm 2
-    is applied; when *min_configuration_width* and *max_distance* are given,
-    Algorithm 3 is applied.  The object's sampling region is replaced in
+    :class:`PointInRegionDistribution` over a :class:`PolygonalRegion` and
+    mutation is disabled for it.  The workspace region acts as the container
+    for containment pruning.  Orientation (Algorithm 2) and size
+    (Algorithm 3) pruning run automatically from *bounds* — resolved via
+    :func:`bounds_for_scenario` when not passed and *analyze* is true — and
+    additionally from the legacy keyword arguments, which apply one global
+    relative-heading constraint to every prunable object (the historical
+    caller-supplied interface).  The object's sampling region is replaced in
     place, so subsequent ``generate`` calls benefit.
+
+    Raises :class:`~repro.core.errors.InfeasibleScenarioError` when any
+    region prunes to empty: soundness means an empty pruned region proves no
+    scene can satisfy the requirements.
     """
+    if bounds is None and analyze:
+        bounds = bounds_for_scenario(scenario)
     report = PruningReport()
-    techniques: List[str] = []
+    if bounds is not None:
+        report.bounds_summary = bounds.summary()
+    notes: List[str] = list(bounds.notes) if bounds is not None else []
     workspace_region = scenario.workspace.region
-    container_polygons = _polygons_of_region(workspace_region)
+    container_polygons = (
+        [] if scenario.workspace.is_unbounded else _polygons_of_region(workspace_region)
+    )
 
-    for scenic_object in scenario.objects:
+    # Snapshot every prunable object's *original* region before any in-place
+    # rewrite: partner-based reasoning must see pre-pruning geometry.
+    snapshots: Dict[int, Tuple[PolygonalRegion, List[Polygon]]] = {}
+    for index, scenic_object in enumerate(scenario.objects):
         position = scenic_object.properties.get("position")
-        if not isinstance(position, PointInRegionDistribution):
+        if isinstance(position, PointInRegionDistribution) and isinstance(
+            position.region, PolygonalRegion
+        ):
+            snapshots[index] = (position.region, list(position.region.polygons))
+    coverage_cache: Dict[Tuple[int, int], bool] = {}
+
+    for index, scenic_object in enumerate(scenario.objects):
+        if index not in snapshots:
             continue
-        region = position.region
-        if not isinstance(region, PolygonalRegion):
+        if _mutation_enabled(scenic_object):
+            # Mutation adds noise to the position *after* the draw; any
+            # region shrink would be unsound for such objects.
+            report.objects_skipped_mutation += 1
+            notes.append(f"object {index}: skipped (mutation enabled)")
             continue
-        report.area_before += region.area()
-        polygons: List[Polygon] = list(region.polygons)
+        position = scenic_object.properties["position"]
+        region, original_polygons = snapshots[index]
+        polygons: List[Polygon] = list(original_polygons)
         orientation = region.orientation
+        object_bounds = bounds.for_object(index) if bounds is not None else None
+        report.area_before += region.area()
 
-        # Containment (uses a lower bound on the object's half-extent).
-        min_radius = _static_min_radius(scenic_object)
-        if container_polygons and min_radius > 0:
-            restricted = prune_by_containment(polygons, container_polygons, min_radius)
-            if restricted:
-                polygons = restricted
-                if "containment" not in techniques:
-                    techniques.append("containment")
+        def stage(technique: str, restricted: Optional[List[Polygon]], current: List[Polygon]):
+            """Fold one technique's output into the running polygon set."""
+            if restricted is None:
+                return current
+            before = _total_area(current)
+            after = _total_area(restricted)
+            if not restricted:
+                raise InfeasibleScenarioError(
+                    f"{technique} pruning emptied the sampling region of object "
+                    f"{index} ({type(scenic_object).__name__}): the scenario's "
+                    "requirements are statically unsatisfiable"
+                )
+            if after < before:
+                report._record_stage(technique, before, after)
+                return restricted
+            return current
 
-        cells = _cells_for_polygons(polygons, orientation)
+        # Size (Algorithm 3) — before containment: its narrow-cell isolation
+        # argument needs the partner's full (unclipped) cell set.
+        size_inputs: List[Tuple[float, float]] = []
+        if object_bounds is not None and object_bounds.min_configuration_width is not None:
+            if _partner_reasoning_allowed(
+                scenario, region, workspace_region, coverage_cache, notes, index
+            ):
+                size_inputs.append(
+                    (object_bounds.narrowness_distance, object_bounds.min_configuration_width)
+                )
+        if min_configuration_width is not None and max_distance is not None:
+            size_inputs.append((max_distance, min_configuration_width))
+        for distance_bound, width_bound in size_inputs:
+            cells = _cells_for_polygons(polygons, orientation)
+            polygons = stage("size", prune_by_size(cells, distance_bound, width_bound), polygons)
 
         # Orientation (Algorithm 2).
+        if (
+            object_bounds is not None
+            and object_bounds.heading_constraints
+            and isinstance(orientation, PolygonalVectorField)
+        ):
+            for constraint in object_bounds.heading_constraints:
+                if constraint.is_empty:
+                    raise InfeasibleScenarioError(
+                        f"the relative-heading requirements on object {index} "
+                        f"admit no heading at all ({constraint.source})"
+                    )
+                partner_cells = _partner_cells(
+                    scenario,
+                    snapshots,
+                    constraint.partner,
+                    orientation,
+                    workspace_region,
+                    coverage_cache,
+                    notes,
+                )
+                if partner_cells is None:
+                    notes.append(
+                        f"object {index}: orientation constraint vs object "
+                        f"{constraint.partner} skipped (partner not provably on-field)"
+                    )
+                    continue
+                cells = _cells_for_polygons(polygons, orientation)
+                restricted = prune_by_orientation(
+                    cells,
+                    (
+                        constraint.center - constraint.half_width,
+                        constraint.center + constraint.half_width,
+                    ),
+                    constraint.max_distance,
+                    0.0,
+                    partner_cells=partner_cells,
+                    total_deviation=constraint.deviation,
+                )
+                polygons = stage("orientation", restricted, polygons)
         if (
             relative_heading_bound is not None
             and max_distance is not None
             and isinstance(orientation, PolygonalVectorField)
         ):
+            cells = _cells_for_polygons(polygons, orientation)
             restricted = prune_by_orientation(
                 cells,
                 (
@@ -235,19 +443,15 @@ def prune_scenario(
                 max_distance,
                 deviation_bound,
             )
-            if restricted:
-                polygons = restricted
-                cells = _cells_for_polygons(polygons, orientation)
-                if "orientation" not in techniques:
-                    techniques.append("orientation")
+            polygons = stage("orientation", restricted, polygons)
 
-        # Size (Algorithm 3).
-        if min_configuration_width is not None and max_distance is not None:
-            restricted = prune_by_size(cells, max_distance, min_configuration_width)
-            if restricted:
-                polygons = restricted
-                if "size" not in techniques:
-                    techniques.append("size")
+        # Containment (uses a lower bound on the object's half-extent).
+        min_radius = _static_min_radius(scenic_object)
+        if object_bounds is not None:
+            min_radius = max(min_radius, object_bounds.min_radius)
+        if container_polygons and min_radius > 0:
+            restricted = prune_by_containment(polygons, container_polygons, min_radius)
+            polygons = stage("containment", restricted, polygons)
 
         # The pruned pieces may overlap each other (a cell can pair with
         # several dilated neighbours); overlapping pieces would both inflate
@@ -267,8 +471,159 @@ def prune_scenario(
             report.area_after += region.area()
         report.objects_pruned += 1
 
-    report.techniques = tuple(techniques)
+    report.notes = tuple(notes)
     return report
+
+
+# ---------------------------------------------------------------------------
+# Partner soundness checks
+# ---------------------------------------------------------------------------
+
+
+def _partner_cells(
+    scenario: Scenario,
+    snapshots: Dict[int, Tuple[PolygonalRegion, List[Polygon]]],
+    partner_index: int,
+    orientation: PolygonalVectorField,
+    workspace_region: Region,
+    coverage_cache: Dict[Tuple[int, int], bool],
+    notes: List[str],
+) -> Optional[List[Tuple[Polygon, float]]]:
+    """Cells the partner object can occupy, or ``None`` when unprovable.
+
+    Sound cases:
+
+    * the partner's own sampling region carries the same orientation field
+      and each of its (original) polygons is exactly one of the field's
+      cells — its positions and headings range over exactly those cells;
+    * the partner is any workspace-contained object and the workspace is
+      provably covered by the field's cells — then wherever the partner
+      ends up, it sits in some cell at distance zero.
+
+    Mutation on the partner invalidates its heading bound, so it rules both
+    cases out.
+    """
+    if not (0 <= partner_index < len(scenario.objects)):
+        return None
+    partner = scenario.objects[partner_index]
+    if _mutation_enabled(partner):
+        return None
+    snapshot = snapshots.get(partner_index)
+    if snapshot is not None and snapshot[0].orientation is orientation:
+        cells: List[Tuple[Polygon, float]] = []
+        for polygon in snapshot[1]:
+            heading = orientation.heading_of_cell(polygon)
+            if heading is None:
+                cells = []
+                break
+            cells.append((polygon, heading))
+        if cells:
+            return cells
+    if scenario.workspace.is_unbounded:
+        return None
+    if _workspace_covered_by_cells(workspace_region, orientation, coverage_cache, notes):
+        return list(orientation.cells)
+    return None
+
+
+def _partner_reasoning_allowed(
+    scenario: Scenario,
+    region: PolygonalRegion,
+    workspace_region: Region,
+    coverage_cache: Dict[Tuple[int, int], bool],
+    notes: List[str],
+    index: int,
+) -> bool:
+    """Whether Algorithm 3's isolation argument holds for this object's region.
+
+    The argument ("a narrow cell with no other cell within M cannot host the
+    configuration") needs every workspace position near the object to lie on
+    the region's own cells; we require the workspace to be exactly covered
+    by them.
+    """
+    if scenario.workspace.is_unbounded:
+        return False
+    covered = _polygons_cover(
+        _polygons_of_region(workspace_region), list(region.polygons), coverage_cache, key=(id(workspace_region), id(region))
+    )
+    if not covered:
+        notes.append(
+            f"object {index}: size pruning skipped (workspace not provably "
+            "covered by the region's cells)"
+        )
+    return covered
+
+
+def _workspace_covered_by_cells(
+    workspace_region: Region,
+    orientation: PolygonalVectorField,
+    coverage_cache: Dict[Tuple[int, int], bool],
+    notes: List[str],
+) -> bool:
+    covered = _polygons_cover(
+        _polygons_of_region(workspace_region),
+        [polygon for polygon, _heading in orientation.cells],
+        coverage_cache,
+        key=(id(workspace_region), id(orientation)),
+    )
+    if not covered:
+        notes.append("workspace not provably covered by the orientation field's cells")
+    return covered
+
+
+def _polygons_cover(
+    targets: Sequence[Polygon],
+    cells: Sequence[Polygon],
+    cache: Dict[Tuple[int, int], bool],
+    key: Tuple[int, int],
+) -> bool:
+    """Prove ``union(cells) ⊇ union(targets)`` by area arithmetic.
+
+    Uses the depth-2 Bonferroni lower bound ``|T ∩ ∪cᵢ| ≥ Σ|T∩cᵢ| −
+    Σᵢ<ⱼ|T∩cᵢ∩cⱼ|``, which is exact for convex pieces via polygon clipping;
+    non-convex inputs make the bound unprovable and the check conservatively
+    fails (pruning then skips the partner-based techniques).
+    """
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+
+    def compute() -> bool:
+        if not targets or not cells:
+            return False
+        if any(not cell.is_convex() for cell in cells):
+            return False
+        for target in targets:
+            if not target.is_convex():
+                return False
+            target_area = target.area
+            if target_area <= 0:
+                continue
+            box = target.bounding_box()
+            pieces: List[Polygon] = []
+            for cell in cells:
+                if not box.intersects(cell.bounding_box()):
+                    continue
+                piece = clip_polygon(target, cell)
+                if piece is not None:
+                    pieces.append(piece)
+            total = sum(piece.area for piece in pieces)
+            overlap = 0.0
+            for i in range(len(pieces)):
+                box_i = pieces[i].bounding_box()
+                for j in range(i + 1, len(pieces)):
+                    if not box_i.intersects(pieces[j].bounding_box()):
+                        continue
+                    shared = clip_polygon(pieces[i], pieces[j])
+                    if shared is not None:
+                        overlap += shared.area
+            if total - overlap < target_area * (1.0 - 1e-6):
+                return False
+        return True
+
+    result = compute()
+    cache[key] = result
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -306,6 +661,25 @@ def _pair_pruner(targets: Sequence[Polygon]):
     return query
 
 
+def _total_area(polygons: Sequence[Polygon]) -> float:
+    return sum(polygon.area for polygon in polygons)
+
+
+def _mutation_enabled(scenic_object: Object) -> bool:
+    """Whether mutation noise may displace this object after sampling."""
+    from .lazy import is_lazy
+
+    scale = scenic_object.properties.get("mutationScale", 0.0)
+    if scale is None:
+        return False
+    if needs_sampling(scale) or is_lazy(scale):
+        return True
+    try:
+        return float(scale) != 0.0
+    except (TypeError, ValueError):
+        return True
+
+
 def _static_min_radius(scenic_object: Object) -> float:
     """A lower bound on the object's centre-to-edge distance, if statically known."""
     width = scenic_object.properties.get("width")
@@ -338,7 +712,8 @@ def _cells_for_polygons(polygons: Sequence[Polygon], orientation) -> List[Tuple[
     for polygon in polygons:
         heading = 0.0
         if isinstance(orientation, PolygonalVectorField):
-            heading = orientation.value_at(polygon.centroid)
+            exact = orientation.heading_of_cell(polygon)
+            heading = exact if exact is not None else orientation.value_at(polygon.centroid)
         elif orientation is not None:
             heading = orientation.value_at(polygon.centroid)
         cells.append((polygon, heading))
@@ -358,12 +733,9 @@ def _merge_pieces(polygons: Sequence[Polygon]) -> List[Polygon]:
     return unique
 
 
-def _interval_intersects(a_low: float, a_high: float, b_low: float, b_high: float) -> bool:
-    return a_low <= b_high and b_low <= a_high
-
-
 __all__ = [
     "PruningReport",
+    "bounds_for_scenario",
     "prune_by_orientation",
     "prune_by_size",
     "prune_by_containment",

@@ -86,6 +86,10 @@ class Scenario:
         #: (set by :mod:`repro.language.compiler`); ``None`` for scenarios
         #: built directly through the Python API.
         self.compiled_fingerprint: Optional[str] = None
+        #: The :class:`~repro.language.CompiledScenario` itself, when the
+        #: scenario came out of the compiler — lets pruning fetch the
+        #: artifact's cached static-analysis bounds without a cache lookup.
+        self.compiled_artifact: Optional[Any] = None
 
     # -- construction helpers ---------------------------------------------------
 

@@ -327,6 +327,34 @@ def oncoming_car() -> str:
     )
 
 
+def crossing_traffic() -> str:
+    """A visible car cutting across the ego's road from the left.
+
+    The flagship case for automatic orientation pruning (Sec. 5.2, Alg. 2):
+    the relative-heading requirement pins the other car to a perpendicular
+    carriageway, and the built-in visibility constraint bounds the distance,
+    so static analysis prunes both cars' road regions down to the
+    neighbourhoods of crossings.
+    """
+    return (
+        "import gtaLib\n"
+        "ego = EgoCar\n"
+        "c = Car\n"
+        "require (relative heading of c) >= 60 deg\n"
+        "require (relative heading of c) <= 120 deg\n"
+    )
+
+
+def merging_traffic() -> str:
+    """Crossing traffic from the right, as a single conjunctive requirement."""
+    return (
+        "import gtaLib\n"
+        "ego = EgoCar\n"
+        "c = Car\n"
+        "require (relative heading of c) >= -120 deg and (relative heading of c) <= -60 deg\n"
+    )
+
+
 def mars_bottleneck() -> str:
     """The Mars-rover rubble field with a bottleneck (Fig. 22 / Appendix A.12)."""
     return (
@@ -363,6 +391,8 @@ GALLERY = {
     "four_cars_bad_conditions": bad_conditions(4),
     "platoon": platoon(),
     "bumper_to_bumper": bumper_to_bumper(),
+    "crossing_traffic": crossing_traffic(),
+    "merging_traffic": merging_traffic(),
     "mars_bottleneck": mars_bottleneck(),
 }
 
@@ -395,6 +425,8 @@ __all__ = [
     "platoon",
     "badly_parked_car",
     "oncoming_car",
+    "crossing_traffic",
+    "merging_traffic",
     "mars_bottleneck",
     "GALLERY",
     "compile_scenario",

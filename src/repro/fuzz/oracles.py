@@ -1,6 +1,6 @@
 """Differential oracles for fuzz-generated Scenic programs.
 
-Three oracles are run against every valid generated program:
+Four oracles are run against every valid generated program:
 
 * **Strategy equivalence** — every registered sampling strategy is given a
   fresh compile of the program and the same seed.  The strategies that share
@@ -21,6 +21,14 @@ Three oracles are run against every valid generated program:
   :class:`~repro.fuzz.program_gen.PlannedCheck` assertions, and (via a
   sample-recording rejection draw) the program's own hard ``require``
   conditions.
+* **Pruning soundness** — the reference (unpruned) strategy's accepted
+  scene is checked against an automatically pruned fresh compile of the
+  same program: every requirement-satisfying position must still lie
+  inside the pruned region (pruning may only ever discard *invalid*
+  sample-space volume), and pruning may never declare a program infeasible
+  when a valid scene demonstrably exists.  This is the fuzz oracle for the
+  polygon-cell boundary soundness of ``prune_scenario`` and for the static
+  requirement analysis behind it.
 
 Compilation failures of supposedly-valid programs, and *any* non-ScenicError
 escaping the pipeline, are reported as failures too — the latter is the
@@ -248,6 +256,45 @@ def recheck_scene(
                     problems.append(
                         f"object {check.object_index} relative heading {relative:.6f} > {check.bound}"
                     )
+    return problems
+
+
+def check_pruning_soundness(source: str, scene) -> List[str]:
+    """Oracle D: a valid scene's positions must survive automatic pruning.
+
+    *scene* is a requirement-satisfying scene of the **unpruned** program.
+    A fresh compile of the same program is pruned with the fully automatic
+    pass (static-analysis bounds included); soundness demands that every
+    prunable object's sampled position still lies inside its pruned region,
+    and that pruning does not claim infeasibility when *scene* proves a
+    valid scene exists.  Objects with mutation enabled are skipped — their
+    final position is displaced after the draw, so the region argument does
+    not apply (and pruning itself skips them).
+    """
+    from ..core.errors import InfeasibleScenarioError
+    from ..core.pruning import _mutation_enabled, prune_scenario
+    from ..core.regions import PointInRegionDistribution
+
+    scenario = _fresh_compile(source)
+    try:
+        prune_scenario(scenario)
+    except InfeasibleScenarioError as error:
+        return [f"pruning declared the program infeasible but a valid scene exists: {error}"]
+    problems: List[str] = []
+    for index, symbolic in enumerate(scenario.objects):
+        if index >= len(scene.objects):
+            break
+        if _mutation_enabled(symbolic):
+            continue
+        position = symbolic.properties.get("position")
+        if not isinstance(position, PointInRegionDistribution):
+            continue
+        point = Vector.from_any(scene.objects[index].position)
+        if not position.region.contains_point(point):
+            problems.append(
+                f"object {index} at {tuple(point)} satisfies the requirements "
+                f"but was pruned out of its sampling region"
+            )
     return problems
 
 
@@ -542,7 +589,7 @@ def run_oracles(
         (s if isinstance(s, str) else s.name): s for s in strategy_set
     }
     if records.get("rejection") is not None:
-        for name in ("pruning", "batch"):
+        for name in ("pruning", "pruned-vectorized", "batch"):
             if name in records and records[name] is None:
                 # These strategies consume the RNG stream differently, so a
                 # same-budget failure can be an unlucky draw rather than a
@@ -595,6 +642,20 @@ def run_oracles(
             for problem in recheck_hard_requirements(scenario, sample):
                 report.failures.append(OracleFailure("recheck", problem, "rejection"))
 
+    # -- oracle D: pruning soundness -------------------------------------------
+    if records.get("rejection") is not None and "rejection" in scenes:
+        try:
+            problems = check_pruning_soundness(source, scenes["rejection"])
+        except Exception as error:  # noqa: BLE001 - the crash oracle
+            report.failures.append(
+                OracleFailure(
+                    "crash", f"pruning raised {type(error).__name__}: {error}", "pruning"
+                )
+            )
+        else:
+            for problem in problems:
+                report.failures.append(OracleFailure("prune-soundness", problem, "pruning"))
+
     if report.failures:
         report.verdict = "fail"
     return report
@@ -609,6 +670,7 @@ __all__ = [
     "draw_scene_with_sample",
     "recheck_scene",
     "recheck_hard_requirements",
+    "check_pruning_soundness",
     "check_kernel_equivalence",
     "run_oracles",
     "default_strategies",

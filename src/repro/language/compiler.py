@@ -59,7 +59,8 @@ from .parser import parse_program
 #: Bumped whenever the AST node set or the artifact layout changes in a way
 #: that makes previously pickled artifacts unusable; stale disk entries are
 #: then treated as cache misses and recompiled, never deserialized.
-ARTIFACT_FORMAT_VERSION = 1
+#: Version 2 added the cached static-analysis ``PruneBounds``.
+ARTIFACT_FORMAT_VERSION = 2
 
 #: Environment variable naming a directory for the default cache's disk
 #: layer.  Unset (the default) keeps the default cache memory-only.
@@ -246,6 +247,7 @@ class CompiledScenario:
         self._lock = threading.Lock()
         self._shared_scenario: Optional[Scenario] = None
         self._metadata: Optional[ArtifactMetadata] = None
+        self._prune_bounds: Optional[Any] = None
 
     # -- scenario construction ---------------------------------------------------
 
@@ -282,6 +284,9 @@ class CompiledScenario:
         interpreter = Interpreter(extra_names=extra_names)
         scenario = interpreter.run_program(self.program, workspace=workspace)
         scenario.compiled_fingerprint = self.fingerprint
+        # Back-reference for bound resolution: pruning asks the artifact for
+        # its cached static-analysis bounds (see ``prune_bounds``).
+        scenario.compiled_artifact = self
         return scenario
 
     # -- static analysis -----------------------------------------------------------
@@ -303,6 +308,27 @@ class CompiledScenario:
                 self._metadata = _metadata_from_scenario(self.program, scenario)
             return self._metadata
 
+    def prune_bounds(self) -> Any:
+        """Static pruning bounds for this program (Sec. 5.2's analysis).
+
+        Runs :func:`repro.analysis.analyze_program` over the cached AST and
+        metadata on first call, then returns the cached
+        :class:`~repro.analysis.PruneBounds`.  The result travels with the
+        pickled artifact, so a service worker (or a disk-cache hit) never
+        re-analyzes a program it has seen before — warm requests pay zero
+        analysis cost.
+        """
+        with self._lock:
+            if self._prune_bounds is not None:
+                return self._prune_bounds
+        from ..analysis import analyze_program
+
+        bounds = analyze_program(self.program, self.metadata)
+        with self._lock:
+            if self._prune_bounds is None:
+                self._prune_bounds = bounds
+            return self._prune_bounds
+
     # -- pickling ------------------------------------------------------------------
 
     def __getstate__(self) -> Dict[str, Any]:
@@ -312,6 +338,7 @@ class CompiledScenario:
             "fingerprint": self.fingerprint,
             "program": self.program,
             "metadata": self._metadata,
+            "prune_bounds": self._prune_bounds,
         }
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
@@ -326,6 +353,12 @@ class CompiledScenario:
         self._lock = threading.Lock()
         self._shared_scenario = None
         self._metadata = state.get("metadata")
+        bounds = state.get("prune_bounds")
+        from ..analysis.bounds import PRUNE_BOUNDS_VERSION
+
+        if bounds is not None and getattr(bounds, "version", None) != PRUNE_BOUNDS_VERSION:
+            bounds = None  # re-analyze rather than trust stale bounds
+        self._prune_bounds = bounds
 
     def __repr__(self) -> str:
         return f"CompiledScenario({self.fingerprint[:12]}…, {len(self.source)} chars)"

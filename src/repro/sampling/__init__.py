@@ -5,14 +5,19 @@ requirements (Sec. 5) — lives here as an engine with interchangeable
 strategies:
 
 * ``"rejection"`` (:class:`RejectionSampler`) — the seed behaviour, extracted;
-* ``"pruning"`` (:class:`PruningAwareSampler`) — Sec. 5.2 pruning first;
+* ``"pruning"`` (:class:`PruningAwareSampler`) — Sec. 5.2 pruning first,
+  with bounds derived automatically by static requirement analysis
+  (:mod:`repro.analysis`) when the scenario came from a compiled artifact;
 * ``"batch"`` (:class:`BatchSampler`) — dependency-aware batched candidates
   with partial resampling of independent object groups;
 * ``"parallel"`` (:class:`ParallelSampler`) — deterministic worker-pool
   batches;
 * ``"vectorized"`` (:class:`VectorizedSampler`) — block candidate drawing
   with bulk geometric rejection through the numpy kernel
-  (:mod:`repro.geometry.kernel`); the default for ``generate_batch``.
+  (:mod:`repro.geometry.kernel`); the default for ``generate_batch``;
+* ``"pruned-vectorized"`` (:class:`PrunedVectorizedSampler`) — automatic
+  pruning composed with the vectorized block sampler (the stacked fast
+  path).
 
 ``SamplerEngine`` accepts a live ``Scenario``, a compiled artifact
 (:func:`repro.language.compile_scenario` — the warm path that skips the
@@ -34,6 +39,7 @@ from .strategies import (
     STRATEGIES,
     BatchSampler,
     ParallelSampler,
+    PrunedVectorizedSampler,
     PruningAwareSampler,
     RejectionSampler,
     SamplingStrategy,
@@ -50,6 +56,7 @@ __all__ = [
     "resolve_scenario",
     "SamplingStrategy",
     "RejectionSampler",
+    "PrunedVectorizedSampler",
     "PruningAwareSampler",
     "BatchSampler",
     "ParallelSampler",

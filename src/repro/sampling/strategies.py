@@ -8,7 +8,11 @@ scenes; they differ in *how* candidates are proposed:
   path is draw-for-draw identical to the seed behaviour.
 * :class:`PruningAwareSampler` — runs the Sec. 5.2 pruning pass over the
   scenario once, shrinking the feasible regions, then rejection-samples the
-  pruned scenario.
+  pruned scenario.  The bounds the pruning algorithms need are derived
+  automatically by static requirement analysis (:mod:`repro.analysis`)
+  whenever the scenario came from a compiled artifact.
+* :class:`PrunedVectorizedSampler` — the pruning pass composed with
+  :class:`VectorizedSampler`'s block drawing and bulk kernel rejection.
 * :class:`BatchSampler` — amortises dependency analysis across the whole
   run and exploits independence between objects: each independent group is
   locally re-drawn until its *local* constraints (containment, intra-group
@@ -327,26 +331,22 @@ class RejectionSampler(SamplingStrategy):
 # ---------------------------------------------------------------------------
 
 
-@register_strategy
-class PruningAwareSampler(RejectionSampler):
-    """Shrink the feasible regions via Sec. 5.2 pruning, then rejection-sample.
+class _PruningMixin:
+    """Shared one-time pruning pass for the pruning-based strategies.
 
-    The pruning pass runs once, in :meth:`bind`; its :class:`PruningReport`
-    is kept on :attr:`report` for diagnostics.  Pruning only ever removes
-    sample-space volume that cannot produce a valid scene, so the induced
-    distribution is unchanged while the acceptance rate improves.
-
-    Note that ``prune_scenario`` rewrites the prunable objects' sampling
-    regions *in place*: after binding, the scenario samples the pruned
-    regions under every strategy.  Compile the program again if an unpruned
-    baseline of the same scenario is needed (as ``compare_pruning`` does).
+    By default the pass is fully automatic: ``prune_scenario`` resolves the
+    static-analysis :class:`~repro.analysis.PruneBounds` cached on the
+    scenario's compiled artifact, so orientation (Alg. 2) and size (Alg. 3)
+    pruning run without any caller-supplied bounds.  Explicit *bounds* (or
+    the legacy keyword arguments) are applied on top; ``analyze=False``
+    disables the automatic analysis (the benchmark's containment-only
+    baseline uses ``bounds=<bounds>.containment_only()``).
     """
 
-    name = "pruning"
-    mutates_scenario = True  # prune_scenario rewrites sampling regions in place
-
-    def __init__(
+    def _init_pruning(
         self,
+        bounds=None,
+        analyze: bool = True,
         relative_heading_bound: Optional[float] = None,
         relative_heading_center: float = 0.0,
         max_distance: Optional[float] = None,
@@ -354,6 +354,8 @@ class PruningAwareSampler(RejectionSampler):
         min_configuration_width: Optional[float] = None,
     ):
         self._prune_options = dict(
+            bounds=bounds,
+            analyze=analyze,
             relative_heading_bound=relative_heading_bound,
             relative_heading_center=relative_heading_center,
             max_distance=max_distance,
@@ -365,8 +367,37 @@ class PruningAwareSampler(RejectionSampler):
 
     def bind(self, scenario):
         if self._bound_scenario is not scenario:
-            self.report = prune_scenario(scenario, **self._prune_options)
+            options = dict(self._prune_options)
+            bounds = options.pop("bounds")
+            self.report = prune_scenario(scenario, bounds, **options)
             self._bound_scenario = scenario
+
+
+@register_strategy
+class PruningAwareSampler(_PruningMixin, RejectionSampler):
+    """Shrink the feasible regions via Sec. 5.2 pruning, then rejection-sample.
+
+    The pruning pass runs once, in :meth:`bind`; its :class:`PruningReport`
+    is kept on :attr:`report` for diagnostics.  Pruning only ever removes
+    sample-space volume that cannot produce a valid scene, so the induced
+    distribution is unchanged while the acceptance rate improves.  With no
+    options at all, the bounds come from the compiled artifact's static
+    requirement analysis (see :mod:`repro.analysis`) — the paper's fully
+    automatic mode.
+
+    Note that ``prune_scenario`` rewrites the prunable objects' sampling
+    regions *in place*: after binding, the scenario samples the pruned
+    regions under every strategy.  Compile the program again if an unpruned
+    baseline of the same scenario is needed (as ``compare_pruning`` does).
+    """
+
+    name = "pruning"
+    mutates_scenario = True  # prune_scenario rewrites sampling regions in place
+
+    def __init__(self, **options):
+        self._init_pruning(**options)
+
+
 
 
 # ---------------------------------------------------------------------------
@@ -667,10 +698,38 @@ class VectorizedSampler(SamplingStrategy):
         return failures
 
 
+# ---------------------------------------------------------------------------
+# Pruned + vectorized: the composite fast path
+# ---------------------------------------------------------------------------
+
+
+@register_strategy
+class PrunedVectorizedSampler(_PruningMixin, VectorizedSampler):
+    """Sec. 5.2 pruning composed with block-vectorized candidate rejection.
+
+    :meth:`bind` runs the automatic pruning pass once (shrinking the
+    feasible regions using the artifact's static-analysis bounds), then
+    every candidate block is drawn from the pruned regions and bulk-rejected
+    through the geometry kernel — the two hot-path optimisations of this
+    codebase stacked.  Like ``"vectorized"``, the RNG stream interleaving
+    differs from plain rejection by design; like ``"pruning"``, the sampled
+    regions differ from the unpruned scenario's, so the strategy records its
+    own golden-scene stream in the corpus.
+    """
+
+    name = "pruned-vectorized"
+    mutates_scenario = True  # the pruning pass rewrites regions in place
+
+    def __init__(self, block_size: int = 32, **prune_options):
+        VectorizedSampler.__init__(self, block_size=block_size)
+        self._init_pruning(**prune_options)
+
+
 __all__ = [
     "SamplingStrategy",
     "RejectionSampler",
     "PruningAwareSampler",
+    "PrunedVectorizedSampler",
     "BatchSampler",
     "ParallelSampler",
     "VectorizedSampler",

@@ -34,8 +34,11 @@ GOLDEN_SEED = 20260729
 #: Strategies pinned by the corpus.  ``rejection`` is the reference
 #: semantics (draw-for-draw the seed repo's behaviour); ``batch`` and
 #: ``vectorized`` consume the RNG differently by design, so each gets its
-#: own recorded stream.
-STRATEGIES = ("rejection", "batch", "vectorized")
+#: own recorded stream.  ``pruning`` and ``pruned-vectorized`` additionally
+#: sample from automatically pruned regions (static-analysis bounds), so
+#: their streams pin down the whole analysis + pruning pipeline: any change
+#: to the derived bounds shows up as a golden mismatch.
+STRATEGIES = ("rejection", "batch", "vectorized", "pruning", "pruned-vectorized")
 
 MAX_ITERATIONS = 50_000
 

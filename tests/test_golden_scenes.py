@@ -81,6 +81,100 @@ def test_golden_scene_matches(stem, strategy):
             )
 
 
+PRUNED_STRATEGIES = ("pruning", "pruned-vectorized")
+
+
+def _fresh_scenario(stem):
+    from repro.language import scenario_from_file
+
+    return scenario_from_file(regen.SCENARIO_DIR / f"{stem}.scenic")
+
+
+def _prunable_indices(scenario):
+    from repro.core.pruning import _mutation_enabled
+    from repro.core.regions import PointInRegionDistribution, PolygonalRegion
+
+    indices = []
+    for index, obj in enumerate(scenario.objects):
+        position = obj.properties.get("position")
+        if (
+            isinstance(position, PointInRegionDistribution)
+            and isinstance(position.region, PolygonalRegion)
+            and not _mutation_enabled(obj)
+        ):
+            indices.append(index)
+    return indices
+
+
+@pytest.mark.parametrize(
+    "stem",
+    [
+        pytest.param(stem, marks=[pytest.mark.slow] if stem in SLOW_SCENARIOS else [])
+        for stem in scenario_stems()
+    ],
+)
+def test_rejection_goldens_survive_pruning(stem):
+    """Corpus-level pruning soundness: valid scenes lie inside pruned regions.
+
+    Every committed rejection golden is a requirement-satisfying scene of
+    the unpruned scenario; automatic pruning of a fresh compile must keep
+    each (non-mutated, region-sampled) object's recorded position — pruning
+    may only discard sample-space volume that can never yield a valid
+    scene, including right at polygon-cell boundaries.
+    """
+    from repro.core.pruning import prune_scenario
+
+    golden = json.loads(regen.golden_path(stem).read_text())["strategies"]["rejection"]
+    scenario = _fresh_scenario(stem)
+    prune_scenario(scenario)
+    for index in _prunable_indices(scenario):
+        region = scenario.objects[index].properties["position"].region
+        x, y = golden["objects"][index]["position"]
+        assert region.contains_point((x, y)), (
+            f"{stem}: object {index} at ({x}, {y}) satisfies the requirements "
+            "but automatic pruning excluded it"
+        )
+
+
+@pytest.mark.parametrize(
+    "stem",
+    [
+        pytest.param(stem, marks=[pytest.mark.slow] if stem in SLOW_SCENARIOS else [])
+        for stem in scenario_stems()
+    ],
+)
+def test_pruned_strategies_produce_valid_scenes(stem):
+    """Pruned-strategy goldens replay into requirement-satisfying scenes.
+
+    For requirement-free scenarios the parametrized replay test already
+    pins the exact scene; here every pruned-strategy generation is
+    additionally re-validated with the scalar checks (workspace
+    containment, collisions, visibility) *and* against the unpruned
+    scenario's sampling regions — the end-to-end guarantee that pruning
+    changed only the proposal distribution's support, never validity.
+    """
+    from repro.core.vectors import Vector
+    from repro.fuzz.oracles import recheck_scene
+
+    baseline = _fresh_scenario(stem)
+    unpruned_regions = {
+        index: baseline.objects[index].properties["position"].region
+        for index in _prunable_indices(baseline)
+    }
+    for strategy in PRUNED_STRATEGIES:
+        scenario = _fresh_scenario(stem)
+        scene = scenario.generate(
+            seed=regen.GOLDEN_SEED, max_iterations=regen.MAX_ITERATIONS, strategy=strategy
+        )
+        assert recheck_scene(scenario, scene, checks=()) == []
+        for index, region in unpruned_regions.items():
+            point = Vector.from_any(scene.objects[index].position)
+            assert region.contains_point(point), (
+                f"{stem}/{strategy}: object {index} sampled outside the "
+                "unpruned region"
+            )
+
+
 def test_vectorized_matches_rejection_without_soft_requirements():
     """With no soft requirements, no RNG draw separates the two strategies.
 
