@@ -13,9 +13,12 @@ cheaper, and this benchmark is the regression guard):
 * the compiled-artifact cache: warm-path scenario construction must be
   ≥10x faster than a cold compile (lexer+parser+interpreter);
 * the generation service's warm-path throughput (recorded, not asserted —
-  CI runners have too few cores for a meaningful parallel-speedup bound).
+  CI runners have too few cores for a meaningful parallel-speedup bound);
+* the direct synthesis strategy: constructive sampling from the pruned
+  feasible region must draw ≥10x fewer candidates than vectorized
+  rejection on the containment-heavy scenario.
 
-Headline numbers are also written to ``results/BENCH_4.json`` (see
+Headline numbers are also written to ``results/BENCH_6.json`` (see
 ``conftest.save_bench_json``) so future PRs have a machine-readable perf
 trajectory to diff against.
 """
@@ -69,6 +72,10 @@ def _run_strategy(strategy, scenes=10, seed=0, **options):
         "iterations": combined.iterations,
         "redraws": combined.component_redraws,
         "rejections": combined.total_rejections,
+        # The cross-strategy comparable count: constructive strategies count
+        # proposal draws in candidates_drawn, everyone else in iterations.
+        "candidates": max(combined.iterations, combined.candidates_drawn),
+        "mean_importance_weight": batch.stats.mean_importance_weight,
         "wall_seconds": wall,
     }
 
@@ -106,6 +113,80 @@ def test_batch_sampler_beats_rejection_on_containment(benchmark, record_result):
     # assert a conservative 5x so noise cannot flake the benchmark.
     assert by_name["batch"]["iterations"] * 5 < by_name["rejection"]["iterations"]
     assert by_name["batch"]["wall_seconds"] * 5 < by_name["rejection"]["wall_seconds"]
+
+
+def test_direct_sampler_candidate_reduction(benchmark, record_result, record_bench_json):
+    """Constructive synthesis must draw >= 10x fewer candidates than rejection.
+
+    On the containment-heavy scenario the direct strategy triangulates each
+    object's pruned feasible region (the workspace, after minimum-fit
+    erosion) and draws positions uniformly from the triangle fan, so
+    containment holds by construction and almost every candidate is
+    accepted.  The comparable count is ``max(iterations, candidates_drawn)``
+    — constructive strategies count every per-object proposal draw
+    (including membership redraws), which is *conservative* against direct:
+    a 4-object scene costs it at least 4 counted draws, while a
+    rejection-style candidate scene costs 1.  The >= 10x bound is the
+    issue's acceptance criterion; the observed margin is far larger.
+    """
+    rows = benchmark.pedantic(
+        lambda: [
+            _run_strategy(name)
+            for name in ("vectorized", "pruned-vectorized", "direct", "direct-fallback")
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {row["strategy"]: row for row in rows}
+    lines = [
+        f"{row['strategy']:>17s}: {row['candidates']:7d} drawn candidates, "
+        f"{row['rejections']:6d} rejections, {row['wall_seconds']:.3f}s wall"
+        + (
+            f", mean importance weight {row['mean_importance_weight']:.4f}"
+            if row["mean_importance_weight"] is not None
+            else ""
+        )
+        for row in rows
+    ]
+    record_result(
+        "engine_direct_synthesis",
+        "\n".join(lines)
+        + "\n\n10 scenes of the containment-heavy scenario.  Direct synthesis"
+        "\nsamples positions uniformly from the triangulated pruned region"
+        "\ninstead of rejecting out-of-workspace draws, so its drawn-candidate"
+        "\ncount collapses to roughly one proposal per object per scene.",
+    )
+    record_bench_json(
+        "direct_synthesis",
+        {
+            row["strategy"]: {
+                k: row[k]
+                for k in (
+                    "candidates",
+                    "iterations",
+                    "rejections",
+                    "mean_importance_weight",
+                    "wall_seconds",
+                )
+            }
+            for row in rows
+        },
+    )
+    # The issue's acceptance criterion: >= 10x fewer drawn candidates than
+    # vectorized rejection on the containment-heavy workload.
+    assert by_name["direct"]["candidates"] * 10 <= by_name["vectorized"]["candidates"], (
+        f"direct drew {by_name['direct']['candidates']} candidates vs "
+        f"vectorized {by_name['vectorized']['candidates']} — less than 10x fewer"
+    )
+    # The fallback wrapper must take the constructive path here (the plan is
+    # fully constructive) and match direct's efficiency.
+    assert (
+        by_name["direct-fallback"]["candidates"] * 10
+        <= by_name["vectorized"]["candidates"]
+    )
+    # Every accepted direct scene carries an importance weight in (0, 1].
+    assert by_name["direct"]["mean_importance_weight"] is not None
+    assert 0.0 < by_name["direct"]["mean_importance_weight"] <= 1.0
 
 
 def test_pruning_sampler_reduces_iterations(benchmark, record_result):
@@ -151,7 +232,7 @@ def test_auto_pruning_beats_containment_only(benchmark, record_result, record_be
     baseline; *auto* pruning additionally runs Algorithm 2 with the
     analyzer's derived arc and distance bound.  The acceptance criterion is
     >= 2x fewer rejected candidate scenes; per-technique area ratios land in
-    ``results/BENCH_5.json``.
+    ``results/BENCH_6.json``.
     """
     from repro.language import compile_scenario as compile_artifact
     from repro.sampling import PruningAwareSampler
@@ -411,7 +492,7 @@ def test_service_throughput(benchmark, record_result, record_bench_json):
     Measures a sharded 60-scene request against a 2-process pool after a
     warm-up request (so workers hold the compiled artifact), plus the
     cold-vs-warm request latency.  Throughput is *recorded* into
-    ``results/BENCH_4.json`` rather than asserted against a bound: CI
+    ``results/BENCH_6.json`` rather than asserted against a bound: CI
     runners often expose a single core, where a process pool cannot beat
     inline execution.  Correctness (scene count, shard fan-out) is asserted.
     """

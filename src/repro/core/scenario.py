@@ -36,7 +36,11 @@ class GenerationStats:
     ``iterations`` counts full candidate scenes; ``component_redraws`` counts
     partial re-draws of independent object groups performed by the
     dependency-aware strategies in :mod:`repro.sampling` (always 0 for plain
-    rejection sampling).
+    rejection sampling).  ``candidates_drawn`` counts constructive proposal
+    draws — positions drawn from triangle fans by the ``direct`` strategy,
+    including inner membership redraws; 0 for every strategy whose
+    candidates coincide with ``iterations``.  Use
+    :attr:`drawn_candidates` for the cross-strategy comparable count.
     """
 
     iterations: int = 0
@@ -46,7 +50,13 @@ class GenerationStats:
     rejections_user: int = 0
     rejections_sampling: int = 0
     component_redraws: int = 0
+    candidates_drawn: int = 0
     elapsed_seconds: float = 0.0
+
+    @property
+    def drawn_candidates(self) -> int:
+        """Candidates actually drawn: explicit proposal count, else iterations."""
+        return max(self.iterations, self.candidates_drawn)
 
     @property
     def total_rejections(self) -> int:

@@ -52,6 +52,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_iterations=args.max_iterations,
         regression_dir=regression_dir,
         shrink=not args.no_shrink,
+        statistical=args.equivalence,
+        equivalence_samples=args.equivalence_samples,
     )
     result = run_campaign(config, corpus=_corpus_sources(), progress=print)
     print(result.summary())
@@ -65,7 +67,12 @@ def _cmd_repro(args: argparse.Namespace) -> int:
     program = generate_program(seed)
     print(f"# program {args.repro} of campaign seed {args.seed} ({program.describe()})")
     print(program.source)
-    report = run_oracles(program, max_iterations=args.max_iterations)
+    report = run_oracles(
+        program,
+        max_iterations=args.max_iterations,
+        statistical=args.equivalence,
+        equivalence_samples=args.equivalence_samples,
+    )
     print(f"verdict: {report.verdict}" + (f" ({report.skip_reason})" if report.skip_reason else ""))
     for failure in report.failures:
         print(f"  {failure}")
@@ -109,6 +116,15 @@ def main(argv=None) -> int:
         "--no-persist", action="store_true", help="do not write reproducer files"
     )
     parser.add_argument("--no-shrink", action="store_true", help="skip delta-shrinking finds")
+    parser.add_argument(
+        "--equivalence", action="store_true",
+        help="also run oracle E: statistical equivalence of the 'direct' "
+        "strategy against plain rejection (batch-sized, so opt-in)",
+    )
+    parser.add_argument(
+        "--equivalence-samples", type=int, default=120,
+        help="scenes per strategy for the oracle E comparison",
+    )
     parser.add_argument(
         "--repro", type=int, default=None, metavar="INDEX",
         help="regenerate + re-oracle one program of the campaign and exit",

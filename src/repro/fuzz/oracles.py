@@ -30,6 +30,20 @@ Four oracles are run against every valid generated program:
   polygon-cell boundary soundness of ``prune_scenario`` and for the static
   requirement analysis behind it.
 
+A fifth, opt-in oracle (``statistical=True``) guards the constructive
+``direct`` strategy's exactness claim:
+
+* **Statistical equivalence** — fixed-size scene batches are drawn under
+  ``direct`` and plain ``rejection`` and compared property by property
+  (per-object position marginals, headings, inter-object distances) with a
+  two-sample Kolmogorov–Smirnov bound and a binned chi-square test, both at
+  a ≈1e-6 per-property level so a fixed-seed campaign passes clean unless
+  the distributions genuinely diverge.  Constructive sampling restricts the
+  prior to a sound over-approximation of the feasible set and re-checks
+  every requirement, which is *exact* conditioning — any bias (an
+  under-approximating proposal, a mis-weighted triangle, a wrong arc
+  truncation) shows up here.
+
 Compilation failures of supposedly-valid programs, and *any* non-ScenicError
 escaping the pipeline, are reported as failures too — the latter is the
 crash oracle that drives the error-path hardening of ``repro.language``.
@@ -61,6 +75,18 @@ EXACT_EQUIVALENCE_STRATEGIES = ("rejection", "vectorized", "parallel")
 
 #: Numerical slack for scene comparisons, matching the golden corpus.
 TOLERANCE = 1e-9
+
+#: Two-sample KS coefficient for a per-property level of ≈1e-6:
+#: ``c(α) = sqrt(-ln(α/2) / 2)`` with α = 1e-6.  The rejection threshold is
+#: ``c * sqrt((n + m) / (n * m))``.
+KS_COEFFICIENT = 2.6931
+
+#: One-sided normal quantile at 1e-6, for the Wilson–Hilferty chi-square
+#: quantile approximation (no scipy in the toolchain).
+CHI2_Z_QUANTILE = 4.7534
+
+#: Histogram bins for the chi-square half of the statistical oracle.
+CHI2_BINS = 8
 
 
 @dataclass
@@ -398,6 +424,163 @@ def check_kernel_equivalence(scenario, scene, seed: int, points_per_region: int 
 
 
 # ---------------------------------------------------------------------------
+# Oracle E: statistical equivalence of constructive sampling
+# ---------------------------------------------------------------------------
+
+
+def ks_statistic(first: Sequence[float], second: Sequence[float]) -> float:
+    """The two-sample Kolmogorov–Smirnov statistic (max CDF distance)."""
+    a = sorted(first)
+    b = sorted(second)
+    i = j = 0
+    statistic = 0.0
+    while i < len(a) and j < len(b):
+        # Advance both sides through every copy of the smaller value before
+        # reading the CDF gap — tied values are one step of both CDFs, and
+        # evaluating mid-tie would report a spurious distance.
+        value = a[i] if a[i] <= b[j] else b[j]
+        while i < len(a) and a[i] <= value:
+            i += 1
+        while j < len(b) and b[j] <= value:
+            j += 1
+        statistic = max(statistic, abs(i / len(a) - j / len(b)))
+    return statistic
+
+
+def chi_square_two_sample(
+    first: Sequence[float], second: Sequence[float], bins: int = CHI2_BINS
+) -> Tuple[float, int]:
+    """Binned two-sample chi-square statistic and its degrees of freedom.
+
+    Both samples are binned over their combined range; per-bin contribution
+    is ``(a_i * sqrt(m/n) - b_i * sqrt(n/m))^2 / (a_i + b_i)`` (the standard
+    two-sample form, exact for unequal sample sizes).  Bins empty in both
+    samples contribute nothing and no degree of freedom.
+    """
+    low = min(min(first), min(second))
+    high = max(max(first), max(second))
+    if high <= low:
+        return 0.0, 0
+    width = (high - low) / bins
+    counts_a = [0] * bins
+    counts_b = [0] * bins
+    for value in first:
+        counts_a[min(bins - 1, int((value - low) / width))] += 1
+    for value in second:
+        counts_b[min(bins - 1, int((value - low) / width))] += 1
+    n, m = len(first), len(second)
+    scale_a, scale_b = math.sqrt(m / n), math.sqrt(n / m)
+    statistic = 0.0
+    occupied = 0
+    for a_count, b_count in zip(counts_a, counts_b):
+        total = a_count + b_count
+        if total == 0:
+            continue
+        occupied += 1
+        statistic += (a_count * scale_a - b_count * scale_b) ** 2 / total
+    return statistic, max(occupied - 1, 0)
+
+
+def chi_square_quantile(df: int, z: float = CHI2_Z_QUANTILE) -> float:
+    """Wilson–Hilferty approximation of the chi-square upper quantile."""
+    if df <= 0:
+        return float("inf")
+    h = 2.0 / (9.0 * df)
+    return df * (1.0 - h + z * math.sqrt(h)) ** 3
+
+
+def _scene_features(scene) -> Dict[str, float]:
+    """The per-property marginals oracle E compares across strategies."""
+    features: Dict[str, float] = {}
+    positions = [Vector.from_any(obj.position) for obj in scene.objects]
+    for index, (obj, point) in enumerate(zip(scene.objects, positions)):
+        features[f"object{index}.x"] = point.x
+        features[f"object{index}.y"] = point.y
+        features[f"object{index}.heading"] = normalize_angle(float(obj.heading))
+    for i in range(len(positions)):
+        for j in range(i + 1, len(positions)):
+            features[f"distance({i},{j})"] = positions[i].distance_to(positions[j])
+    return features
+
+
+def _feature_batch(
+    source: str, strategy: str, samples: int, seed: int, max_iterations: int
+) -> Optional[Dict[str, List[float]]]:
+    """Per-property value lists over a *samples*-scene batch, None on exhaustion."""
+    scenario = _fresh_compile(source)
+    engine = SamplerEngine(scenario, strategy=strategy)
+    try:
+        batch = engine.sample_batch(samples, max_iterations=max_iterations, seed=seed)
+    except RejectionError:
+        return None
+    columns: Dict[str, List[float]] = {}
+    for scene in batch:
+        for name, value in _scene_features(scene).items():
+            columns.setdefault(name, []).append(value)
+    return columns
+
+
+def check_statistical_equivalence(
+    source: str,
+    *,
+    seed: int = 0,
+    samples: int = 120,
+    max_iterations: int = 3000,
+    strategy: str = "direct",
+    reference: str = "rejection",
+) -> List[str]:
+    """Oracle E: *strategy*'s scene distribution must match *reference*'s.
+
+    Draws a fixed-size batch under each strategy (different derived seeds —
+    the comparison is distributional, not draw-for-draw) and bounds the
+    two-sample KS statistic and a binned chi-square on every property.
+    Returns problem descriptions; empty when the distributions agree within
+    the ≈1e-6 per-property test levels, or when either batch cannot be
+    completed within the budget (infeasible-under-budget programs are a
+    skip, not a verdict).
+    """
+    reference_columns = _feature_batch(
+        source, reference, samples, seed ^ 0x0E0E0E0E, max_iterations
+    )
+    if reference_columns is None:
+        return []
+    candidate_columns = _feature_batch(
+        source, strategy, samples, seed ^ 0x1F1F1F1F, max_iterations
+    )
+    if candidate_columns is None:
+        return [
+            f"{reference} completed a {samples}-scene batch but {strategy} "
+            f"exhausted {max_iterations} iterations"
+        ]
+    problems: List[str] = []
+    ks_threshold = KS_COEFFICIENT * math.sqrt(2.0 / samples)
+    for name in sorted(reference_columns):
+        ref_values = reference_columns[name]
+        cand_values = candidate_columns.get(name)
+        if cand_values is None or len(cand_values) != len(ref_values):
+            problems.append(f"property {name} missing from {strategy}'s scenes")
+            continue
+        spread = max(*ref_values, *cand_values) - min(*ref_values, *cand_values)
+        if spread <= TOLERANCE:
+            continue  # deterministic property: nothing distributional to test
+        statistic = ks_statistic(ref_values, cand_values)
+        if statistic > ks_threshold:
+            problems.append(
+                f"property {name}: KS statistic {statistic:.4f} exceeds "
+                f"{ks_threshold:.4f} ({strategy} vs {reference}, n={samples})"
+            )
+            continue
+        chi2, df = chi_square_two_sample(ref_values, cand_values)
+        bound = chi_square_quantile(df)
+        if chi2 > bound:
+            problems.append(
+                f"property {name}: chi-square {chi2:.2f} exceeds {bound:.2f} "
+                f"(df={df}, {strategy} vs {reference}, n={samples})"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # The combined oracle run
 # ---------------------------------------------------------------------------
 
@@ -448,8 +631,10 @@ def run_oracles(
     expect_valid: bool = True,
     checks: Optional[Sequence[PlannedCheck]] = None,
     strict_checks: bool = True,
+    statistical: bool = False,
+    equivalence_samples: int = 120,
 ) -> OracleReport:
-    """Run all three differential oracles against *program*.
+    """Run all the differential oracles against *program*.
 
     ``strategies`` may mix registry names and strategy *instances* (the
     latter is how tests plant deliberately-buggy strategies).  ``checks``
@@ -459,6 +644,12 @@ def run_oracles(
     dropped rather than misreported).  A program on which every strategy
     exhausts its budget is reported as a skip (infeasible under the
     budget), not a failure.
+
+    ``statistical=True`` additionally runs oracle E
+    (:func:`check_statistical_equivalence`): *equivalence_samples*-scene
+    batches under ``direct`` and ``rejection`` compared distributionally.
+    It multiplies the per-program cost by the batch size, so campaigns
+    enable it explicitly (``repro.fuzz --equivalence``).
     """
     if isinstance(program, GeneratedProgram):
         source = program.source
@@ -589,7 +780,7 @@ def run_oracles(
         (s if isinstance(s, str) else s.name): s for s in strategy_set
     }
     if records.get("rejection") is not None:
-        for name in ("pruning", "pruned-vectorized", "batch"):
+        for name in ("pruning", "pruned-vectorized", "batch", "direct", "direct-fallback"):
             if name in records and records[name] is None:
                 # These strategies consume the RNG stream differently, so a
                 # same-budget failure can be an unlucky draw rather than a
@@ -656,6 +847,22 @@ def run_oracles(
             for problem in problems:
                 report.failures.append(OracleFailure("prune-soundness", problem, "pruning"))
 
+    # -- oracle E: statistical equivalence of constructive sampling -------------
+    if statistical and records.get("rejection") is not None:
+        try:
+            problems = check_statistical_equivalence(
+                source, seed=seed, samples=equivalence_samples
+            )
+        except Exception as error:  # noqa: BLE001 - the crash oracle
+            report.failures.append(
+                OracleFailure(
+                    "crash", f"oracle E raised {type(error).__name__}: {error}", "direct"
+                )
+            )
+        else:
+            for problem in problems:
+                report.failures.append(OracleFailure("stat-equivalence", problem, "direct"))
+
     if report.failures:
         report.verdict = "fail"
     return report
@@ -672,6 +879,10 @@ __all__ = [
     "recheck_hard_requirements",
     "check_pruning_soundness",
     "check_kernel_equivalence",
+    "check_statistical_equivalence",
+    "chi_square_quantile",
+    "chi_square_two_sample",
+    "ks_statistic",
     "run_oracles",
     "default_strategies",
 ]

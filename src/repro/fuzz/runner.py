@@ -54,6 +54,10 @@ class CampaignConfig:
     regression_dir: Optional[Path] = None  # None = don't persist finds
     shrink: bool = True
     strategies: Optional[Sequence] = None
+    #: Run oracle E (statistical equivalence of ``direct`` vs ``rejection``)
+    #: on every valid program — batch-sized, so opt-in (``--equivalence``).
+    statistical: bool = False
+    equivalence_samples: int = 120
 
 
 @dataclass
@@ -199,6 +203,8 @@ def run_campaign(
                 program,
                 max_iterations=config.max_iterations,
                 strategies=config.strategies,
+                statistical=config.statistical,
+                equivalence_samples=config.equivalence_samples,
             )
             source = program.source
 

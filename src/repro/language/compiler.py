@@ -248,6 +248,9 @@ class CompiledScenario:
         self._shared_scenario: Optional[Scenario] = None
         self._metadata: Optional[ArtifactMetadata] = None
         self._prune_bounds: Optional[Any] = None
+        # Triangle-fan cache of the direct-synthesis subsystem (see
+        # ``repro.synthesis.region_sampler``); per-process only, not pickled.
+        self._synthesis_cache: Dict[Any, Any] = {}
 
     # -- scenario construction ---------------------------------------------------
 
@@ -353,6 +356,7 @@ class CompiledScenario:
         self._lock = threading.Lock()
         self._shared_scenario = None
         self._metadata = state.get("metadata")
+        self._synthesis_cache = {}
         bounds = state.get("prune_bounds")
         from ..analysis.bounds import PRUNE_BOUNDS_VERSION
 

@@ -17,7 +17,14 @@ strategies:
   (:mod:`repro.geometry.kernel`); the default for ``generate_batch``;
 * ``"pruned-vectorized"`` (:class:`PrunedVectorizedSampler`) — automatic
   pruning composed with the vectorized block sampler (the stacked fast
-  path).
+  path);
+* ``"direct"`` (:class:`DirectSampler`) — constructive sampling from the
+  pruned feasible regions (:mod:`repro.synthesis`): positions draw O(1)
+  from triangle fans, deviations from the analyzer's arcs, with
+  importance-weight diagnostics on the accepted scenes;
+* ``"direct-fallback"`` (:class:`DirectFallbackSampler`) — ``"direct"``
+  when a constructive plan exists, degrading to pruned-vectorized block
+  rejection when the scenario offers no constructive channel.
 
 ``SamplerEngine`` accepts a live ``Scenario``, a compiled artifact
 (:func:`repro.language.compile_scenario` — the warm path that skips the
@@ -38,6 +45,8 @@ from .stats import AggregateStats, SceneBatch, merge_generation_stats
 from .strategies import (
     STRATEGIES,
     BatchSampler,
+    DirectFallbackSampler,
+    DirectSampler,
     ParallelSampler,
     PrunedVectorizedSampler,
     PruningAwareSampler,
@@ -59,6 +68,8 @@ __all__ = [
     "PrunedVectorizedSampler",
     "PruningAwareSampler",
     "BatchSampler",
+    "DirectFallbackSampler",
+    "DirectSampler",
     "ParallelSampler",
     "VectorizedSampler",
     "DependencyGraph",

@@ -121,7 +121,14 @@ class SamplerEngine:
         rng = self._resolve_rng(rng, seed)
         scene, stats = self.strategy.sample(self.scenario, max_iterations, rng)
         self.last_stats = stats
-        self.aggregate.record(stats, self.strategy.name, accepted=scene is not None)
+        weight = (
+            scene.importance_weight
+            if scene is not None and self.strategy.uses_importance_weights
+            else None
+        )
+        self.aggregate.record(
+            stats, self.strategy.name, accepted=scene is not None, importance_weight=weight
+        )
         if scene is None:
             raise RejectionError(max_iterations)
         return scene

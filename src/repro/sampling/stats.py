@@ -29,6 +29,7 @@ _COUNTER_FIELDS = (
     "rejections_user",
     "rejections_sampling",
     "component_redraws",
+    "candidates_drawn",
 )
 
 
@@ -56,9 +57,19 @@ class AggregateStats:
         self.per_scene: List[Tuple[str, GenerationStats]] = []
         self._combined = GenerationStats()
         self._by_strategy: Dict[str, GenerationStats] = {}
+        #: Sum / count of the importance weights the ``direct`` strategy
+        #: stamps on accepted scenes (see :mod:`repro.synthesis.importance`),
+        #: overall and per strategy.
+        self.importance_weight_sum = 0.0
+        self.importance_scenes = 0
+        self._importance_by_strategy: Dict[str, Tuple[float, int]] = {}
 
     def record(
-        self, stats: GenerationStats, strategy: str = "rejection", accepted: bool = True
+        self,
+        stats: GenerationStats,
+        strategy: str = "rejection",
+        accepted: bool = True,
+        importance_weight: float | None = None,
     ) -> None:
         """Fold one draw's stats in; *accepted* is False for a failed draw."""
         self.draws += 1
@@ -66,6 +77,11 @@ class AggregateStats:
             self.scenes += 1
         merge_generation_stats(self._combined, stats)
         merge_generation_stats(self._by_strategy.setdefault(strategy, GenerationStats()), stats)
+        if accepted and importance_weight is not None:
+            self.importance_weight_sum += importance_weight
+            self.importance_scenes += 1
+            weight_sum, count = self._importance_by_strategy.get(strategy, (0.0, 0))
+            self._importance_by_strategy[strategy] = (weight_sum + importance_weight, count + 1)
         if len(self.per_scene) < self.history_limit:
             self.per_scene.append((strategy, stats))
 
@@ -78,6 +94,11 @@ class AggregateStats:
             merge_generation_stats(
                 self._by_strategy.setdefault(strategy, GenerationStats()), stats
             )
+        self.importance_weight_sum += other.importance_weight_sum
+        self.importance_scenes += other.importance_scenes
+        for strategy, (weight_sum, count) in other._importance_by_strategy.items():
+            base_sum, base_count = self._importance_by_strategy.get(strategy, (0.0, 0))
+            self._importance_by_strategy[strategy] = (base_sum + weight_sum, base_count + count)
         room = self.history_limit - len(self.per_scene)
         if room > 0:
             self.per_scene.extend(other.per_scene[:room])
@@ -122,6 +143,43 @@ class AggregateStats:
             "visibility": self._combined.rejections_visibility,
             "user": self._combined.rejections_user,
             "sampling": self._combined.rejections_sampling,
+        }
+
+    # -- constructive-sampling diagnostics --------------------------------------
+
+    @property
+    def total_candidates(self) -> int:
+        """Candidate configurations actually drawn across the run.
+
+        For the rejection-style strategies every iteration draws exactly one
+        candidate; the constructive ``direct`` strategy counts its proposal
+        draws (including inner membership redraws) in ``candidates_drawn``,
+        so the larger of the two is the honest cross-strategy count.
+        """
+        return max(self._combined.iterations, self._combined.candidates_drawn)
+
+    def candidate_counts(self) -> Dict[str, int]:
+        """Per-strategy drawn-candidate counts (the ≥10x-reduction metric)."""
+        return {
+            strategy: max(stats.iterations, stats.candidates_drawn)
+            for strategy, stats in self._by_strategy.items()
+        }
+
+    @property
+    def mean_importance_weight(self) -> float | None:
+        """Mean importance weight of accepted scenes (``None`` = no weights)."""
+        if self.importance_scenes <= 0:
+            return None
+        return self.importance_weight_sum / self.importance_scenes
+
+    def importance_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-strategy importance-weight diagnostics for the roll-ups."""
+        return {
+            strategy: {
+                "scenes": count,
+                "mean_weight": weight_sum / count if count else 0.0,
+            }
+            for strategy, (weight_sum, count) in sorted(self._importance_by_strategy.items())
         }
 
     def __repr__(self) -> str:

@@ -232,6 +232,13 @@ class SamplingStrategy:
     #: independent scenario instead of a shared one.
     mutates_scenario = False
 
+    #: Strategies that stamp ``scene.importance_weight`` (the constructive
+    #: ``direct`` family) set this so the engine and the batch loop forward
+    #: the weights into :class:`AggregateStats` roll-ups; rejection-style
+    #: strategies leave the weight at its exact default of 1.0 and record
+    #: no weight at all.
+    uses_importance_weights = False
+
     def bind(self, scenario: Scenario) -> None:
         """One-time, per-scenario analysis (pruning, dependency graphs, ...).
 
@@ -287,7 +294,14 @@ class SamplingStrategy:
         scenes: List[Scene] = []
         for _ in range(count):
             scene, stats = self.sample(scenario, max_iterations, rng)
-            aggregate.record(stats, self.name, accepted=scene is not None)
+            weight = (
+                scene.importance_weight
+                if scene is not None and self.uses_importance_weights
+                else None
+            )
+            aggregate.record(
+                stats, self.name, accepted=scene is not None, importance_weight=weight
+            )
             if scene is None:
                 raise RejectionError(max_iterations)
             scenes.append(scene)
@@ -725,12 +739,168 @@ class PrunedVectorizedSampler(_PruningMixin, VectorizedSampler):
         self._init_pruning(**prune_options)
 
 
+# ---------------------------------------------------------------------------
+# Direct synthesis: constructive sampling from the pruned feasible regions
+# ---------------------------------------------------------------------------
+
+
+@register_strategy
+class DirectSampler(_PruningMixin, SamplingStrategy):
+    """Constructive sampling from the pruned feasible regions.
+
+    :meth:`bind` runs the automatic pruning pass (like ``"pruning"``), then
+    compiles the pruned scenario into a :class:`~repro.synthesis.DirectPlan`:
+    positions draw in O(1) from triangle fans over the pruned polygonal
+    regions (or from eroded workspace fans for non-polygonal region priors),
+    and heading deviations draw from the static analyzer's wrap-safe arcs
+    instead of rejecting on them.  Every proposal is a sound
+    over-approximation of the feasible set and every requirement is still
+    re-checked on the concrete candidate, so the sampled distribution is
+    *exactly* the requirement-conditioned prior — the statistical-equivalence
+    oracle in :mod:`repro.fuzz.oracles` holds the strategy to that claim
+    against plain rejection.
+
+    Accepted scenes carry an :attr:`~repro.core.scene.Scene.importance_weight`
+    — an online estimate of the plain-rejection acceptance probability (see
+    :mod:`repro.synthesis.importance`) — and ``stats.candidates_drawn``
+    counts the constructive proposal draws, so the candidate-count reduction
+    against the rejection-style strategies is directly measurable (the
+    engine benchmark asserts it).
+    """
+
+    name = "direct"
+    mutates_scenario = True  # the pruning pass rewrites regions in place
+    uses_importance_weights = True
+
+    def __init__(self, max_proposal_attempts: Optional[int] = None, **prune_options):
+        from ..synthesis import DEFAULT_PROPOSAL_ATTEMPTS
+
+        self._init_pruning(**prune_options)
+        self.max_proposal_attempts = (
+            int(max_proposal_attempts)
+            if max_proposal_attempts is not None
+            else DEFAULT_PROPOSAL_ATTEMPTS
+        )
+        self.plan = None
+        self._plan_scenario: Optional[Scenario] = None
+
+    def bind(self, scenario):
+        from ..synthesis import build_plan
+
+        _PruningMixin.bind(self, scenario)
+        if self._plan_scenario is not scenario:
+            self.plan = build_plan(
+                scenario,
+                report=self.report,
+                max_proposal_attempts=self.max_proposal_attempts,
+            )
+            self._plan_scenario = scenario
+
+    def _draw_candidate(self, scenario, rng, stats):
+        plan = self.plan
+        tracker = plan.tracker if plan is not None else None
+        sample = Sample(rng)
+        try:
+            if plan is not None:
+                plan.seed(sample, rng, stats)
+            concrete_objects = [
+                scenic_object._concretize(sample) for scenic_object in scenario.objects
+            ]
+            concrete_ego = scenario.ego._concretize(sample)
+            concrete_params = {
+                name: concretize(value, sample) for name, value in scenario.params.items()
+            }
+        except RejectSample:
+            if tracker is not None:
+                tracker.record("sampling", False)
+            raise
+        if tracker is not None:
+            tracker.record("sampling", True)
+        ok = contained_in_workspace(scenario.workspace, concrete_objects, stats)
+        if tracker is not None:
+            tracker.record("containment", ok)
+        if not ok:
+            return None
+        ok = no_pairwise_collisions(concrete_objects, stats)
+        if tracker is not None:
+            tracker.record("collision", ok)
+        if not ok:
+            return None
+        ok = all_required_visible(concrete_objects, concrete_ego, stats)
+        if tracker is not None:
+            tracker.record("visibility", ok)
+        if not ok:
+            return None
+        ok = check_user_requirements(scenario, sample, rng, stats)
+        if tracker is not None:
+            tracker.record("user", ok)
+        if not ok:
+            return None
+        scene = Scene(concrete_objects, concrete_ego, concrete_params, scenario.workspace)
+        if tracker is not None:
+            scene.importance_weight = tracker.scene_weight()
+        return scene
+
+
+@register_strategy
+class DirectFallbackSampler(DirectSampler):
+    """``"direct"`` when a constructive plan exists, pruned-vectorized otherwise.
+
+    Scenarios whose bounds never mapped to a constructive channel (no
+    polygonal pruned region, no workspace fan, no deviation arcs) gain
+    nothing from :class:`DirectSampler`'s per-candidate plan walk; this
+    variant detects that at bind time and delegates the whole run to
+    block-vectorized rejection over the (already pruned) scenario — the
+    composite fast path — while keeping the ``"direct-fallback"`` name on
+    the recorded stats.  :attr:`delegated` tells diagnostics which mode a
+    bound instance is in.
+    """
+
+    name = "direct-fallback"
+
+    def __init__(self, block_size: int = 32, max_proposal_attempts: Optional[int] = None, **prune_options):
+        DirectSampler.__init__(
+            self, max_proposal_attempts=max_proposal_attempts, **prune_options
+        )
+        self.block_size = max(1, int(block_size))
+        self._delegate: Optional[VectorizedSampler] = None
+
+    @property
+    def delegated(self) -> bool:
+        return self._delegate is not None
+
+    def bind(self, scenario):
+        DirectSampler.bind(self, scenario)
+        if self.plan is not None and self.plan.is_constructive:
+            self._delegate = None
+        elif self._delegate is None:
+            # Pruning already ran in our own bind; plain vectorized block
+            # rejection over the pruned scenario IS pruned-vectorized.
+            self._delegate = VectorizedSampler(block_size=self.block_size)
+            self._delegate.name = self.name  # record stats under our name
+            self._delegate.bind(scenario)
+
+    def sample(self, scenario, max_iterations, rng):
+        self.bind(scenario)
+        if self._delegate is not None:
+            return self._delegate.sample(scenario, max_iterations, rng)
+        return DirectSampler.sample(self, scenario, max_iterations, rng)
+
+    def sample_batch(self, scenario, count, max_iterations, rng, aggregate):
+        self.bind(scenario)
+        if self._delegate is not None:
+            return self._delegate.sample_batch(scenario, count, max_iterations, rng, aggregate)
+        return DirectSampler.sample_batch(self, scenario, count, max_iterations, rng, aggregate)
+
+
 __all__ = [
     "SamplingStrategy",
     "RejectionSampler",
     "PruningAwareSampler",
     "PrunedVectorizedSampler",
     "BatchSampler",
+    "DirectFallbackSampler",
+    "DirectSampler",
     "ParallelSampler",
     "VectorizedSampler",
     "STRATEGIES",

@@ -73,7 +73,7 @@ async def _cmd_smoke(args: argparse.Namespace) -> int:
         requests = []
         for index in range(args.requests):
             name = list(sources)[index % len(sources)]
-            strategy = ("rejection", "vectorized", "batch")[index % 3]
+            strategy = ("rejection", "vectorized", "batch", "direct")[index % 4]
             requests.append(
                 service.generate(
                     sources[name], n=3, seed=1000 + index, strategy=strategy,
@@ -89,6 +89,21 @@ async def _cmd_smoke(args: argparse.Namespace) -> int:
         second = await service.generate(sources["two_cars"], n=6, seed=42, max_iterations=20000)
         if first.scenes != second.scenes:
             failures.append("repeat of an identical request changed the scenes")
+
+        # Constructive-strategy diagnostics must surface in merged stats:
+        # the comparable candidate count and per-scene importance weights.
+        direct = await service.generate(
+            sources["two_cars"], n=4, seed=9, strategy="direct", max_iterations=20000
+        )
+        direct_stats = direct.stats
+        print(
+            f"smoke: direct candidates={direct_stats.get('candidates')} "
+            f"mean_importance_weight={direct_stats.get('mean_importance_weight')}"
+        )
+        if direct_stats.get("importance_scenes", 0) != len(direct.scenes):
+            failures.append("direct scenes did not all carry importance weights")
+        if direct_stats.get("candidates", 0) <= 0:
+            failures.append("direct request reported no drawn candidates")
 
         stats = service.service_stats()
         print(f"smoke: stats {json.dumps(stats, default=str)}")
@@ -129,7 +144,10 @@ async def _cmd_bench(args: argparse.Namespace) -> int:
         "strategy": args.strategy,
         "workers": args.workers,
         "iterations": response.stats["iterations"],
+        "candidates": response.stats.get("candidates", response.stats["iterations"]),
     }
+    if response.stats.get("mean_importance_weight") is not None:
+        result["mean_importance_weight"] = response.stats["mean_importance_weight"]
     print(json.dumps(result, indent=1))
     return 0
 

@@ -105,8 +105,11 @@ def _stats_dict(aggregate: Any) -> Dict[str, Any]:
         "draws": aggregate.draws,
         "iterations": combined.iterations,
         "component_redraws": combined.component_redraws,
+        "candidates_drawn": combined.candidates_drawn,
         "sampling_seconds": combined.elapsed_seconds,
         "rejections": aggregate.rejection_breakdown(),
+        "importance_weight_sum": aggregate.importance_weight_sum,
+        "importance_scenes": aggregate.importance_scenes,
     }
 
 
@@ -152,7 +155,16 @@ def run_shard(payload: ShardPayload) -> ShardOutcome:
                     if engine.last_stats is not None and engine.last_stats is not stats_before:
                         aggregate.record(engine.last_stats, payload.strategy, accepted=False)
                     raise
-                aggregate.record(engine.last_stats, payload.strategy, accepted=True)
+                aggregate.record(
+                    engine.last_stats,
+                    payload.strategy,
+                    accepted=True,
+                    importance_weight=(
+                        scene.importance_weight
+                        if engine.strategy.uses_importance_weights
+                        else None
+                    ),
+                )
                 records.append(
                     scene_record(
                         scene,

@@ -1,0 +1,273 @@
+"""Conditional heading/deviation draws from the analyzer's arcs.
+
+Position proposals (:mod:`.region_sampler`) kill the containment mass;
+what is left of the orientation mass is the relative-heading requirements
+the static analyzer already summarised as wrap-safe
+:class:`~repro.analysis.intervals.CircularInterval` arcs on the
+:class:`~repro.analysis.bounds.PruneBounds`.  Instead of drawing a
+deviation from its full interval and rejecting the candidate when the
+resulting relative heading falls outside an arc, a :class:`DeviationPlan`
+*truncates* the deviation's interval to the arc-admissible segments and
+draws uniformly from those.
+
+The truncation is computed per candidate, after the positions are seeded:
+the admissible deviation depends on the two objects' field headings at
+their sampled positions.  Because every arc is a sound over-approximation
+of the hard requirement (widened by both objects' deviation slack) and the
+requirement itself is still re-checked by ``check_user_requirements``, the
+truncated draw is exact conditioning — restriction of a uniform prior to a
+superset of its feasible subset, then the unchanged rejection test.  An
+*empty* truncation is a proof that no deviation can satisfy the
+requirement at these positions (empty over-approximation ⇒ empty feasible
+set), so the candidate is rejected immediately instead of wasting a draw.
+
+Node sharing is resolved through :func:`repro.sampling.dependency.closure_nodes`:
+a deviation node referenced by more than one object keeps its prior draw
+(truncating it against one object's arcs would be unsound for the other).
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..analysis.bounds import PruneBounds
+from ..core.distributions import Range, Sample, needs_sampling
+from ..core.errors import InfeasibleScenarioError, RejectSample
+from ..core.regions import PointInRegionDistribution
+from ..core.scenario import Scenario
+from ..core.utils import normalize_angle
+from ..sampling.dependency import closure_nodes
+
+_TWO_PI = 2.0 * math.pi
+
+#: Numeric slack added to every arc half-width so floating-point error can
+#: never turn a sound over-approximation into an under-approximation.
+_ARC_SLACK = 1e-9
+
+Segment = Tuple[float, float]
+
+
+def interval_segments_in_arc(
+    low: float, high: float, center: float, half_width: float
+) -> List[Segment]:
+    """The sub-segments of ``[low, high]`` whose angle lies in an arc.
+
+    The arc ``center ± half_width`` is circular (it may straddle ±π); the
+    interval is a plain real interval (a deviation's support, which can
+    exceed one turn).  Lifting the arc to the real line and intersecting
+    each period's copy with the interval keeps the computation wrap-safe.
+    """
+    if high <= low:
+        return []
+    if half_width >= math.pi:
+        return [(low, high)]
+    if half_width < 0.0:
+        return []
+    first = math.floor((low - (center + half_width)) / _TWO_PI)
+    last = math.ceil((high - (center - half_width)) / _TWO_PI)
+    segments: List[Segment] = []
+    for k in range(int(first), int(last) + 1):
+        segment_low = max(low, center - half_width + k * _TWO_PI)
+        segment_high = min(high, center + half_width + k * _TWO_PI)
+        if segment_high > segment_low:
+            segments.append((segment_low, segment_high))
+    return segments
+
+
+def intersect_segments_with_arc(
+    segments: Sequence[Segment], center: float, half_width: float
+) -> List[Segment]:
+    """Intersect a segment list with one circular arc (both on the line)."""
+    result: List[Segment] = []
+    for low, high in segments:
+        result.extend(interval_segments_in_arc(low, high, center, half_width))
+    return result
+
+
+def sample_from_segments(segments: Sequence[Segment], rng: _random.Random) -> float:
+    """A uniform draw from a union of disjoint segments (one RNG call)."""
+    total = sum(high - low for low, high in segments)
+    offset = rng.random() * total
+    for low, high in segments:
+        span = high - low
+        if offset <= span:
+            return low + offset
+        offset -= span
+    low, high = segments[-1]
+    return high
+
+
+class _ArcSource:
+    """One heading constraint resolved to runtime lookups."""
+
+    __slots__ = ("partner_index", "partner_field", "partner_position", "center", "half_width")
+
+    def __init__(self, partner_index, partner_field, partner_position, center, half_width):
+        self.partner_index = partner_index
+        self.partner_field = partner_field
+        self.partner_position = partner_position  # node to look up, or a static point
+        self.center = center
+        self.half_width = half_width
+
+
+class DeviationPlan:
+    """Truncated draw of one object's ``roadDeviation``-style interval.
+
+    Seeds the deviation :class:`~repro.core.distributions.Range` node with
+    a uniform draw from the segments of its support admissible under every
+    resolvable arc.  Arcs whose partner position is not yet concrete for
+    this candidate contribute no truncation (sound — the requirement is
+    still re-checked); an empty intersection rejects the candidate.
+    """
+
+    __slots__ = ("object_index", "node", "low", "high", "position_node", "field", "arcs")
+
+    def __init__(self, object_index, node, low, high, position_node, field, arcs):
+        self.object_index = object_index
+        self.node = node
+        self.low = low
+        self.high = high
+        self.position_node = position_node
+        self.field = field
+        self.arcs: List[_ArcSource] = arcs
+
+    def seed(self, sample: Sample, rng: _random.Random) -> None:
+        if sample.has_value_for(self.node):
+            return
+        if not sample.has_value_for(self.position_node):
+            return  # position not constructively seeded: keep the prior draw
+        position = sample.value_for(self.position_node)
+        own_heading = self.field.value_at(position)
+        segments: List[Segment] = [(self.low, self.high)]
+        truncated = False
+        for arc in self.arcs:
+            partner_point = arc.partner_position
+            if partner_point is None:
+                continue
+            if not isinstance(partner_point, (tuple, list)) and needs_sampling(partner_point):
+                if not sample.has_value_for(partner_point):
+                    continue
+                partner_point = sample.value_for(partner_point)
+            partner_heading = arc.partner_field.value_at(partner_point)
+            # heading(partner) - heading(self) ∈ center ± half_width
+            # ⇒ deviation(self) ∈ (heading(partner) - center - field(self)) ± half_width
+            center = normalize_angle(partner_heading - arc.center - own_heading)
+            segments = intersect_segments_with_arc(segments, center, arc.half_width)
+            truncated = True
+            if not segments:
+                raise RejectSample(
+                    f"object {self.object_index}: no deviation satisfies the "
+                    f"relative-heading arcs at the sampled positions"
+                )
+        if not truncated:
+            return
+        sample.set_value_for(self.node, sample_from_segments(segments, rng))
+
+
+def build_deviation_plans(
+    scenario: Scenario, bounds: Optional[PruneBounds]
+) -> List[DeviationPlan]:
+    """Deviation plans for every field-aligned object the bounds constrain."""
+    if bounds is None or not bounds.mapped:
+        return []
+    usage = _node_usage_counts(scenario)
+    plans: List[DeviationPlan] = []
+    for index, scenic_object in enumerate(scenario.objects):
+        object_bounds = bounds.for_object(index)
+        if object_bounds is None or not object_bounds.heading_constraints:
+            continue
+        node = scenic_object.properties.get("roadDeviation")
+        if not isinstance(node, Range):
+            continue
+        if needs_sampling(node.low) or needs_sampling(node.high):
+            continue
+        if usage.get(id(node), 0) > 1:
+            continue  # shared interval: truncating for one object is unsound
+        field = _field_of(scenic_object)
+        position_node = scenic_object.properties.get("position")
+        if field is None or position_node is None:
+            continue
+        arcs: List[_ArcSource] = []
+        for constraint in object_bounds.heading_constraints:
+            if constraint.is_empty:
+                raise InfeasibleScenarioError(
+                    f"object {index}: statically empty heading constraint "
+                    f"({constraint.source})"
+                )
+            partner = scenario.objects[constraint.partner]
+            partner_field = _field_of(partner)
+            if partner_field is None:
+                continue
+            partner_position = _position_source(partner)
+            if partner_position is None:
+                continue
+            arcs.append(
+                _ArcSource(
+                    partner_index=constraint.partner,
+                    partner_field=partner_field,
+                    partner_position=partner_position,
+                    # heading(partner) - heading(self) ∈ center ± half_width;
+                    # the widening folds in both objects' deviation slack, so
+                    # the arc stays a sound over-approximation of the hard
+                    # requirement even with the partner's deviation unknown.
+                    center=constraint.center,
+                    half_width=constraint.half_width + constraint.deviation + _ARC_SLACK,
+                )
+            )
+        if arcs:
+            plans.append(
+                DeviationPlan(
+                    object_index=index,
+                    node=node,
+                    low=float(node.low),
+                    high=float(node.high),
+                    position_node=position_node,
+                    field=field,
+                    arcs=arcs,
+                )
+            )
+    return plans
+
+
+def _field_of(scenic_object: Any):
+    """The orientation field a field-aligned object's heading follows."""
+    position = scenic_object.properties.get("position")
+    if not isinstance(position, PointInRegionDistribution):
+        return None
+    field = getattr(position.region, "orientation", None)
+    if field is None or not hasattr(field, "value_at"):
+        return None
+    return field
+
+
+def _position_source(scenic_object: Any):
+    """A lookup for the partner's concrete position: a node or a static point."""
+    position = scenic_object.properties.get("position")
+    if position is None:
+        return None
+    if needs_sampling(position):
+        return position  # a node: resolved from the sample memo per candidate
+    try:
+        return (float(position.x), float(position.y))
+    except (AttributeError, TypeError):
+        return None
+
+
+def _node_usage_counts(scenario: Scenario) -> dict:
+    """How many objects reference each distribution node (id-keyed)."""
+    counts: dict = {}
+    for scenic_object in scenario.objects:
+        for node_id in closure_nodes(scenic_object):
+            counts[node_id] = counts.get(node_id, 0) + 1
+    return counts
+
+
+__all__ = [
+    "DeviationPlan",
+    "build_deviation_plans",
+    "intersect_segments_with_arc",
+    "interval_segments_in_arc",
+    "sample_from_segments",
+]

@@ -1,0 +1,113 @@
+"""Online acceptance estimation and importance weights for direct sampling.
+
+The direct strategy (:mod:`repro.synthesis`) samples positions and
+deviations *constructively* from sound over-approximations of the feasible
+set and rejection-tests only the residual constraints (soft requirements,
+cross-object visibility, user ``require`` lambdas, whatever geometry the
+proposal over-covers).  Accepted scenes are therefore exact samples of the
+requirement-conditioned distribution — restriction to a superset followed
+by the unchanged rejection tests is ordinary sequential conditioning.
+
+What *is* lost relative to plain rejection is the bookkeeping: the paper's
+experiments (and this repo's benchmarks) read absolute acceptance
+probabilities off the rejection loop — e.g. "what fraction of the prior
+satisfies the requirements?".  The direct sampler never observes that
+fraction directly, so this module reconstructs it online:
+
+* each residual constraint class keeps a Laplace-smoothed pass-rate
+  estimate (:class:`AcceptanceEstimator`);
+* the constructive step contributes its statically known mass ratio
+  (proposal area over prior area — the pruning report's shrink factor and
+  the workspace-fan ratio);
+* the product is carried on every accepted scene as
+  ``scene.importance_weight`` — an online estimate of the probability that
+  one *prior* draw would have been accepted.
+
+Downstream estimators that need prior-mass quantities (acceptance-rate
+comparisons across strategies, absolute requirement-satisfaction
+probabilities) multiply by the weight; estimators of
+requirement-conditioned expectations ignore it (accepted scenes are already
+unbiased).  :class:`~repro.sampling.AggregateStats` rolls the weights up
+per strategy for the service and CLI diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Residual constraint classes the direct sampler rejection-tests, in the
+#: order they are checked per candidate.
+RESIDUAL_CAUSES = ("proposal", "containment", "collision", "visibility", "user", "sampling")
+
+
+class AcceptanceEstimator:
+    """A Laplace-smoothed online estimate of one constraint's pass rate.
+
+    The ``(passes + 1) / (attempts + 2)`` rule keeps the estimate in (0, 1)
+    even before any data arrives, so products of estimates never collapse to
+    0 or 1 on the first few candidates.
+    """
+
+    __slots__ = ("attempts", "passes")
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.passes = 0
+
+    def record(self, passed: bool) -> None:
+        self.attempts += 1
+        if passed:
+            self.passes += 1
+
+    @property
+    def estimate(self) -> float:
+        return (self.passes + 1) / (self.attempts + 2)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"attempts": self.attempts, "passes": self.passes, "estimate": self.estimate}
+
+
+class ImportanceTracker:
+    """Per-strategy accumulator of constructive mass and residual pass rates.
+
+    *constructive_mass* is the statically known part of the proposal's
+    prior-mass ratio: the pruning pass's area shrink factor times each
+    workspace-fan plan's area ratio.  The online part — membership tests of
+    over-covering proposals (cause ``"proposal"``) and every residual
+    rejection test — is recorded per candidate via :meth:`record`.
+    """
+
+    def __init__(self, constructive_mass: float = 1.0):
+        self.constructive_mass = float(constructive_mass)
+        self.estimators: Dict[str, AcceptanceEstimator] = {}
+
+    def record(self, cause: str, passed: bool) -> None:
+        estimator = self.estimators.get(cause)
+        if estimator is None:
+            estimator = self.estimators[cause] = AcceptanceEstimator()
+        estimator.record(passed)
+
+    def acceptance_estimate(self, cause: Optional[str] = None) -> float:
+        """Estimated pass probability of one cause, or of all causes combined."""
+        if cause is not None:
+            estimator = self.estimators.get(cause)
+            return estimator.estimate if estimator is not None else 1.0
+        product = 1.0
+        for estimator in self.estimators.values():
+            product *= estimator.estimate
+        return product
+
+    def scene_weight(self) -> float:
+        """The importance weight to stamp on an accepted scene.
+
+        An online estimate of the probability that a single draw from the
+        *unrestricted* prior would have passed every constraint — i.e. the
+        plain-rejection acceptance rate the constructive sampler bypassed.
+        """
+        return self.constructive_mass * self.acceptance_estimate()
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {cause: estimator.as_dict() for cause, estimator in sorted(self.estimators.items())}
+
+
+__all__ = ["AcceptanceEstimator", "ImportanceTracker", "RESIDUAL_CAUSES"]

@@ -1,0 +1,286 @@
+"""Constructive position proposals: triangle fans over feasible regions.
+
+This is the generative half of the pruning story.  Pruning (Sec. 5.2)
+shrinks each object's sampling region to a sound over-approximation of its
+feasible positions; the rejection-based strategies then still *test* every
+candidate against that region.  Here the pruned region itself becomes the
+proposal distribution: each :class:`PositionPlan` triangulates the region
+once (:class:`~repro.geometry.triangulation.TriangleFan`, an alias table —
+O(1) per draw) and seeds the candidate's
+:class:`~repro.core.distributions.Sample` memo with a uniform point of it,
+so the containment mass that rejection sampling spends thousands of
+candidates rediscovering is simply never proposed against.
+
+Soundness invariant: a proposal set must always be a *superset* of the
+object's feasible positions (restriction of the prior to a superset,
+followed by the unchanged rejection checks, is exact conditioning; an
+under-approximation would bias the distribution).  Concretely:
+
+* a pruned :class:`~repro.core.regions.PolygonalRegion` is sampled exactly
+  (the fan covers precisely the region the prior would sample);
+* a non-polygonal position region (circle, sector, rectangle) combined
+  with a bounded workspace uses the workspace's polygons — eroded by the
+  object's static ``min_radius`` exactly when pruning itself would
+  (single convex piece) — as the proposal, with membership in the original
+  region rejection-tested per draw.  The proposal is only adopted when it
+  is *smaller* than the region, so the inner acceptance rate
+  ``|E ∩ R| / |E|`` beats the prior's ``|E ∩ R| / |R|``.
+
+Fans are cached on the scenario's :class:`CompiledScenario` artifact
+(keyed by object index and region shape) alongside the ``PruneBounds``, so
+service workers binding the ``direct`` strategy per shard triangulate each
+program once per process, not once per request.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..core.distributions import Sample, needs_sampling
+from ..core.errors import InfeasibleScenarioError, RejectSample
+from ..core.pruning import _mutation_enabled, _polygons_of_region, _static_min_radius
+from ..core.regions import PointInRegionDistribution, PolygonalRegion, Region
+from ..core.scenario import GenerationStats, Scenario
+from ..geometry.morphology import erode_polygon
+from ..geometry.polygon import Polygon
+from ..geometry.triangulation import TriangleFan
+
+#: Inner membership redraws allowed per candidate before the whole
+#: candidate counts as a sampling rejection (restarting the candidate is
+#: distribution-preserving, so the cap only bounds latency, not bias).
+DEFAULT_PROPOSAL_ATTEMPTS = 128
+
+
+class PositionPlan:
+    """One object's constructive position draw.
+
+    ``membership_region`` is ``None`` when the fan covers the prior region
+    exactly (pruned polygonal regions); otherwise each fan draw is
+    rejection-tested against it (workspace-fan proposals for non-polygonal
+    regions), with the pass rate feeding the importance tracker's
+    ``"proposal"`` estimator.
+    """
+
+    __slots__ = ("object_index", "node", "fan", "membership_region", "mass_ratio", "label")
+
+    def __init__(
+        self,
+        object_index: int,
+        node: PointInRegionDistribution,
+        fan: TriangleFan,
+        membership_region: Optional[Region] = None,
+        mass_ratio: float = 1.0,
+        label: str = "",
+    ):
+        self.object_index = object_index
+        self.node = node
+        self.fan = fan
+        self.membership_region = membership_region
+        self.mass_ratio = mass_ratio
+        self.label = label
+
+    def seed(
+        self,
+        sample: Sample,
+        rng: _random.Random,
+        stats: GenerationStats,
+        tracker: Any,
+        max_attempts: int = DEFAULT_PROPOSAL_ATTEMPTS,
+    ) -> None:
+        """Draw a position from the fan and pre-seed the sample memo."""
+        if sample.has_value_for(self.node):
+            return  # node shared with an already-seeded object
+        if self.membership_region is None:
+            stats.candidates_drawn += 1
+            sample.set_value_for(self.node, self.fan.sample(rng))
+            return
+        for _ in range(max_attempts):
+            stats.candidates_drawn += 1
+            point = self.fan.sample(rng)
+            if self.membership_region.contains_point(point):
+                tracker.record("proposal", True)
+                sample.set_value_for(self.node, point)
+                return
+            tracker.record("proposal", False)
+        raise RejectSample(
+            f"constructive proposal for object {self.object_index} exhausted "
+            f"{max_attempts} membership attempts ({self.label})"
+        )
+
+
+def build_position_plans(scenario: Scenario) -> List[PositionPlan]:
+    """Constructive position plans for every object that supports one.
+
+    Objects are skipped — they keep sampling their prior — when their
+    position is not a region draw, the region is itself random, mutation
+    noise may displace them afterwards (the pruned region would not be a
+    sound proposal for the post-noise position), or no proposal smaller
+    than the prior region exists.
+    """
+    plans: List[PositionPlan] = []
+    cache = _artifact_fan_cache(scenario)
+    seen_nodes: dict = {}
+    for index, scenic_object in enumerate(scenario.objects):
+        if _mutation_enabled(scenic_object):
+            continue
+        node = scenic_object.properties.get("position")
+        if not isinstance(node, PointInRegionDistribution):
+            continue
+        region = node.region
+        if needs_sampling(region) or not isinstance(region, Region):
+            continue
+        if id(node) in seen_nodes:
+            continue  # aliased position: the first plan seeds it for everyone
+        plan = _plan_for_region(scenario, scenic_object, index, node, region, cache)
+        if plan is not None:
+            seen_nodes[id(node)] = plan
+            plans.append(plan)
+    return plans
+
+
+def _plan_for_region(
+    scenario: Scenario,
+    scenic_object: Any,
+    index: int,
+    node: PointInRegionDistribution,
+    region: Region,
+    cache: Optional[dict],
+) -> Optional[PositionPlan]:
+    if isinstance(region, PolygonalRegion):
+        fan = _fan_for_polygons(region.polygons, cache, ("region", index))
+        if fan is None:
+            raise InfeasibleScenarioError(
+                f"object {index}: pruned position region has zero area"
+            )
+        return PositionPlan(index, node, fan, label=f"polygonal region of object {index}")
+
+    try:
+        region_area = region.area()
+    except (TypeError, NotImplementedError):
+        return None
+    if region_area <= 0.0:
+        # Measure-zero but non-empty regions (polylines, points) are fine
+        # for the prior — there is just no area-based proposal to build.
+        return None
+    if not _region_supports_membership(region):
+        return None
+    workspace_polygons = _workspace_proposal_polygons(
+        scenario, index, _static_min_radius(scenic_object)
+    )
+    if workspace_polygons is None:
+        return None
+    proposal_area = sum(polygon.area for polygon in workspace_polygons)
+    if proposal_area <= 0.0:
+        raise InfeasibleScenarioError(
+            f"object {index}: workspace leaves no room for the object"
+        )
+    if proposal_area >= region_area:
+        return None  # the prior region is already the tighter proposal
+    fan = _fan_for_polygons(
+        workspace_polygons, cache, ("workspace", index, round(proposal_area, 9))
+    )
+    if fan is None:
+        return None
+    return PositionPlan(
+        index,
+        node,
+        fan,
+        membership_region=region,
+        mass_ratio=proposal_area / region_area,
+        label=f"workspace fan for object {index}",
+    )
+
+
+def _region_supports_membership(region: Region) -> bool:
+    try:
+        region.contains_point((0.0, 0.0))
+    except (TypeError, NotImplementedError):
+        return False
+    return True
+
+
+def _workspace_proposal_polygons(
+    scenario: Scenario, index: int, min_radius: float
+) -> Optional[List[Polygon]]:
+    """A sound polygonal superset of the object's feasible centre positions.
+
+    Mirrors ``prune_by_containment``'s erosion rule: with a single convex
+    workspace piece the centre of a contained object of inradius
+    ``min_radius`` lies in the piece's erosion (exact); with several pieces
+    erosion per piece would wrongly exclude straddling centres, so the
+    pieces are used whole (the centre still lies in their union).
+    """
+    workspace = scenario.workspace
+    if workspace is None or workspace.is_unbounded:
+        return None
+    pieces = _polygons_of_region(workspace.region)
+    if not pieces:
+        return None
+    if len(pieces) == 1 and min_radius > 0.0:
+        piece = pieces[0]
+        eroded = erode_polygon(piece, min_radius)
+        if eroded is None:
+            if piece.is_convex():
+                raise InfeasibleScenarioError(
+                    f"object {index}: workspace is too small for the object "
+                    f"(erosion by min_radius {min_radius:g} is empty)"
+                )
+            return [piece]
+        if eroded.is_convex():
+            return [eroded]
+        return [piece]
+    return list(pieces)
+
+
+def _fan_for_polygons(
+    polygons: Sequence[Polygon], cache: Optional[dict], key_prefix: Tuple
+) -> Optional[TriangleFan]:
+    """Build (or fetch from the artifact cache) a fan over *polygons*.
+
+    Returns ``None`` for zero total area — callers decide whether that is
+    infeasible (a pruned region) or merely unhelpful (a proposal).
+    """
+    key = None
+    if cache is not None:
+        key = key_prefix + (
+            len(polygons),
+            round(sum(polygon.area for polygon in polygons), 12),
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    try:
+        fan = TriangleFan.of_polygons(polygons)
+    except ValueError:
+        return None
+    if cache is not None:
+        cache[key] = fan
+    return fan
+
+
+def _artifact_fan_cache(scenario: Scenario) -> Optional[dict]:
+    """The compiled artifact's fan cache, when the scenario has one.
+
+    Pruning rewrites regions deterministically per artifact, so fans keyed
+    by object index and region shape are shared safely across the fresh
+    scenario copies each engine binds (triangles are immutable tuples).
+    """
+    artifact = getattr(scenario, "compiled_artifact", None)
+    if artifact is None:
+        return None
+    cache = getattr(artifact, "_synthesis_cache", None)
+    if cache is None:
+        cache = {}
+        try:
+            artifact._synthesis_cache = cache
+        except AttributeError:
+            return None
+    return cache
+
+
+__all__ = [
+    "DEFAULT_PROPOSAL_ATTEMPTS",
+    "PositionPlan",
+    "build_position_plans",
+]

