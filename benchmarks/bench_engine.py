@@ -12,13 +12,15 @@ cheaper, and this benchmark is the regression guard):
 * the geometry kernel against the scalar hot-path checks (≥3x);
 * the compiled-artifact cache: warm-path scenario construction must be
   ≥10x faster than a cold compile (lexer+parser+interpreter);
-* the generation service's warm-path throughput (recorded, not asserted —
-  CI runners have too few cores for a meaningful parallel-speedup bound);
+* the generation service's warm-path throughput: the columnar shard
+  transport + adaptive sampling rework must clear ≥10x the BENCH_6
+  baseline (7.7 scenes/s), with streamed frames reassembling bit-identical
+  to the blocking response;
 * the direct synthesis strategy: constructive sampling from the pruned
   feasible region must draw ≥10x fewer candidates than vectorized
   rejection on the containment-heavy scenario.
 
-Headline numbers are also written to ``results/BENCH_6.json`` (see
+Headline numbers are also written to ``results/BENCH_7.json`` (see
 ``conftest.save_bench_json``) so future PRs have a machine-readable perf
 trajectory to diff against.
 """
@@ -486,15 +488,22 @@ def test_compiled_artifact_cache_warm_vs_cold(benchmark, record_result, record_b
     assert speedup >= 10.0, f"warm path only {speedup:.1f}x faster than cold compile"
 
 
+#: BENCH_6's recorded warm-path service throughput (scenes/s), the baseline
+#: the transport rework is measured against.  Kept inline so the assertion
+#: survives even if results/BENCH_6.json is pruned from a checkout.
+BENCH_6_SERVICE_SCENES_PER_SECOND = 7.7
+
+
 def test_service_throughput(benchmark, record_result, record_bench_json):
-    """Warm-path generation-service throughput (recorded as perf trajectory).
+    """Warm-path generation-service throughput: ≥10x the BENCH_6 baseline.
 
     Measures a sharded 60-scene request against a 2-process pool after a
-    warm-up request (so workers hold the compiled artifact), plus the
-    cold-vs-warm request latency.  Throughput is *recorded* into
-    ``results/BENCH_6.json`` rather than asserted against a bound: CI
-    runners often expose a single core, where a process pool cannot beat
-    inline execution.  Correctness (scene count, shard fan-out) is asserted.
+    warm-up request (workers hold the compiled artifact and a bound engine,
+    shards travel as columnar blocks over shared memory), then replays the
+    same request through :meth:`GenerationService.generate_stream` and
+    asserts the reassembled frames are bit-identical to the blocking
+    response.  The ≥10x bound is against BENCH_6's 7.7 scenes/s — the
+    rework's point was that serving overhead, not sampling, dominated.
     """
     from repro.service import GenerationService
 
@@ -513,23 +522,46 @@ def test_service_throughput(benchmark, record_result, record_bench_json):
                 max_iterations=20000,
             )
             warm_request = time.perf_counter() - warm_start
-            return cold_request, warm_request, response
 
-    cold_request, warm_request, response = benchmark.pedantic(
+            stream_start = time.perf_counter()
+            streamed = [None] * scene_count
+            block_frames = 0
+            async for frame in service.generate_stream(
+                source, n=scene_count, seed=7, strategy="vectorized",
+                max_iterations=20000,
+            ):
+                if frame["frame"] == "block":
+                    block_frames += 1
+                    for index, record in zip(frame["indices"], frame["scenes"]):
+                        streamed[index] = record
+            stream_request = time.perf_counter() - stream_start
+            return (cold_request, warm_request, stream_request,
+                    response, streamed, block_frames)
+
+    (cold_request, warm_request, stream_request,
+     response, streamed, block_frames) = benchmark.pedantic(
         lambda: asyncio.run(run()), rounds=1, iterations=1
     )
     assert len(response.scenes) == scene_count
     assert response.stats["shards"] == 2
+    # Streamed frames reassemble bit-identical to the blocking response.
+    assert streamed == response.scenes
+    assert block_frames == response.stats["shards"]
+
     throughput = scene_count / warm_request
+    speedup = throughput / BENCH_6_SERVICE_SCENES_PER_SECOND
     record_result(
         "service_throughput",
         f"cold request (2 scenes, compile + first sample): {cold_request * 1e3:8.1f} ms\n"
         f"warm request ({scene_count} scenes, vectorized): {warm_request * 1e3:8.1f} ms\n"
-        f"throughput:                    {throughput:8.1f} scenes/s\n"
+        f"streamed request (same seed, reassembled):   {stream_request * 1e3:8.1f} ms\n"
+        f"throughput:                    {throughput:8.1f} scenes/s"
+        f"  ({speedup:.1f}x BENCH_6's {BENCH_6_SERVICE_SCENES_PER_SECOND} scenes/s)\n"
         f"worker cache hits: {response.stats['worker_cache_hits']}/{response.stats['shards']}"
         f" shards, workers: {len(response.stats['workers'])}\n"
-        "\n2-process pool, splitmix64 per-scene seeds (bit-identical to any"
-        "\nother worker count), two_cars gallery scenario.",
+        "\n2-process pool, shared-memory columnar shard transport, splitmix64"
+        "\nper-scene seeds (bit-identical to any other worker count; streamed"
+        "\nframes reassemble to the blocking response), two_cars scenario.",
     )
     record_bench_json(
         "service_throughput",
@@ -537,10 +569,20 @@ def test_service_throughput(benchmark, record_result, record_bench_json):
             "scenes": scene_count,
             "cold_request_seconds": cold_request,
             "warm_request_seconds": warm_request,
+            "stream_request_seconds": stream_request,
             "scenes_per_second": throughput,
+            "bench6_scenes_per_second": BENCH_6_SERVICE_SCENES_PER_SECOND,
+            "speedup_vs_bench6": speedup,
+            "stream_parity": streamed == response.scenes,
             "workers": 2,
             "strategy": "vectorized",
+            "transport": "shm",
         },
+    )
+    # The issue's acceptance criterion: ≥10x the BENCH_6 baseline.
+    assert speedup >= 10.0, (
+        f"service throughput {throughput:.1f} scenes/s is only {speedup:.1f}x "
+        f"the BENCH_6 baseline ({BENCH_6_SERVICE_SCENES_PER_SECOND} scenes/s)"
     )
 
 

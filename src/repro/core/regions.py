@@ -383,6 +383,17 @@ class PolygonalRegion(Region):
         return self._vertex_arrays, self._boxes
 
     def contains_point(self, point: VectorLike) -> bool:
+        if len(self.polygons) >= self._GRID_MIN_POLYGONS:
+            # Large unions (road maps) test only the pieces whose grid cell
+            # covers the point.  The grid over-approximates (padded bounding
+            # boxes), so the boolean verdict is identical to the linear scan.
+            self._batch_tables()
+            if self._grid is not None:
+                point = Vector.from_any(point)
+                return any(
+                    self.polygons[index].contains_point(point)
+                    for index in self._grid.bucket_for_point(point.x, point.y)
+                )
         return any(polygon.contains_point(point) for polygon in self.polygons)
 
     def contains_points_batch(self, points: Any) -> np.ndarray:

@@ -82,12 +82,47 @@ class PolygonalVectorField(VectorField):
     the local traffic direction.
     """
 
+    #: Decompositions with at least this many cells index their bounding
+    #: boxes in a :class:`~repro.geometry.spatial_index.SpatialGrid`, so the
+    #: per-lookup cost is the few cells near the query point rather than a
+    #: linear scan over the whole map.
+    _GRID_MIN_CELLS = 8
+
+    # Class-level fallbacks: instances unpickled from artifacts written
+    # before the index existed have no such keys in their __dict__.
+    _boxes = None
+    _grid = None
+
     def __init__(self, name: str, cells: Sequence[Tuple[Polygon, float]],
                  default_heading: float = 0.0):
         self.cells: List[Tuple[Polygon, float]] = [
             (polygon, normalize_angle(heading)) for polygon, heading in cells
         ]
+        self._boxes = None  # lazy (N, 4) cell bounds, see _tables()
+        self._grid = None
         super().__init__(name, self._heading_at, default_heading=default_heading)
+
+    def _tables(self):
+        """Lazily built cell bounding boxes and (for large maps) a grid index.
+
+        The boxes are padded so the scalar containment test's boundary
+        tolerance cannot cross a box edge: any cell the linear scan could
+        accept is also a grid candidate, keeping results bit-identical.
+        """
+        if self._boxes is None:
+            import numpy as np
+
+            boxes = np.empty((len(self.cells), 4), dtype=float)
+            for index, (polygon, _heading) in enumerate(self.cells):
+                box = polygon.bounding_box()
+                boxes[index] = (box.min_x, box.min_y, box.max_x, box.max_y)
+            boxes += np.array([-1e-6, -1e-6, 1e-6, 1e-6])
+            if len(self.cells) >= self._GRID_MIN_CELLS:
+                from ..geometry.spatial_index import SpatialGrid
+
+                self._grid = SpatialGrid(boxes)
+            self._boxes = boxes
+        return self._boxes, self._grid
 
     def _heading_at(self, position: Vector) -> float:
         cell = self.cell_at(position)
@@ -101,6 +136,16 @@ class PolygonalVectorField(VectorField):
 
     def cell_at(self, position: VectorLike) -> Optional[Tuple[Polygon, float]]:
         position = Vector.from_any(position)
+        if len(self.cells) >= self._GRID_MIN_CELLS:
+            _boxes, grid = self._tables()
+            if grid is not None:
+                # Bucket indices are ascending, so the first containing
+                # candidate is the same cell the full scan would return.
+                for index in grid.bucket_for_point(position.x, position.y):
+                    polygon, heading = self.cells[index]
+                    if polygon.contains_point(position):
+                        return polygon, heading
+                return None
         for polygon, heading in self.cells:
             if polygon.contains_point(position):
                 return polygon, heading
@@ -110,7 +155,36 @@ class PolygonalVectorField(VectorField):
         position = Vector.from_any(position)
         if not self.cells:
             return None
+        if len(self.cells) >= self._GRID_MIN_CELLS:
+            return self._nearest_cell_pruned(position)
         return min(self.cells, key=lambda cell: cell[0].distance_to_point(position))
+
+    def _nearest_cell_pruned(self, position: Vector) -> Tuple[Polygon, float]:
+        """Nearest cell via bounding-box lower bounds, identical to the scan.
+
+        Exact point-to-polygon distance is only computed for cells whose
+        box distance (a lower bound on the true distance) does not already
+        exceed the best exact distance seen; every cell tied for the
+        minimum has a lower bound <= that minimum, so none is skipped, and
+        ties resolve to the lowest cell index — exactly ``min()``'s
+        first-minimal-in-list-order behaviour.
+        """
+        import numpy as np
+
+        boxes, _grid = self._tables()
+        dx = np.maximum(np.maximum(boxes[:, 0] - position.x, position.x - boxes[:, 2]), 0.0)
+        dy = np.maximum(np.maximum(boxes[:, 1] - position.y, position.y - boxes[:, 3]), 0.0)
+        lower_bounds = np.hypot(dx, dy)
+        best_distance = math.inf
+        best_index = -1
+        for index in np.argsort(lower_bounds, kind="stable"):
+            if lower_bounds[index] > best_distance:
+                break
+            distance = self.cells[index][0].distance_to_point(position)
+            if distance < best_distance or (distance == best_distance and index < best_index):
+                best_distance = distance
+                best_index = int(index)
+        return self.cells[best_index]
 
     def heading_of_cell(self, polygon: Polygon) -> Optional[float]:
         for cell_polygon, heading in self.cells:

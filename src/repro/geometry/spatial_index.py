@@ -117,6 +117,22 @@ class SpatialGrid:
         """Indices of items whose cells cover the point, sorted ascending."""
         return self.query_box((x, y, x, y))
 
+    def bucket_for_point(self, x: float, y: float) -> Sequence[int]:
+        """Item indices of the single cell covering ``(x, y)``, ascending.
+
+        The allocation-free fast path for scalar point location: a point maps
+        to exactly one grid cell, and buckets are built by inserting item
+        indices in ascending order, so the returned list is already sorted —
+        scanning it in order visits items in the same order a linear scan
+        over all items would.
+        """
+        if not self._cells:
+            return ()
+        ox, oy = self.origin
+        size = self.cell_size
+        key = (int(np.floor((x - ox) / size)), int(np.floor((y - oy) / size)))
+        return self._cells.get(key, ())
+
     def candidate_pairs(self) -> np.ndarray:
         """All item pairs sharing at least one cell, as ``(M, 2)`` with i < j.
 

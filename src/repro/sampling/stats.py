@@ -172,6 +172,32 @@ class AggregateStats:
             return None
         return self.importance_weight_sum / self.importance_scenes
 
+    def to_shard_stats(self) -> Dict[str, object]:
+        """This roll-up as the plain-data *shard stats* dict the service merges.
+
+        This is the single owner of the worker → coordinator stats shape:
+        service workers pickle exactly this dict home per shard, and
+        :func:`repro.service.protocol.merge_shard_stats` folds many of them
+        into one request-wide dict.  ``candidates`` is this shard's honest
+        drawn-candidate count (:attr:`total_candidates` — per-shard max of
+        iterations and constructive proposal draws), recorded *per shard* so
+        the request-wide count can sum shard maxima instead of taking a max
+        of sums.
+        """
+        combined = self.combined()
+        return {
+            "scenes": self.scenes,
+            "draws": self.draws,
+            "iterations": combined.iterations,
+            "component_redraws": combined.component_redraws,
+            "candidates_drawn": combined.candidates_drawn,
+            "candidates": self.total_candidates,
+            "sampling_seconds": combined.elapsed_seconds,
+            "rejections": self.rejection_breakdown(),
+            "importance_weight_sum": self.importance_weight_sum,
+            "importance_scenes": self.importance_scenes,
+        }
+
     def importance_summary(self) -> Dict[str, Dict[str, float]]:
         """Per-strategy importance-weight diagnostics for the roll-ups."""
         return {

@@ -598,20 +598,44 @@ class VectorizedSampler(SamplingStrategy):
     ``stats.iterations`` counts examined candidates only, so exhaustion
     semantics match rejection: ``max_iterations=1`` examines exactly one
     candidate.
+
+    Block sizes are *adaptive* when the scenario has no soft requirements:
+    rounds ramp ``min_block, 2*min_block, ...`` up to ``block_size``, so an
+    easy scenario (accepted within the first few candidates) does not pay
+    for concretizing a full block it never examines — the dominant cost of
+    per-scene sampling in the generation service, whose splitmix contract
+    draws every scene with a fresh RNG.  The ramp is bit-identical to a
+    fixed block: candidates are drawn sequentially from the same RNG stream
+    and examined in draw order, so candidate *k* (and therefore the first
+    accepted one) is the same no matter how draws are grouped into rounds.
+    Soft requirements break that equivalence — ``require[p]`` flips the
+    *shared* RNG per examined candidate, in between rounds' draws — so
+    their presence disables the ramp and keeps the legacy fixed blocks
+    (pinned by the golden corpus).
     """
 
     name = "vectorized"
 
-    def __init__(self, block_size: int = 32):
+    def __init__(self, block_size: int = 32, min_block: int = 4):
         self.block_size = max(1, int(block_size))
+        self.min_block = max(1, min(int(min_block), self.block_size))
+        self._adaptive = False
+
+    def bind(self, scenario):
+        super().bind(scenario)
+        self._adaptive = not any(
+            requirement.is_soft for requirement in scenario.requirements
+        )
 
     def sample(self, scenario, max_iterations, rng):
         self.bind(scenario)
         stats = GenerationStats()
         start_time = time.perf_counter()
         scene: Optional[Scene] = None
+        next_block = self.min_block if self._adaptive else self.block_size
         while scene is None and stats.iterations < max_iterations:
-            block = min(self.block_size, max_iterations - stats.iterations)
+            block = min(next_block, max_iterations - stats.iterations)
+            next_block = min(next_block * 2, self.block_size)
             candidates = self._draw_block(scenario, rng, block)
             failures = self._bulk_geometry_failures(scenario, candidates)
             for candidate, failure in zip(candidates, failures):
@@ -737,6 +761,10 @@ class PrunedVectorizedSampler(_PruningMixin, VectorizedSampler):
     def __init__(self, block_size: int = 32, **prune_options):
         VectorizedSampler.__init__(self, block_size=block_size)
         self._init_pruning(**prune_options)
+
+    def bind(self, scenario):
+        _PruningMixin.bind(self, scenario)
+        VectorizedSampler.bind(self, scenario)  # adaptive-block eligibility
 
 
 # ---------------------------------------------------------------------------

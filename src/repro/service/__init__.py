@@ -8,16 +8,26 @@ guide):
   front end: ``await service.generate(source_or_hash, n, seed, strategy)``
   shards a batch across a persistent worker-process pool with
   splitmix64-derived per-scene seeds (bit-identical results regardless of
-  worker count), enforces backpressure, and rolls per-request sampling
-  statistics up into the response.
+  worker count), routes shards to workers by artifact fingerprint so
+  per-worker engine caches stay warm, enforces backpressure, and rolls
+  per-request sampling statistics up into the response.
+  :meth:`GenerationService.generate_stream` yields scene blocks as shards
+  complete instead of buffering the whole batch.
 * :mod:`repro.service.worker` — the worker-process side: a process-local
-  artifact cache plus bound-engine reuse, so warm shards skip the parser
+  artifact cache plus a bound-engine LRU, so warm shards skip the parser
   and interpreter entirely.
-* :mod:`repro.service.server` — a dependency-free JSON-lines TCP front end.
+* :mod:`repro.service.transport` — the columnar scene-block wire format
+  (structured numpy buffers, optionally carried over shared memory) that
+  replaces per-scene dict pickling between workers and the coordinator.
+* :mod:`repro.service.server` — a dependency-free JSON-lines TCP front end
+  (blocking and streaming).
+* :mod:`repro.service.server_http` — a stdlib-only HTTP/WebSocket front end
+  (``/healthz``, ``/metrics``, ``POST /generate`` with NDJSON streaming,
+  ``/ws``).
 * :mod:`repro.service.protocol` — the plain-data request/response types and
   the seed-derivation contract.
 
-CLI: ``python -m repro.service serve|smoke|bench|generate`` (see
+CLI: ``python -m repro.service serve|smoke|parity|bench|generate`` (see
 ``python -m repro.service --help``).
 """
 
@@ -27,7 +37,13 @@ from .protocol import (
     scene_record,
     splitmix64,
 )
-from .server import GenerationServer, request_over_tcp
+from .server import (
+    GenerationServer,
+    RequestTooLargeError,
+    request_over_tcp,
+    stream_over_tcp,
+)
+from .server_http import HttpGenerationServer, http_request, websocket_generate
 from .service import (
     GenerationFailedError,
     GenerationService,
@@ -35,17 +51,25 @@ from .service import (
     ServiceOverloadedError,
     generate_sync,
 )
+from .transport import SceneBlock, ShmBlockHandle
 
 __all__ = [
     "GenerateResponse",
     "GenerationFailedError",
     "GenerationServer",
     "GenerationService",
+    "HttpGenerationServer",
+    "RequestTooLargeError",
+    "SceneBlock",
     "ServiceError",
     "ServiceOverloadedError",
+    "ShmBlockHandle",
     "derive_scene_seeds",
     "generate_sync",
+    "http_request",
     "request_over_tcp",
     "scene_record",
     "splitmix64",
+    "stream_over_tcp",
+    "websocket_generate",
 ]

@@ -16,8 +16,15 @@ the protocol: see :func:`derive_scene_seeds`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .transport import DEFAULT_SHM_THRESHOLD, SceneBlock, materialize_block
+
+#: Cross-process carriers for a shard's scene block.  ``"pickle"`` ships the
+#: columnar arrays through the pool's result pipe; ``"shm"`` copies large
+#: blocks into a shared-memory segment and pickles only its name + layout.
+TRANSPORT_MODES = ("pickle", "shm")
 
 #: Scene-seed derivation modes accepted by ``generate`` requests.
 DERIVE_MODES = ("splitmix", "direct")
@@ -133,38 +140,119 @@ class ShardPayload:
     seeds: Optional[List[int]]  # None = sequential/direct mode
     master_seed: int
     record_iterations: bool = True
+    #: How the shard's scene block comes home: one of :data:`TRANSPORT_MODES`.
+    transport: str = "pickle"
+    #: Minimum block payload (bytes) before ``"shm"`` actually creates a
+    #: segment; smaller blocks fall back to pickling their arrays.
+    shm_threshold: int = DEFAULT_SHM_THRESHOLD
 
 
 @dataclass
 class ShardOutcome:
-    """What one worker hands back for one :class:`ShardPayload`."""
+    """What one worker hands back for one :class:`ShardPayload`.
+
+    Scenes travel as *one columnar block per shard* — either a
+    :class:`~repro.service.transport.SceneBlock` (pickled numpy columns) or
+    a :class:`~repro.service.transport.ShmBlockHandle` naming a
+    shared-memory segment, per the payload's ``transport``.  Call
+    :meth:`take_block` exactly once coordinator-side: it attaches, copies
+    and unlinks any segment, so outcomes never leak shared memory.
+    """
 
     indices: List[int]
-    records: List[Dict[str, Any]]
+    block: Any  # SceneBlock | ShmBlockHandle | None
     stats: Dict[str, Any]
     cache_hit: bool
     worker_pid: int
     elapsed_seconds: float
     error: Optional[Dict[str, Any]] = None
+    #: True when the worker reused a bound engine (not just a warm artifact).
+    engine_hit: bool = False
+
+    def take_block(self) -> Optional[SceneBlock]:
+        """Materialise the scene block, releasing any shared-memory segment."""
+        block = materialize_block(self.block)
+        self.block = block
+        return block
+
+    def discard_block(self) -> None:
+        """Free the block's shared-memory segment without materialising.
+
+        Error paths must call this (or :meth:`take_block`) for every
+        outcome that arrives after a request already failed; a dropped
+        handle would orphan its segment until interpreter exit.
+        """
+        if self.block is not None and hasattr(self.block, "discard"):
+            self.block.discard()
+        self.block = None
 
 
-@dataclass
 class GenerateResponse:
     """The front end's answer to one ``generate`` request.
 
-    ``scenes`` holds scene records in index order.  ``stats`` is the
-    request-wide roll-up (merged from every shard's
+    ``scenes`` holds scene records in index order.  Internally the response
+    keeps the shards' columnar blocks and materialises JSON records
+    *lazily*, on first ``scenes`` access — the protocol edge.  Callers that
+    only read ``stats`` (health checks, throughput probes) never pay the
+    per-scene dict construction.
+
+    ``stats`` is the request-wide roll-up (merged from every shard's
     :class:`~repro.sampling.AggregateStats`): accepted scenes, candidate
     iterations, the rejection breakdown by cause, worker cache hits and
     wall-clock time.
     """
 
-    fingerprint: str
-    strategy: str
-    seed: int
-    derive: str
-    scenes: List[Dict[str, Any]] = field(default_factory=list)
-    stats: Dict[str, Any] = field(default_factory=dict)
+    def __init__(
+        self,
+        fingerprint: str,
+        strategy: str,
+        seed: int,
+        derive: str,
+        scenes: Optional[List[Dict[str, Any]]] = None,
+        stats: Optional[Dict[str, Any]] = None,
+    ):
+        self.fingerprint = fingerprint
+        self.strategy = strategy
+        self.seed = seed
+        self.derive = derive
+        self.stats: Dict[str, Any] = stats if stats is not None else {}
+        self._scenes: Optional[List[Dict[str, Any]]] = scenes
+        self._blocks: List[Tuple[List[int], SceneBlock]] = []
+        self._total = len(scenes) if scenes is not None else 0
+
+    def attach_blocks(
+        self, blocks: List[Tuple[List[int], SceneBlock]], total: int
+    ) -> None:
+        """Adopt the shards' ``(indices, block)`` pairs; records stay packed."""
+        self._blocks = blocks
+        self._total = total
+        self._scenes = None
+
+    @property
+    def scenes(self) -> List[Dict[str, Any]]:
+        """Scene records in index order (materialised on first access)."""
+        if self._scenes is None:
+            scenes: List[Optional[Dict[str, Any]]] = [None] * self._total
+            for indices, block in self._blocks:
+                for position, index in enumerate(indices):
+                    scenes[index] = block.record_at(position)
+            self._scenes = scenes  # type: ignore[assignment]  # shards cover 0..n-1
+        return self._scenes
+
+    @scenes.setter
+    def scenes(self, value: List[Dict[str, Any]]) -> None:
+        self._scenes = list(value)
+        self._total = len(self._scenes)
+        self._blocks = []
+
+    @property
+    def scene_count(self) -> int:
+        """Number of scenes without forcing record materialisation."""
+        return self._total
+
+    def iter_blocks(self) -> Iterator[Tuple[List[int], SceneBlock]]:
+        """The raw ``(indices, block)`` pairs, shard completion order."""
+        return iter(self._blocks)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -175,6 +263,12 @@ class GenerateResponse:
             "scenes": self.scenes,
             "stats": self.stats,
         }
+
+    def __repr__(self) -> str:
+        return (
+            f"GenerateResponse({self.fingerprint[:12]}..., strategy={self.strategy!r}, "
+            f"seed={self.seed}, scenes={self.scene_count})"
+        )
 
 
 def merge_shard_stats(outcomes: List[ShardOutcome]) -> Dict[str, Any]:
@@ -192,9 +286,11 @@ def merge_shard_stats(outcomes: List[ShardOutcome]) -> Dict[str, Any]:
         "sampling_seconds": 0.0,
         "shards": len(outcomes),
         "worker_cache_hits": 0,
+        "engine_cache_hits": 0,
         "workers": [],
         "importance_weight_sum": 0.0,
         "importance_scenes": 0,
+        "candidates": 0,
     }
     for outcome in outcomes:
         shard = outcome.stats
@@ -207,14 +303,22 @@ def merge_shard_stats(outcomes: List[ShardOutcome]) -> Dict[str, Any]:
         for cause, count in shard.get("rejections", {}).items():
             totals["rejections"][cause] = totals["rejections"].get(cause, 0) + count
         totals["worker_cache_hits"] += 1 if outcome.cache_hit else 0
+        totals["engine_cache_hits"] += 1 if outcome.engine_hit else 0
         if outcome.worker_pid not in totals["workers"]:
             totals["workers"].append(outcome.worker_pid)
         totals["importance_weight_sum"] += shard.get("importance_weight_sum", 0.0)
         totals["importance_scenes"] += shard.get("importance_scenes", 0)
+        # The comparable drawn-candidate count (proposal draws for
+        # constructive strategies, iterations otherwise).  Each shard reports
+        # its own max (AggregateStats.to_shard_stats); summing per-shard
+        # maxima is exact, whereas the old max-of-request-totals undercounted
+        # whenever a request mixed strategies across shards.  The fallback
+        # keeps older shard dicts (no "candidates" key) mergeable.
+        totals["candidates"] += shard.get(
+            "candidates",
+            max(shard.get("iterations", 0), shard.get("candidates_drawn", 0)),
+        )
     totals["workers"].sort()
-    # The comparable drawn-candidate count (proposal draws for constructive
-    # strategies, iterations otherwise) and the mean importance weight.
-    totals["candidates"] = max(totals["iterations"], totals["candidates_drawn"])
     if totals["importance_scenes"]:
         totals["mean_importance_weight"] = (
             totals["importance_weight_sum"] / totals["importance_scenes"]
@@ -224,6 +328,7 @@ def merge_shard_stats(outcomes: List[ShardOutcome]) -> Dict[str, Any]:
 
 __all__ = [
     "DERIVE_MODES",
+    "TRANSPORT_MODES",
     "GenerateResponse",
     "ShardOutcome",
     "ShardPayload",

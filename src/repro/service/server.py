@@ -1,9 +1,9 @@
 """A JSON-lines TCP front end for :class:`~repro.service.GenerationService`.
 
-One request per line, one response per line, UTF-8 JSON.  The protocol is
-deliberately tiny (and dependency-free) — it exists so the service can be
-driven from outside the process (`python -m repro.service serve`), load
-tested, and smoke tested in CI over a real socket.
+One request per line, UTF-8 JSON.  The protocol is deliberately tiny (and
+dependency-free) — it exists so the service can be driven from outside the
+process (`python -m repro.service serve`), load tested, and smoke tested in
+CI over a real socket.
 
 Operations (``{"op": ..., ...}``):
 
@@ -17,6 +17,13 @@ Operations (``{"op": ..., ...}``):
     ``seed``, ``strategy``, ``max_iterations``, ``derive``, ``options``
     (strategy options object) → the full
     :meth:`~repro.service.protocol.GenerateResponse.as_dict` payload.
+
+    With ``"stream": true`` the answer is *incremental*: one JSON line per
+    completed shard (``{"ok": true, "op": "generate", "frame": "block",
+    "indices": [...], "scenes": [...]}``) followed by a final ``"frame":
+    "end"`` line carrying the merged stats.  Reassembling the block frames
+    by their indices is bit-identical to the blocking response for the
+    same request.
 ``stats``
     → ``{"ok": true, "stats": {...}}`` (service-level counters).
 ``shutdown``
@@ -25,25 +32,44 @@ Operations (``{"op": ..., ...}``):
 
 Errors never drop the connection: they come back as
 ``{"ok": false, "error": {"type": ..., "message": ...}}``, with overload
-shedding distinguishable as ``type == "ServiceOverloadedError"``.
+shedding distinguishable as ``type == "ServiceOverloadedError"``.  That
+includes malformed JSON and requests longer than *max_request_bytes* (the
+line buffer is bounded; an oversized line is discarded, answered with
+``type == "RequestTooLargeError"``, and the connection keeps serving).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, Optional
+from typing import Any, AsyncIterator, Dict, Optional
 
 from .service import GenerationService
+
+#: Default cap on one request line.  Big enough for any realistic program
+#: source; small enough that a misbehaving client cannot balloon the
+#: server's line buffer.
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
+
+
+class RequestTooLargeError(ValueError):
+    """A request line exceeded the server's ``max_request_bytes``."""
 
 
 class GenerationServer:
     """Serve a :class:`GenerationService` over newline-delimited JSON."""
 
-    def __init__(self, service: GenerationService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: GenerationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ):
         self.service = service
         self.host = host
         self.port = port  # 0 = ephemeral; the bound port lands here after start()
+        self.max_request_bytes = int(max_request_bytes)
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
 
@@ -51,7 +77,9 @@ class GenerationServer:
 
     async def start(self) -> "GenerationServer":
         await self.service.start()
-        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=self.max_request_bytes
+        )
         self.port = self._server.sockets[0].getsockname()[1]
         return self
 
@@ -80,19 +108,17 @@ class GenerationServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            while not reader.at_eof():
-                line = await reader.readline()
+            while True:
+                line = await self._read_request_line(reader, writer)
+                if line is None:
+                    break
                 if not line.strip():
-                    if not line:
-                        break
                     continue
-                response = await self._dispatch_line(line)
-                writer.write(json.dumps(response).encode("utf-8") + b"\n")
-                await writer.drain()
-                if response.get("op") == "shutdown" and response.get("ok"):
+                shutdown = await self._answer_line(line, writer)
+                if shutdown:
                     self._shutdown.set()
                     break
-        except (ConnectionResetError, asyncio.IncompleteReadError):
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
         finally:
             writer.close()
@@ -103,16 +129,104 @@ class GenerationServer:
             except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
                 pass
 
-    async def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+    async def _read_request_line(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[bytes]:
+        """One bounded request line; ``None`` = client is done.
+
+        An oversized line does not tear the connection down (the old
+        behaviour — ``LimitOverrunError`` escaped the handler and the
+        client saw an unexplained EOF): the line is discarded up to its
+        newline, the client gets a structured ``RequestTooLargeError``
+        frame, and the next line is served normally.
+        """
+        while True:
+            try:
+                return await reader.readuntil(b"\n")
+            except asyncio.IncompleteReadError as partial:
+                # EOF: either a clean close (no partial data) or a final
+                # unterminated line, which we serve as-is.
+                return partial.partial or None
+            except asyncio.LimitOverrunError:
+                found_newline = await self._discard_oversized_line(reader)
+                await self._write_frame(
+                    writer,
+                    _error_response(
+                        RequestTooLargeError(
+                            f"request line exceeds {self.max_request_bytes} bytes"
+                        )
+                    ),
+                )
+                if not found_newline:
+                    return None
+
+    @staticmethod
+    async def _discard_oversized_line(reader: asyncio.StreamReader) -> bool:
+        """Drop buffered data until the offending line's newline (or EOF)."""
+        while True:
+            try:
+                await reader.readuntil(b"\n")
+                return True
+            except asyncio.LimitOverrunError as overrun:
+                await reader.readexactly(max(overrun.consumed, 1))
+            except asyncio.IncompleteReadError:
+                return False
+
+    async def _write_frame(self, writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
+        writer.write(json.dumps(frame).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _answer_line(self, line: bytes, writer: asyncio.StreamWriter) -> bool:
+        """Answer one request line (possibly with many frames).
+
+        Returns True when the request was an acknowledged ``shutdown``.
+        """
         try:
             request = json.loads(line.decode("utf-8"))
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
-            return await self._dispatch(request)
         except Exception as error:  # noqa: BLE001 - protocol errors must answer
+            await self._write_frame(writer, _error_response(error))
+            return False
+
+        if request.get("op", "generate") == "generate" and request.get("stream"):
+            await self._stream_generate(request, writer)
+            return False
+
+        try:
+            response = await self._dispatch(request)
+        except Exception as error:  # noqa: BLE001
             # ServiceErrors (overload, generation failure) and protocol
             # errors alike answer in-band; the type travels in the payload.
-            return _error_response(error)
+            await self._write_frame(writer, _error_response(error))
+            return False
+        await self._write_frame(writer, response)
+        return bool(response.get("op") == "shutdown" and response.get("ok"))
+
+    async def _stream_generate(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        """Incremental ``generate``: one frame line per shard, then the end frame."""
+        try:
+            params = _generate_params(request)
+        except Exception as error:  # noqa: BLE001
+            await self._write_frame(writer, _error_response(error))
+            return
+        stream = self.service.generate_stream(**params)
+        try:
+            async for frame in stream:
+                await self._write_frame(writer, {"ok": True, "op": "generate", **frame})
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as error:  # noqa: BLE001
+            # Mid-stream failures (shard errors, bad parameters, overload)
+            # answer in-band (frame "error"); the connection — and any
+            # earlier block frames — survive.
+            await self._write_frame(
+                writer, {**_error_response(error), "frame": "error"}
+            )
+        finally:
+            await stream.aclose()
 
     async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         op = request.get("op", "generate")
@@ -126,23 +240,28 @@ class GenerationServer:
             fingerprint = self.service.publish(str(request["source"]))
             return {"ok": True, "op": "publish", "fingerprint": fingerprint}
         if op == "generate":
-            source_or_hash = request.get("source") or request.get("fingerprint")
-            if not source_or_hash:
-                raise ValueError("generate needs 'source' or 'fingerprint'")
-            options = request.get("options") or {}
-            if not isinstance(options, dict):
-                raise ValueError("'options' must be an object of strategy options")
-            response = await self.service.generate(
-                str(source_or_hash),
-                n=int(request.get("n", 1)),
-                seed=int(request.get("seed", 0)),
-                strategy=str(request.get("strategy", "rejection")),
-                max_iterations=int(request.get("max_iterations", 2000)),
-                derive=str(request.get("derive", "splitmix")),
-                **options,
-            )
+            response = await self.service.generate(**_generate_params(request))
             return {"ok": True, "op": "generate", **response.as_dict()}
         raise ValueError(f"unknown op {op!r}")
+
+
+def _generate_params(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a generate request's fields into ``generate(...)`` kwargs."""
+    source_or_hash = request.get("source") or request.get("fingerprint")
+    if not source_or_hash:
+        raise ValueError("generate needs 'source' or 'fingerprint'")
+    options = request.get("options") or {}
+    if not isinstance(options, dict):
+        raise ValueError("'options' must be an object of strategy options")
+    return {
+        "source_or_hash": str(source_or_hash),
+        "n": int(request.get("n", 1)),
+        "seed": int(request.get("seed", 0)),
+        "strategy": str(request.get("strategy", "rejection")),
+        "max_iterations": int(request.get("max_iterations", 2000)),
+        "derive": str(request.get("derive", "splitmix")),
+        **options,
+    }
 
 
 def _error_response(error: Exception) -> Dict[str, Any]:
@@ -170,4 +289,39 @@ async def request_over_tcp(host: str, port: int, request: Dict[str, Any]) -> Dic
             pass
 
 
-__all__ = ["GenerationServer", "request_over_tcp"]
+async def stream_over_tcp(
+    host: str, port: int, request: Dict[str, Any]
+) -> AsyncIterator[Dict[str, Any]]:
+    """Send one streaming request; yield frames until ``end`` (client helper).
+
+    Yields every frame the server writes, including a terminal
+    ``{"ok": false, ...}`` error frame; iteration stops after the ``end``
+    frame or an error frame.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps({**request, "stream": True}).encode("utf-8") + b"\n")
+        await writer.drain()
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection mid-stream")
+            frame = json.loads(line.decode("utf-8"))
+            yield frame
+            if not frame.get("ok") or frame.get("frame") == "end":
+                return
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+__all__ = [
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "GenerationServer",
+    "RequestTooLargeError",
+    "request_over_tcp",
+    "stream_over_tcp",
+]

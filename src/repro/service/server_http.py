@@ -1,0 +1,496 @@
+"""A minimal, dependency-free HTTP/WebSocket front end for the service.
+
+Built directly on ``asyncio.start_server`` — no web framework, by design:
+the container the service ships in carries only the standard library, and
+the surface is four routes:
+
+``GET /healthz``
+    Liveness/readiness probe → ``200 {"ok": true, "status": "serving",
+    "workers": N}``.
+``GET /metrics``
+    Prometheus text exposition of the service counters
+    (``repro_service_requests_total``, ``..._scenes_total``,
+    ``..._shed_total``, ``..._engine_cache_hits_total``, ``..._pending``,
+    ...).
+``POST /generate``
+    JSON body with the same fields as the TCP ``generate`` op (``source`` |
+    ``fingerprint``, ``n``, ``seed``, ``strategy``, ``max_iterations``,
+    ``derive``, ``options``).  Blocking by default (one JSON document
+    back); with ``"stream": true`` the response is
+    ``application/x-ndjson`` with chunked transfer encoding — one frame
+    per line, exactly the frames :meth:`GenerationService.generate_stream`
+    yields, block frames as shards complete and an ``end`` frame with the
+    merged stats.
+``GET /ws`` (WebSocket)
+    After the RFC 6455 handshake, the client sends one text frame holding
+    the generate-request JSON and receives one text frame per stream
+    frame, then a close frame.
+
+Errors are structured: ``{"ok": false, "error": {"type": ...,
+"message": ...}}`` with status 400 (bad request), 404 (no such route),
+413 (body too large), 503 (:class:`ServiceOverloadedError`) or 500
+(shard failures), and — mid-stream — an ``"frame": "error"`` NDJSON line,
+since the status line has already been sent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import struct
+from typing import Any, AsyncIterator, Dict, Optional, Tuple
+
+from .server import DEFAULT_MAX_REQUEST_BYTES, _error_response, _generate_params
+from .service import GenerationFailedError, GenerationService, ServiceOverloadedError
+
+_WS_MAGIC = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+_STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _error_status(error: Exception) -> int:
+    if isinstance(error, ServiceOverloadedError):
+        return 503
+    if isinstance(error, GenerationFailedError):
+        return 500
+    return 400
+
+
+class HttpGenerationServer:
+    """Serve a :class:`GenerationService` over HTTP 1.1 (and WebSocket)."""
+
+    def __init__(
+        self,
+        service: GenerationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; the bound port lands here after start()
+        self.max_body_bytes = int(max_body_bytes)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> "HttpGenerationServer":
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=self.max_body_bytes
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        await self.service.close()
+
+    async def __aenter__(self) -> "HttpGenerationServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()
+
+    # -- request handling ---------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            # One request per connection: simple, and every route is either
+            # one-shot or holds the connection for its whole stream anyway.
+            parsed = await self._read_request(reader, writer)
+            if parsed is not None:
+                method, path, headers, body = parsed
+                await self._route(method, path, headers, body, reader, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            request_line = await reader.readuntil(b"\r\n")
+        except asyncio.IncompleteReadError:
+            return None
+        except asyncio.LimitOverrunError:
+            await self._send_json(writer, 413, _error_response(
+                ValueError("request line too long")))
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            await self._send_json(writer, 400, _error_response(
+                ValueError("malformed request line")))
+            return None
+        method, path = parts[0].upper(), parts[1]
+
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readuntil(b"\r\n")
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                return None
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.max_body_bytes:
+            await self._send_json(writer, 413, _error_response(
+                ValueError(f"request body exceeds {self.max_body_bytes} bytes")))
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        path = path.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            await self._send_json(writer, 200, {
+                "ok": True,
+                "status": "serving",
+                "workers": self.service.workers,
+                "pending": self.service._pending,
+            })
+            return
+        if path == "/metrics" and method == "GET":
+            await self._send_text(writer, 200, self._metrics_text(),
+                                  content_type="text/plain; version=0.0.4")
+            return
+        if path == "/ws" and headers.get("upgrade", "").lower() == "websocket":
+            await self._serve_websocket(headers, reader, writer)
+            return
+        if path == "/generate":
+            if method != "POST":
+                await self._send_json(writer, 405, _error_response(
+                    ValueError("use POST /generate")))
+                return
+            await self._serve_generate(body, writer)
+            return
+        await self._send_json(writer, 404, _error_response(
+            ValueError(f"no such route {path!r}")))
+
+    # -- routes -------------------------------------------------------------------
+
+    def _metrics_text(self) -> str:
+        stats = self.service.service_stats()
+        lines = []
+        for key, metric, kind in (
+            ("requests", "repro_service_requests_total", "counter"),
+            ("streams", "repro_service_streams_total", "counter"),
+            ("scenes", "repro_service_scenes_total", "counter"),
+            ("failures", "repro_service_failures_total", "counter"),
+            ("shed", "repro_service_shed_total", "counter"),
+            ("engine_cache_hits", "repro_service_engine_cache_hits_total", "counter"),
+            ("engine_cache_misses", "repro_service_engine_cache_misses_total", "counter"),
+            ("pending", "repro_service_pending", "gauge"),
+            ("peak_pending", "repro_service_peak_pending", "gauge"),
+            ("workers", "repro_service_workers", "gauge"),
+        ):
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {stats[key]}")
+        return "\n".join(lines) + "\n"
+
+    async def _serve_generate(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        try:
+            request = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(request, dict):
+                raise ValueError("request body must be a JSON object")
+            params = _generate_params(request)
+        except Exception as error:  # noqa: BLE001
+            await self._send_json(writer, 400, _error_response(error))
+            return
+
+        if request.get("stream"):
+            await self._stream_ndjson(params, writer)
+            return
+        try:
+            response = await self.service.generate(**params)
+        except Exception as error:  # noqa: BLE001
+            await self._send_json(writer, _error_status(error), _error_response(error))
+            return
+        await self._send_json(writer, 200, {"ok": True, **response.as_dict()})
+
+    async def _stream_ndjson(self, params: Dict[str, Any], writer: asyncio.StreamWriter) -> None:
+        """``POST /generate`` with ``stream: true`` → chunked NDJSON frames."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+
+        async def send_line(payload: Dict[str, Any]) -> None:
+            data = json.dumps(payload).encode("utf-8") + b"\n"
+            writer.write(f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n")
+            await writer.drain()
+
+        stream = self.service.generate_stream(**params)
+        try:
+            async for frame in stream:
+                await send_line({"ok": True, **frame})
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as error:  # noqa: BLE001 - status already sent; answer in-band
+            await send_line({**_error_response(error), "frame": "error"})
+        finally:
+            await stream.aclose()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- websocket ----------------------------------------------------------------
+
+    async def _serve_websocket(
+        self,
+        headers: Dict[str, str],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        key = headers.get("sec-websocket-key")
+        if not key:
+            await self._send_json(writer, 400, _error_response(
+                ValueError("missing Sec-WebSocket-Key")))
+            return
+        accept = base64.b64encode(
+            hashlib.sha1((key + _WS_MAGIC).encode("ascii")).digest()
+        ).decode("ascii")
+        writer.write(
+            b"HTTP/1.1 101 Switching Protocols\r\n"
+            b"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            + f"Sec-WebSocket-Accept: {accept}\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+
+        message = await _ws_read_text(reader, self.max_body_bytes)
+        if message is None:
+            return
+        try:
+            request = json.loads(message)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            params = _generate_params(request)
+        except Exception as error:  # noqa: BLE001
+            await _ws_send_text(writer, json.dumps(_error_response(error)))
+            await _ws_send_close(writer)
+            return
+
+        stream = self.service.generate_stream(**params)
+        try:
+            async for frame in stream:
+                await _ws_send_text(writer, json.dumps({"ok": True, **frame}))
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as error:  # noqa: BLE001
+            await _ws_send_text(
+                writer, json.dumps({**_error_response(error), "frame": "error"})
+            )
+        finally:
+            await stream.aclose()
+        await _ws_send_close(writer)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+    ) -> None:
+        await self._send_text(
+            writer, status, json.dumps(payload), content_type="application/json"
+        )
+
+    async def _send_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str = "text/plain",
+    ) -> None:
+        body = text.encode("utf-8")
+        phrase = _STATUS_PHRASES.get(status, "OK")
+        writer.write(
+            f"HTTP/1.1 {status} {phrase}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+            + body
+        )
+        await writer.drain()
+
+
+# -- minimal RFC 6455 frame plumbing (server side + test client) -------------------
+
+
+async def _ws_send_text(writer: asyncio.StreamWriter, text: str, mask: bool = False) -> None:
+    """Write one text frame (server frames are unmasked; clients must mask)."""
+    payload = text.encode("utf-8")
+    header = bytearray([0x81])  # FIN + text opcode
+    mask_bit = 0x80 if mask else 0
+    if len(payload) < 126:
+        header.append(mask_bit | len(payload))
+    elif len(payload) < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", len(payload))
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", len(payload))
+    if mask:
+        key = b"\x12\x34\x56\x78"  # deterministic; masking is framing, not crypto
+        header += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    writer.write(bytes(header) + payload)
+    await writer.drain()
+
+
+async def _ws_send_close(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"\x88\x00")
+    await writer.drain()
+
+
+async def _ws_read_frame(reader: asyncio.StreamReader) -> Optional[Tuple[int, bytes]]:
+    """One frame → ``(opcode, payload)``; ``None`` on EOF/close."""
+    try:
+        first, second = await reader.readexactly(2)
+    except asyncio.IncompleteReadError:
+        return None
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    length = second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    key = await reader.readexactly(4) if masked else None
+    payload = await reader.readexactly(length) if length else b""
+    if key:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    if opcode == 0x8:  # close
+        return None
+    return opcode, payload
+
+
+async def _ws_read_text(reader: asyncio.StreamReader, max_bytes: int) -> Optional[str]:
+    frame = await _ws_read_frame(reader)
+    if frame is None:
+        return None
+    _opcode, payload = frame
+    if len(payload) > max_bytes:
+        return None
+    return payload.decode("utf-8")
+
+
+async def websocket_generate(
+    host: str, port: int, request: Dict[str, Any]
+) -> AsyncIterator[Dict[str, Any]]:
+    """Tiny WebSocket client for ``GET /ws`` (tests, smoke, examples).
+
+    Performs the handshake, sends *request* as one text frame, and yields
+    each response frame as a dict until the server closes.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        key = base64.b64encode(b"repro-ws-client-seed").decode("ascii")
+        writer.write(
+            f"GET /ws HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            f"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\nSec-WebSocket-Version: 13\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        status = await reader.readuntil(b"\r\n\r\n")
+        if b" 101 " not in status.split(b"\r\n", 1)[0]:
+            raise ConnectionError(f"websocket handshake refused: {status[:80]!r}")
+        await _ws_send_text(writer, json.dumps(request), mask=True)
+        while True:
+            frame = await _ws_read_frame(reader)
+            if frame is None:
+                return
+            _opcode, payload = frame
+            yield json.loads(payload.decode("utf-8"))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+) -> Tuple[int, bytes]:
+    """One-shot HTTP client (stdlib-only, used by tests and the CLI smoke).
+
+    Returns ``(status, body_bytes)``; chunked NDJSON responses are
+    de-chunked, so the body is the raw frame lines.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None else b""
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n".encode("latin-1")
+            + payload
+        )
+        await writer.drain()
+        status_line = await reader.readuntil(b"\r\n")
+        status = int(status_line.split()[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readuntil(b"\r\n")
+            if line == b"\r\n":
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            chunks = []
+            while True:
+                size_line = await reader.readuntil(b"\r\n")
+                size = int(size_line.strip() or b"0", 16)
+                if size == 0:
+                    await reader.readuntil(b"\r\n")
+                    break
+                chunks.append(await reader.readexactly(size))
+                await reader.readexactly(2)  # trailing CRLF
+            return status, b"".join(chunks)
+        length = int(headers.get("content-length", "0") or "0")
+        return status, (await reader.readexactly(length) if length else await reader.read())
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+__all__ = ["HttpGenerationServer", "http_request", "websocket_generate"]

@@ -7,18 +7,29 @@ traffic" north star asks for, built on the compile-once artifacts of
 * **compile once** — workers keep a process-local artifact cache (optionally
   backed by one shared disk directory), so a program's parse/interpret cost
   is paid once per worker, not once per request;
-* **shard** — a batch request is cut into per-worker shards whose scene
-  seeds are derived with splitmix64 from ``(master_seed, scene_index)``, so
-  the merged batch is bit-identical regardless of worker count or shard
-  boundaries (the cross-process extension of ``ParallelSampler``'s
-  determinism contract, pinned by the golden corpus);
-* **async + backpressure** — ``generate`` is a coroutine; at most
-  ``max_inflight`` requests run concurrently, at most ``max_queue`` wait,
-  and anything beyond that fails fast with
-  :class:`ServiceOverloadedError` instead of growing an unbounded queue;
+* **shard + affinity** — a batch request is cut into per-worker shards whose
+  scene seeds are derived with splitmix64 from ``(master_seed,
+  scene_index)``, so the merged batch is bit-identical regardless of worker
+  count or shard boundaries (the cross-process extension of
+  ``ParallelSampler``'s determinism contract, pinned by the golden corpus).
+  Shards are *routed by artifact fingerprint*: shard *k* of a program goes
+  to worker ``(hash(fingerprint) + k) % workers``, so repeat requests for
+  the same program land on workers whose bound-engine caches already hold
+  it;
+* **columnar transport** — workers hand scenes back as structured numpy
+  blocks (:mod:`repro.service.transport`), over shared memory for large
+  shards, and JSON scene records are materialised lazily at the protocol
+  edge;
+* **async + backpressure + streaming** — ``generate`` is a coroutine; at
+  most ``max_inflight`` requests run concurrently, at most ``max_queue``
+  wait, and anything beyond that fails fast with
+  :class:`ServiceOverloadedError` instead of growing an unbounded queue.
+  :meth:`GenerationService.generate_stream` yields scene blocks as shards
+  complete instead of buffering the whole response;
 * **stats** — every response carries the request-wide
   :class:`~repro.sampling.AggregateStats`-style roll-up (iterations,
-  rejection breakdown by cause, worker cache hits, wall time).
+  rejection breakdown by cause, worker cache and engine-affinity hits, wall
+  time).
 
 Typical use::
 
@@ -31,10 +42,15 @@ Typical use::
             response.scenes[0]["objects"]        # scene records, index order
             response.stats["rejections"]
 
+            async for frame in service.generate_stream(source, n=100, seed=7):
+                if frame["frame"] == "block":
+                    consume(frame["indices"], frame["scenes"])
+
     asyncio.run(main())
 
-For the TCP front end see :mod:`repro.service.server`; for the CLI,
-``python -m repro.service --help`` (``docs/service.md`` walks through both).
+For the TCP front end see :mod:`repro.service.server`, for HTTP/WebSocket
+:mod:`repro.service.server_http`; for the CLI, ``python -m repro.service
+--help`` (``docs/service.md`` walks through all of them).
 """
 
 from __future__ import annotations
@@ -42,17 +58,19 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
 
 from ..language.compiler import ArtifactCache, compile_scenario, source_fingerprint
 from .protocol import (
     DERIVE_MODES,
+    TRANSPORT_MODES,
     GenerateResponse,
     ShardOutcome,
     ShardPayload,
     derive_scene_seeds,
     merge_shard_stats,
 )
+from .transport import DEFAULT_SHM_THRESHOLD, SceneBlock
 from .worker import initialize_worker, run_shard
 
 
@@ -78,8 +96,10 @@ class GenerationService:
     Parameters
     ----------
     workers:
-        Size of the persistent worker-process pool.  ``0`` runs shards
-        inline on a thread (no subprocesses) — handy for debugging and for
+        Size of the persistent worker pool.  Each worker is its own
+        single-process executor so the service can *route* shards to
+        specific workers (fingerprint affinity).  ``0`` runs shards inline
+        on a thread (no subprocesses) — handy for debugging and for
         platforms where forking is unavailable; the request/response
         semantics (and determinism) are identical.
     max_inflight:
@@ -92,6 +112,14 @@ class GenerationService:
         also used by the coordinator's own cache.
     worker_cache_size:
         Per-worker in-memory artifact LRU size.
+    transport:
+        Cross-process scene carrier: ``"shm"`` (shared-memory segments for
+        blocks above *shm_threshold* bytes) or ``"pickle"``.  Default:
+        ``"shm"`` with a process pool, ``"pickle"`` inline (a segment round
+        trip buys nothing in-process).
+    shm_threshold:
+        Minimum packed block size (bytes) before ``"shm"`` creates a
+        segment; smaller blocks pickle their arrays.
     """
 
     def __init__(
@@ -101,6 +129,8 @@ class GenerationService:
         max_queue: int = 32,
         cache_dir: Optional[str] = None,
         worker_cache_size: int = 64,
+        transport: Optional[str] = None,
+        shm_threshold: int = DEFAULT_SHM_THRESHOLD,
     ):
         self.workers = max(0, int(workers))
         self.max_inflight = max_inflight if max_inflight is not None else 2 * max(self.workers, 1)
@@ -109,41 +139,63 @@ class GenerationService:
         self.max_queue = max(0, int(max_queue))
         self.cache_dir = cache_dir
         self.worker_cache_size = worker_cache_size
+        if transport is None:
+            transport = "shm" if self.workers > 0 else "pickle"
+        if transport not in TRANSPORT_MODES:
+            raise ValueError(
+                f"unknown transport {transport!r} (known: {TRANSPORT_MODES})"
+            )
+        self.transport = transport
+        self.shm_threshold = int(shm_threshold)
         self.cache = ArtifactCache(disk_dir=cache_dir)
         self._sources: Dict[str, str] = {}
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pools: List[ProcessPoolExecutor] = []
         self._inflight = asyncio.Semaphore(self.max_inflight)
         self._pending = 0
         self._started = False
         self.stats: Dict[str, Any] = {
             "requests": 0,
+            "streams": 0,
             "scenes": 0,
             "failures": 0,
             "shed": 0,
             "peak_pending": 0,
+            "engine_cache_hits": 0,
+            "engine_cache_misses": 0,
         }
 
     # -- lifecycle ----------------------------------------------------------------
 
     async def start(self) -> "GenerationService":
-        """Spin up the worker pool (idempotent)."""
+        """Spin up the worker pools (idempotent).
+
+        One single-process executor per worker, rather than one N-process
+        pool: a plain pool hands tasks to whichever worker is free, which
+        defeats per-worker engine caches.  Separate executors make the
+        fingerprint → worker routing in :meth:`_worker_for` possible.
+        """
         if self._started:
             return self
-        if self.workers > 0:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
                 initializer=initialize_worker,
                 initargs=(self.cache_dir, self.worker_cache_size),
             )
+            for _ in range(self.workers)
+        ]
         self._started = True
         return self
 
     async def close(self) -> None:
-        """Drain and shut the pool down; safe to call twice."""
-        pool, self._pool = self._pool, None
+        """Drain and shut the pools down; safe to call twice."""
+        pools, self._pools = self._pools, []
         self._started = False
-        if pool is not None:
-            await asyncio.get_running_loop().run_in_executor(None, pool.shutdown)
+        if pools:
+            loop = asyncio.get_running_loop()
+            await asyncio.gather(
+                *(loop.run_in_executor(None, pool.shutdown) for pool in pools)
+            )
 
     async def __aenter__(self) -> "GenerationService":
         return await self.start()
@@ -171,6 +223,33 @@ class GenerationService:
         if source_or_hash in self._sources:
             return self._sources[source_or_hash]
         return source_or_hash
+
+    # -- admission (backpressure) -------------------------------------------------
+
+    def _admit(self) -> None:
+        """Claim a pending slot or shed; the single admission gate.
+
+        Every admitted request — blocking or streaming — MUST pair this
+        with exactly one ``self._pending -= 1`` in a ``finally``; the
+        callers below structure acquisition so that cancellation while
+        queued on the inflight semaphore still restores both the counter
+        and the semaphore (the regression test cancels a queued request and
+        asserts full capacity returns).
+        """
+        if self._pending >= self.max_inflight + self.max_queue:
+            self.stats["shed"] += 1
+            raise ServiceOverloadedError(
+                f"service overloaded: {self._pending} requests pending "
+                f"(max_inflight={self.max_inflight}, max_queue={self.max_queue})"
+            )
+        self._pending += 1
+        self.stats["peak_pending"] = max(self.stats["peak_pending"], self._pending)
+
+    def _validate(self, n: int, derive: str) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if derive not in DERIVE_MODES:
+            raise ValueError(f"unknown derive mode {derive!r} (known: {DERIVE_MODES})")
 
     # -- the front door -----------------------------------------------------------
 
@@ -201,19 +280,8 @@ class GenerationService:
         """
         if not self._started:
             await self.start()
-        if n < 0:
-            raise ValueError("n must be non-negative")
-        if derive not in DERIVE_MODES:
-            raise ValueError(f"unknown derive mode {derive!r} (known: {DERIVE_MODES})")
-
-        if self._pending >= self.max_inflight + self.max_queue:
-            self.stats["shed"] += 1
-            raise ServiceOverloadedError(
-                f"service overloaded: {self._pending} requests pending "
-                f"(max_inflight={self.max_inflight}, max_queue={self.max_queue})"
-            )
-        self._pending += 1
-        self.stats["peak_pending"] = max(self.stats["peak_pending"], self._pending)
+        self._validate(n, derive)
+        self._admit()
         try:
             async with self._inflight:
                 return await self._generate_admitted(
@@ -221,6 +289,68 @@ class GenerationService:
                 )
         finally:
             self._pending -= 1
+
+    async def generate_stream(
+        self,
+        source_or_hash: str,
+        n: int = 1,
+        seed: int = 0,
+        strategy: str = "rejection",
+        max_iterations: int = 2000,
+        derive: str = "splitmix",
+        **strategy_options: Any,
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """Like :meth:`generate`, but yield scene blocks as shards complete.
+
+        An async iterator of JSON-safe *frames*:
+
+        * ``{"frame": "block", "indices": [...], "scenes": [...],
+          "shard": k, "worker_pid": pid}`` — one per completed shard, in
+          completion (not index) order; ``scenes[j]`` is the record of
+          global scene index ``indices[j]``;
+        * ``{"frame": "end", "fingerprint": ..., "strategy": ..., "seed":
+          ..., "derive": ..., "scenes": n, "stats": {...}}`` — always last.
+
+        Reassembling block frames by their indices gives exactly
+        :meth:`generate`'s ``response.scenes`` for the same request —
+        streaming changes delivery, never content.
+
+        The request holds its admission slot until the iterator is
+        exhausted *or closed*: an abandoned stream (``aclose()``, garbage
+        collection, ``break``) releases backpressure capacity and discards
+        any undelivered shared-memory blocks.
+        """
+        if not self._started:
+            await self.start()
+        self._validate(n, derive)
+        self._admit()
+        try:
+            acquired = False
+            await self._inflight.acquire()
+            acquired = True
+            try:
+                async for frame in self._stream_admitted(
+                    source_or_hash, n, seed, strategy, max_iterations, derive, strategy_options
+                ):
+                    yield frame
+            finally:
+                if acquired:
+                    self._inflight.release()
+        finally:
+            self._pending -= 1
+
+    # -- request execution --------------------------------------------------------
+
+    def _begin_request(
+        self, source_or_hash: str, strategy: str, seed: int, derive: str
+    ) -> Tuple[str, str, GenerateResponse]:
+        source = self.resolve(source_or_hash)
+        fingerprint = source_fingerprint(source)
+        self.stats["requests"] += 1
+        response = GenerateResponse(
+            fingerprint=fingerprint, strategy=strategy, seed=seed, derive=derive
+        )
+        return source, fingerprint, response
 
     async def _generate_admitted(
         self,
@@ -233,12 +363,8 @@ class GenerationService:
         strategy_options: Dict[str, Any],
     ) -> GenerateResponse:
         start = time.perf_counter()
-        source = self.resolve(source_or_hash)
-        fingerprint = source_fingerprint(source)
-        self.stats["requests"] += 1
-
-        response = GenerateResponse(
-            fingerprint=fingerprint, strategy=strategy, seed=seed, derive=derive
+        source, fingerprint, response = self._begin_request(
+            source_or_hash, strategy, seed, derive
         )
         if n == 0:
             response.stats = merge_shard_stats([])
@@ -250,24 +376,128 @@ class GenerationService:
             fingerprint, source, strategy, strategy_options, max_iterations, n, seed, seeds
         )
         outcomes = await asyncio.gather(
-            *(self._run_payload(payload) for payload in payloads)
+            *(
+                self._run_payload(payload, self._worker_for(fingerprint, shard))
+                for shard, payload in enumerate(payloads)
+            )
         )
 
-        scenes: List[Optional[Dict[str, Any]]] = [None] * n
+        failed = next((outcome for outcome in outcomes if outcome.error is not None), None)
+        if failed is not None:
+            for outcome in outcomes:
+                outcome.discard_block()
+            self.stats["failures"] += 1
+            raise GenerationFailedError(
+                f"shard failed with {failed.error['type']}: {failed.error['message']}",
+                detail=failed.error,
+            )
+
+        blocks: List[Tuple[List[int], SceneBlock]] = []
         for outcome in outcomes:
-            if outcome.error is not None:
-                self.stats["failures"] += 1
-                raise GenerationFailedError(
-                    f"shard failed with {outcome.error['type']}: {outcome.error['message']}",
-                    detail=outcome.error,
-                )
-            for index, record in zip(outcome.indices, outcome.records):
-                scenes[index] = record
-        response.scenes = scenes  # type: ignore[assignment]  # all filled or we raised
+            block = outcome.take_block()  # releases any shm segment now
+            blocks.append((outcome.indices, block))
+            self._note_engine_cache(outcome)
+        response.attach_blocks(blocks, n)
         response.stats = merge_shard_stats(list(outcomes))
         response.stats["wall_seconds"] = time.perf_counter() - start
         self.stats["scenes"] += n
         return response
+
+    async def _stream_admitted(
+        self,
+        source_or_hash: str,
+        n: int,
+        seed: int,
+        strategy: str,
+        max_iterations: int,
+        derive: str,
+        strategy_options: Dict[str, Any],
+    ) -> AsyncIterator[Dict[str, Any]]:
+        start = time.perf_counter()
+        source, fingerprint, response = self._begin_request(
+            source_or_hash, strategy, seed, derive
+        )
+        self.stats["streams"] += 1
+
+        def end_frame(outcomes: List[ShardOutcome]) -> Dict[str, Any]:
+            stats = merge_shard_stats(outcomes)
+            stats["wall_seconds"] = time.perf_counter() - start
+            return {
+                "frame": "end",
+                "fingerprint": fingerprint,
+                "strategy": strategy,
+                "seed": seed,
+                "derive": derive,
+                "scenes": n,
+                "stats": stats,
+            }
+
+        if n == 0:
+            yield end_frame([])
+            return
+
+        seeds = derive_scene_seeds(seed, n, derive)
+        payloads = self._make_payloads(
+            fingerprint, source, strategy, strategy_options, max_iterations, n, seed, seeds
+        )
+        tasks = [
+            asyncio.ensure_future(
+                self._run_payload(payload, self._worker_for(fingerprint, shard))
+            )
+            for shard, payload in enumerate(payloads)
+        ]
+        done: List[ShardOutcome] = []
+        delivered = set()  # id() of outcomes whose block we have taken
+        try:
+            for future in asyncio.as_completed(tasks):
+                outcome = await future
+                if outcome.error is not None:
+                    self.stats["failures"] += 1
+                    raise GenerationFailedError(
+                        f"shard failed with {outcome.error['type']}: "
+                        f"{outcome.error['message']}",
+                        detail=outcome.error,
+                    )
+                block = outcome.take_block()
+                delivered.add(id(outcome))
+                done.append(outcome)
+                self._note_engine_cache(outcome)
+                yield {
+                    "frame": "block",
+                    "indices": list(outcome.indices),
+                    "scenes": block.records(),
+                    "shard": len(done) - 1,
+                    "worker_pid": outcome.worker_pid,
+                }
+            self.stats["scenes"] += n
+            yield end_frame(done)
+        finally:
+            # Abandoned or failed mid-stream: stop what can be stopped and
+            # free every block we never handed out (incl. shm segments from
+            # shards that finished after the failure).
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            for result in results:
+                if isinstance(result, ShardOutcome) and id(result) not in delivered:
+                    result.discard_block()
+
+    def _note_engine_cache(self, outcome: ShardOutcome) -> None:
+        key = "engine_cache_hits" if outcome.engine_hit else "engine_cache_misses"
+        self.stats[key] += 1
+
+    def _worker_for(self, fingerprint: str, shard: int) -> Optional[int]:
+        """Affinity routing: which worker pool shard *shard* runs on.
+
+        Keyed by artifact fingerprint so repeated requests for one program
+        revisit the same workers (warm bound-engine caches), with the shard
+        ordinal fanning a single request's shards across distinct workers.
+        ``None`` = inline mode (no pools).
+        """
+        if not self._pools:
+            return None
+        return (int(fingerprint[:16], 16) + shard) % len(self._pools)
 
     def _make_payloads(
         self,
@@ -285,6 +515,7 @@ class GenerationService:
         base, extra = divmod(n, shard_count)
         payloads: List[ShardPayload] = []
         next_index = 0
+        transport = self.transport if self._pools else "pickle"
         for shard in range(shard_count):
             size = base + (1 if shard < extra else 0)
             if size == 0:
@@ -301,25 +532,35 @@ class GenerationService:
                     indices=indices,
                     seeds=None if seeds is None else [seeds[index] for index in indices],
                     master_seed=seed,
+                    transport=transport,
+                    shm_threshold=self.shm_threshold,
                 )
             )
         return payloads
 
-    async def _run_payload(self, payload: ShardPayload) -> ShardOutcome:
+    async def _run_payload(
+        self, payload: ShardPayload, worker: Optional[int]
+    ) -> ShardOutcome:
         loop = asyncio.get_running_loop()
+        pool = self._pools[worker] if worker is not None else None
         # workers=0: run_in_executor(None) -> default thread pool, same code path.
-        return await loop.run_in_executor(self._pool, run_shard, payload)
+        return await loop.run_in_executor(pool, run_shard, payload)
 
     # -- diagnostics --------------------------------------------------------------
 
     def service_stats(self) -> Dict[str, Any]:
-        """Service-level counters (request totals, shedding, queue state)."""
+        """Service-level counters (request totals, shedding, queue, affinity)."""
+        engine_lookups = self.stats["engine_cache_hits"] + self.stats["engine_cache_misses"]
         return {
             **self.stats,
             "pending": self._pending,
             "workers": self.workers,
             "max_inflight": self.max_inflight,
             "max_queue": self.max_queue,
+            "transport": self.transport,
+            "engine_cache_hit_rate": (
+                self.stats["engine_cache_hits"] / engine_lookups if engine_lookups else 0.0
+            ),
             "published_programs": len(self._sources),
             "coordinator_cache": self.cache.stats.as_dict(),
         }

@@ -3,17 +3,21 @@
 Each worker in the service's process pool runs :func:`initialize_worker`
 once (pool initializer) and then :func:`run_shard` per task.  Workers are
 *persistent*: they hold a process-local :class:`~repro.language.ArtifactCache`
-plus a bound-engine cache, so the first shard of a program pays the compile
+plus a bound-engine LRU, so the first shard of a program pays the compile
 (or an unpickle from the shared disk layer) and every later shard — from any
 request — skips the parser and interpreter entirely and starts sampling
-immediately.
+immediately.  The service routes shards to workers by artifact fingerprint
+(*affinity*) precisely so these per-process caches keep hitting.
 
 Everything entering and leaving this module is plain data
 (:class:`~repro.service.protocol.ShardPayload` /
 :class:`~repro.service.protocol.ShardOutcome`): live scenes never cross the
-process boundary.  Worker-side failures are folded into the outcome's
-``error`` field rather than raised, so one infeasible shard cannot poison
-the pool.
+process boundary.  Scenes leave as one columnar
+:class:`~repro.service.transport.SceneBlock` per shard — packed straight
+from the concrete objects, no per-scene dicts — carried either pickled or
+via a shared-memory segment (the payload's ``transport``).  Worker-side
+failures are folded into the outcome's ``error`` field rather than raised,
+so one infeasible shard cannot poison the pool.
 """
 
 from __future__ import annotations
@@ -24,11 +28,14 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from .protocol import ShardOutcome, ShardPayload, scene_record
+from .protocol import ShardOutcome, ShardPayload
+from .transport import SceneBlock
 
 # Process-local state, created by initialize_worker (or lazily on first use
 # when shards run inline in the coordinator process, workers=0).
 _CACHE = None
+#: Bound-engine LRU: insertion order *is* recency order — hits move their
+#: entry to the MRU end, eviction pops the front.
 _ENGINES: Dict[Tuple[str, str, Tuple[Tuple[str, Any], ...]], Any] = {}
 _MAX_ENGINES = 32
 
@@ -61,21 +68,28 @@ def _cache():
     return _CACHE
 
 
-def _engine_for(payload: ShardPayload) -> Tuple[Any, bool]:
+def _engine_for(payload: ShardPayload) -> Tuple[Any, bool, bool]:
     """A bound, reusable engine for (program, strategy, options).
 
-    Returns ``(engine, artifact_was_warm)``.  Engine reuse is what amortises
-    bind-time analysis (pruning pass, dependency graph) across shards and
-    requests; the small LRU-ish cap just bounds memory on a long-lived
-    worker serving many distinct programs.
+    Returns ``(engine, artifact_was_warm, engine_was_cached)``.  Engine
+    reuse is what amortises bind-time analysis (pruning pass, dependency
+    graph) across shards and requests; the LRU cap bounds memory on a
+    long-lived worker serving many distinct programs.
+
+    The LRU is genuine: a hit moves the entry to the MRU end before
+    returning, so eviction (pop the front) removes the least-*recently*
+    used engine, not merely the least-recently *inserted* one.  Without the
+    move, a steady two-program workload on a full cache would evict its own
+    hottest engine every time a new program arrived.
     """
     from ..sampling import SamplerEngine
 
     options_key = tuple(sorted(payload.strategy_options.items()))
     key = (payload.fingerprint, payload.strategy, options_key)
-    engine = _ENGINES.get(key)
+    engine = _ENGINES.pop(key, None)
     if engine is not None:
-        return engine, True
+        _ENGINES[key] = engine  # re-insert at the MRU end
+        return engine, True, True
 
     cache = _cache()
     # The coordinator already content-addressed the program: an
@@ -86,31 +100,10 @@ def _engine_for(payload: ShardPayload) -> Tuple[Any, bool]:
     if artifact is None:
         artifact = cache.get(payload.source)
     engine = SamplerEngine(artifact, strategy=payload.strategy, **payload.strategy_options)
-    if len(_ENGINES) >= _MAX_ENGINES:
-        _ENGINES.pop(next(iter(_ENGINES)))
+    while len(_ENGINES) >= _MAX_ENGINES:
+        _ENGINES.pop(next(iter(_ENGINES)))  # evict the LRU (front) entry
     _ENGINES[key] = engine
-    return engine, warm
-
-
-def _stats_dict(aggregate: Any) -> Dict[str, Any]:
-    """Shard stats as plain data, via the engine's own roll-up type.
-
-    :class:`~repro.sampling.AggregateStats` is the single owner of how
-    per-draw :class:`GenerationStats` combine (``combined()``,
-    ``rejection_breakdown()``); this just flattens it for pickling.
-    """
-    combined = aggregate.combined()
-    return {
-        "scenes": aggregate.scenes,
-        "draws": aggregate.draws,
-        "iterations": combined.iterations,
-        "component_redraws": combined.component_redraws,
-        "candidates_drawn": combined.candidates_drawn,
-        "sampling_seconds": combined.elapsed_seconds,
-        "rejections": aggregate.rejection_breakdown(),
-        "importance_weight_sum": aggregate.importance_weight_sum,
-        "importance_scenes": aggregate.importance_scenes,
-    }
+    return engine, warm, False
 
 
 def run_shard(payload: ShardPayload) -> ShardOutcome:
@@ -122,6 +115,12 @@ def run_shard(payload: ShardPayload) -> ShardOutcome:
     ``Random(master_seed)``, reproducing the classic
     ``Scenario.generate_batch`` stream.
 
+    The accepted scenes are packed into one columnar
+    :class:`~repro.service.transport.SceneBlock` after the sampling loop and
+    shipped per ``payload.transport`` — ``"shm"`` copies blocks above
+    ``payload.shm_threshold`` bytes into a shared-memory segment the
+    coordinator unlinks after reading.
+
     Holds :data:`_SHARD_LOCK` for the duration: shards within one process
     run serially (only observable in the coordinator's inline
     ``workers=0`` mode — pool workers are single-threaded anyway), keeping
@@ -131,12 +130,14 @@ def run_shard(payload: ShardPayload) -> ShardOutcome:
 
     start = time.perf_counter()
     aggregate = AggregateStats()
-    records: List[Dict[str, Any]] = []
+    scenes: List[Any] = []
+    iterations: List[Optional[int]] = []
     error: Optional[Dict[str, Any]] = None
     cache_hit = False
+    engine_hit = False
     with _SHARD_LOCK:
         try:
-            engine, cache_hit = _engine_for(payload)
+            engine, cache_hit, engine_hit = _engine_for(payload)
             sequential_rng = (
                 _random.Random(payload.master_seed) if payload.seeds is None else None
             )
@@ -165,32 +166,33 @@ def run_shard(payload: ShardPayload) -> ShardOutcome:
                         else None
                     ),
                 )
-                records.append(
-                    scene_record(
-                        scene,
-                        iterations=(
-                            engine.last_stats.iterations
-                            if payload.record_iterations and engine.last_stats
-                            else None
-                        ),
-                    )
+                scenes.append(scene)
+                iterations.append(
+                    engine.last_stats.iterations
+                    if payload.record_iterations and engine.last_stats
+                    else None
                 )
         except Exception as exc:  # noqa: BLE001 - outcomes must always pickle home
             error = {
                 "type": type(exc).__name__,
                 "message": str(exc),
-                "index": payload.indices[len(records)]
-                if len(records) < len(payload.indices)
+                "index": payload.indices[len(scenes)]
+                if len(scenes) < len(payload.indices)
                 else None,
             }
+    block = SceneBlock.pack(scenes, iterations=iterations)
     return ShardOutcome(
-        indices=list(payload.indices[: len(records)]),
-        records=records,
-        stats=_stats_dict(aggregate),
+        indices=list(payload.indices[: len(scenes)]),
+        block=block.to_wire(
+            use_shared_memory=payload.transport == "shm",
+            threshold=payload.shm_threshold,
+        ),
+        stats=aggregate.to_shard_stats(),
         cache_hit=cache_hit,
         worker_pid=os.getpid(),
         elapsed_seconds=time.perf_counter() - start,
         error=error,
+        engine_hit=engine_hit,
     )
 
 

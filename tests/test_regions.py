@@ -241,3 +241,88 @@ class TestVectorFields:
         region = PolylineRegion([[(0, 0), (0, 10)]])
         field = PolylineVectorField("curbDir", region)
         assert field.value_at((1, 5)) == pytest.approx(0.0)
+
+
+class TestGridPointLocation:
+    """Grid-indexed point location must be *bit-identical* to a linear scan.
+
+    Large polygon unions and vector-field decompositions (>= 8 pieces)
+    route point queries through a :class:`SpatialGrid` over padded bounding
+    boxes.  The grid is an over-approximating prefilter, so every verdict —
+    containment, first containing cell, nearest cell (including ties) —
+    must match what scanning every piece in list order would return.
+    """
+
+    @staticmethod
+    def _strip_polygons(count):
+        return [
+            Polygon([(i, 0), (i + 1, 0), (i + 1, 1), (i, 1)])
+            for i in range(count)
+        ]
+
+    @staticmethod
+    def _probe_points(rng, count=200):
+        points = [(rng.uniform(-2, 14), rng.uniform(-2, 3)) for _ in range(count)]
+        # Boundary and corner points: the padded boxes must not prune a
+        # piece the tolerance-accepting scalar test would accept.
+        points += [(i, 0.5) for i in range(13)]
+        points += [(0.5, 1.0), (11.5, 0.0), (12.0, 1.0), (-1e-10, 0.5)]
+        return points
+
+    def test_region_contains_point_matches_linear_scan(self, rng):
+        region = PolygonalRegion(self._strip_polygons(12))
+        region._batch_tables()
+        assert region._grid is not None  # the grid path is actually exercised
+        for point in self._probe_points(rng):
+            via_scan = any(
+                polygon.contains_point(Vector(*point)) for polygon in region.polygons
+            )
+            assert region.contains_point(point) == via_scan, point
+
+    def test_region_batch_containment_matches_scalar(self, rng):
+        region = PolygonalRegion(self._strip_polygons(12))
+        points = self._probe_points(rng)
+        batch = region.contains_points_batch(points)
+        assert list(batch) == [region.contains_point(point) for point in points]
+
+    def test_small_union_skips_the_grid(self):
+        region = PolygonalRegion(self._strip_polygons(3))
+        region._batch_tables()
+        assert region._grid is None
+        assert region.contains_point((0.5, 0.5))
+        assert not region.contains_point((5.5, 0.5))
+
+    def test_field_cell_at_matches_linear_scan(self, rng):
+        cells = [(polygon, 0.1 * i) for i, polygon in enumerate(self._strip_polygons(10))]
+        field = PolygonalVectorField("strips", cells)
+        field._tables()
+        assert field._grid is not None
+        for point in self._probe_points(rng):
+            position = Vector(*point)
+            via_scan = next(
+                (cell for cell in field.cells if cell[0].contains_point(position)),
+                None,
+            )
+            via_grid = field.cell_at(position)
+            if via_scan is None:
+                assert via_grid is None, point
+            else:
+                # Same *object*: the first containing cell in list order.
+                assert via_grid is not None and via_grid[0] is via_scan[0], point
+                assert via_grid[1] == via_scan[1]
+
+    def test_field_nearest_cell_matches_min_scan(self, rng):
+        cells = [(polygon, 0.1 * i) for i, polygon in enumerate(self._strip_polygons(10))]
+        field = PolygonalVectorField("strips", cells)
+        outside = [(rng.uniform(-5, 15), rng.choice([-1, 2]) * rng.uniform(1, 4))
+                   for _ in range(50)]
+        # Ties: (3.0, 2.0) is equidistant from cells 2 and 3; min() takes
+        # the first in list order and the pruned search must agree.
+        outside += [(3.0, 2.0), (7.0, -1.5), (-2.0, 0.5), (14.0, 0.5)]
+        for point in outside:
+            position = Vector(*point)
+            via_scan = min(
+                field.cells, key=lambda cell: cell[0].distance_to_point(position)
+            )
+            via_pruned = field.nearest_cell(position)
+            assert via_pruned[0] is via_scan[0], point

@@ -359,6 +359,44 @@ class TestVectorizedSampler:
 
         assert fingerprint(1) == fingerprint(64)
 
+    def test_adaptive_ramp_gated_on_soft_requirements(self):
+        # The adaptive block ramp is only sound when no soft requirement
+        # rolls the shared RNG between candidates: a ``require[p]`` must
+        # force the legacy fixed-block schedule.
+        from repro.sampling import PrunedVectorizedSampler, VectorizedSampler
+
+        plain = scenarios.compile_scenario(scenarios.two_cars())
+        sampler = VectorizedSampler()
+        sampler.bind(plain)
+        assert sampler._adaptive is True
+
+        soft = scenarios.compile_scenario(
+            scenarios.two_cars() + "require[0.5] ego.position.x <= 10\n"
+        )
+        sampler = VectorizedSampler()
+        sampler.bind(soft)
+        assert sampler._adaptive is False
+
+        # The pruning-composed variant inherits the same gate.
+        pruned = PrunedVectorizedSampler()
+        pruned.bind(soft)
+        assert pruned._adaptive is False
+
+    def test_adaptive_ramp_matches_fixed_block(self):
+        # Candidates come off one sequential RNG stream in draw order, so
+        # how draws are grouped into rounds cannot change which candidate
+        # is accepted: any ramp == the full fixed block.
+        source = scenarios.two_cars()
+
+        def fingerprint(**options):
+            scenario = scenarios.compile_scenario(source)
+            engine = SamplerEngine(scenario, "vectorized", **options)
+            return scene_fingerprint(engine.sample(seed=29, max_iterations=20000))
+
+        fixed = fingerprint(block_size=32, min_block=32)  # ramp disabled by floor
+        assert fingerprint(block_size=32, min_block=1) == fixed
+        assert fingerprint(block_size=64, min_block=2) == fixed
+
 
 class TestStrategyRegistry:
     def test_unknown_strategy_raises(self):

@@ -1,0 +1,205 @@
+"""Shard-stat merging and the worker engine LRU (`repro/service/`).
+
+Property-style pins for the stats pipeline: however a run is cut into
+shards, :func:`merge_shard_stats` over the per-shard
+``AggregateStats.to_shard_stats()`` dicts must equal the single-shard
+roll-up — for candidate counts, rejection breakdowns, and the
+scene-count-weighted mean importance weight.  Plus the worker-side engine
+cache: eviction follows *recency*, not insertion order.
+"""
+
+import random
+
+import pytest
+
+from repro.core.scenario import GenerationStats
+from repro.language.compiler import source_fingerprint
+from repro.sampling import AggregateStats
+from repro.service.protocol import ShardOutcome, ShardPayload, merge_shard_stats
+from repro.service import worker as worker_module
+
+
+def _random_stats(rng):
+    return GenerationStats(
+        iterations=rng.randrange(0, 50),
+        rejections_containment=rng.randrange(0, 10),
+        rejections_collision=rng.randrange(0, 10),
+        rejections_visibility=rng.randrange(0, 5),
+        rejections_user=rng.randrange(0, 5),
+        rejections_sampling=rng.randrange(0, 5),
+        component_redraws=rng.randrange(0, 8),
+        candidates_drawn=rng.randrange(0, 80),
+        elapsed_seconds=rng.random() / 100,
+    )
+
+
+def _record_draws(aggregate, draws, rng):
+    for strategy, stats, weight in draws:
+        aggregate.record(
+            stats, strategy, accepted=True,
+            importance_weight=weight,
+        )
+        _ = rng  # draws are pre-generated; rng kept for signature symmetry
+
+
+def _outcome(stats_dict, pid=1000):
+    return ShardOutcome(
+        indices=[], block=None, stats=stats_dict, cache_hit=False,
+        worker_pid=pid, elapsed_seconds=0.0,
+    )
+
+
+def _draws(rng, count):
+    draws = []
+    for _ in range(count):
+        strategy = rng.choice(["rejection", "vectorized", "direct"])
+        weight = rng.random() if strategy == "direct" else None
+        draws.append((strategy, _random_stats(rng), weight))
+    return draws
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+@pytest.mark.parametrize("shard_count", [2, 3, 5])
+def test_sharded_merge_equals_single_shard(seed, shard_count):
+    """Cutting the same draws into K shards never changes the merged stats."""
+    rng = random.Random(seed)
+    draws = _draws(rng, 24)
+
+    single = AggregateStats()
+    _record_draws(single, draws, rng)
+    merged_single = merge_shard_stats([_outcome(single.to_shard_stats())])
+
+    cuts = sorted(rng.sample(range(1, len(draws)), shard_count - 1))
+    shards = []
+    previous = 0
+    for cut in cuts + [len(draws)]:
+        aggregate = AggregateStats()
+        _record_draws(aggregate, draws[previous:cut], rng)
+        shards.append(aggregate)
+        previous = cut
+    merged_sharded = merge_shard_stats(
+        [_outcome(shard.to_shard_stats(), pid=1000 + index)
+         for index, shard in enumerate(shards)]
+    )
+
+    for key in ("scenes", "draws", "iterations", "component_redraws",
+                "candidates_drawn", "importance_scenes"):
+        assert merged_sharded[key] == merged_single[key], key
+    assert merged_sharded["rejections"] == merged_single["rejections"]
+    assert merged_sharded["importance_weight_sum"] == pytest.approx(
+        merged_single["importance_weight_sum"]
+    )
+    # The mean importance weight is weighted by scene count, not averaged
+    # over shards: it must equal sum-of-weights / count-of-weighted-scenes.
+    if merged_single["importance_scenes"]:
+        expected_mean = (
+            merged_single["importance_weight_sum"] / merged_single["importance_scenes"]
+        )
+        assert merged_sharded["mean_importance_weight"] == pytest.approx(expected_mean)
+
+
+def test_candidates_sum_per_shard_maxima():
+    """A rejection shard + a constructive shard: candidates must add.
+
+    Shard A: 40 iterations, no proposal draws (rejection-style); shard B:
+    5 iterations, 100 proposal draws (constructive).  The honest total is
+    ``max(40, 0) + max(5, 100) = 140``; the old max-of-request-totals
+    computed ``max(45, 100) = 100``, silently dropping shard A.
+    """
+    shard_a = AggregateStats()
+    shard_a.record(GenerationStats(iterations=40), "rejection")
+    shard_b = AggregateStats()
+    shard_b.record(GenerationStats(iterations=5, candidates_drawn=100), "direct")
+
+    assert shard_a.to_shard_stats()["candidates"] == 40
+    assert shard_b.to_shard_stats()["candidates"] == 100
+    merged = merge_shard_stats(
+        [_outcome(shard_a.to_shard_stats()), _outcome(shard_b.to_shard_stats(), pid=2)]
+    )
+    assert merged["candidates"] == 140
+
+
+def test_candidates_fallback_for_legacy_shard_dicts():
+    """Shard dicts without a "candidates" key still merge (old workers)."""
+    legacy = {"scenes": 1, "iterations": 12, "candidates_drawn": 30, "rejections": {}}
+    merged = merge_shard_stats([_outcome(legacy)])
+    assert merged["candidates"] == 30
+
+
+def test_weighted_mean_importance_across_unequal_shards():
+    """3 weighted scenes at 0.1 + 1 at 0.9 → mean 0.3, not (0.1+0.9)/2."""
+    shard_a = AggregateStats()
+    for _ in range(3):
+        shard_a.record(GenerationStats(iterations=1), "direct", importance_weight=0.1)
+    shard_b = AggregateStats()
+    shard_b.record(GenerationStats(iterations=1), "direct", importance_weight=0.9)
+
+    merged = merge_shard_stats(
+        [_outcome(shard_a.to_shard_stats()), _outcome(shard_b.to_shard_stats(), pid=2)]
+    )
+    assert merged["mean_importance_weight"] == pytest.approx(0.3)
+
+
+def test_to_shard_stats_matches_aggregate_views():
+    rng = random.Random(99)
+    aggregate = AggregateStats()
+    _record_draws(aggregate, _draws(rng, 10), rng)
+    shard = aggregate.to_shard_stats()
+    combined = aggregate.combined()
+    assert shard["scenes"] == aggregate.scenes
+    assert shard["draws"] == aggregate.draws
+    assert shard["iterations"] == combined.iterations
+    assert shard["candidates_drawn"] == combined.candidates_drawn
+    assert shard["candidates"] == aggregate.total_candidates
+    assert shard["rejections"] == aggregate.rejection_breakdown()
+    assert shard["importance_weight_sum"] == aggregate.importance_weight_sum
+    assert shard["importance_scenes"] == aggregate.importance_scenes
+
+
+# ---------------------------------------------------------------------------
+# Worker engine cache: a real LRU
+# ---------------------------------------------------------------------------
+
+
+def _payload(source, strategy="rejection"):
+    return ShardPayload(
+        fingerprint=source_fingerprint(source),
+        source=source,
+        strategy=strategy,
+        strategy_options={},
+        max_iterations=100,
+        indices=[0],
+        seeds=[1],
+        master_seed=0,
+    )
+
+
+def test_engine_cache_evicts_least_recently_used(monkeypatch):
+    """A hit refreshes recency: inserting past capacity evicts the *stale*
+    entry, not the one we just reused."""
+    monkeypatch.setattr(worker_module, "_MAX_ENGINES", 2)
+    worker_module._ENGINES.clear()
+    source_a = "ego = Object at 1 @ 0\n"
+    source_b = "ego = Object at 2 @ 0\n"
+    source_c = "ego = Object at 3 @ 0\n"
+
+    engine_a, _, hit = worker_module._engine_for(_payload(source_a))
+    assert hit is False
+    worker_module._engine_for(_payload(source_b))
+    assert len(worker_module._ENGINES) == 2
+
+    # Touch A: it becomes most-recently used (and reports a hit)...
+    engine_a_again, _, hit = worker_module._engine_for(_payload(source_a))
+    assert hit is True and engine_a_again is engine_a
+
+    # ...so inserting C evicts B, not A.
+    worker_module._engine_for(_payload(source_c))
+    cached_fingerprints = {key[0] for key in worker_module._ENGINES}
+    assert source_fingerprint(source_a) in cached_fingerprints
+    assert source_fingerprint(source_c) in cached_fingerprints
+    assert source_fingerprint(source_b) not in cached_fingerprints
+
+    # And A is still the same object (never rebuilt).
+    engine_a_final, _, hit = worker_module._engine_for(_payload(source_a))
+    assert hit is True and engine_a_final is engine_a
+    worker_module._ENGINES.clear()
