@@ -1,0 +1,19 @@
+# fuzz-generated scenario (seed 1054582454)
+import gtaLib
+gap = (4.781, 5.128)
+class Drone(Car):
+    width: Range(1.227, 1.7)
+    height: Range(1.212, 2.553)
+def placeNear(anchor, gap=4.99):
+    return Drone behind anchor by gap, with requireVisible False
+ego = EgoCar
+if 3 >= 4:
+    Car ahead of ego by Range(3.289, 3.857), with height Range(2.128, 2.64), with cargo Discrete({1: 2, 2: 1})
+else:
+    Car following roadDirection for Range(5.819, 8.317), with requireVisible False, with roadDeviation (-10.066 deg, 1.095 deg), with width Range(1.133, 1.914), with height (1.633, 1.719)
+obj2 = Car on road, with requireVisible False, facing toward TruncatedNormal(0, 3.333, -10, 10) @ -1.488, with cargo Discrete({1: 2, 2: 1})
+obj3 = Drone on road, with allowCollisions True
+param quality = (0.208, 0.437)
+param time = (12.128, 13.879) * 60
+require (distance to obj3) >= 0.571
+require[0.429] abs(relative heading of obj3) <= 119.514 deg

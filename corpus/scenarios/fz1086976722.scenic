@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 1086976722)
+import mars
+spread = (-24.81 deg, 24.81 deg)
+b = 4.344
+ego = Rover at -0.551 @ -1.277
+for i in range(3):
+    Pipe offset by (i * 1.485 - 1.762) @ (1.762, 3.762)
+obj4 = BigRock right of ego by (0.403 - 0.548), with width Range(0.298, 0.334)
+param quality = (0.165, 0.639)
+mutate

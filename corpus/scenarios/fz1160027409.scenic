@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 1160027409)
+import mars
+gap = (-6.77 deg, 6.77 deg)
+k = Range(1.219, 3.688)
+ego = Rover at 0.39 @ -1.385
+if 3 >= 1:
+    Rock offset by resample(gap) @ Uniform(0.792, 0.364)
+else:
+    Rock beyond ego by 0.59 @ Uniform(0.447, 0.994, 0.52, 1.103)
+param label = 'fuzz'
+param quality = Range(0.897, 0.982)

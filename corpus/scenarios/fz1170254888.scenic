@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 1170254888)
+import mars
+ego = Rover at -0.415 @ -1.495
+if 2 >= 2:
+    Pipe left of ego by (0.439 * 0.156), facing -142.348 deg, with width Range(0.119, 0.146)
+else:
+    BigRock ahead of ego by TruncatedNormal(0.575, 0.142, 0.15, 1), facing (-3.93 deg, 21.748 deg)
+obj2 = Pipe at -1.591 @ Range(-0.667, -0.28), facing (52.735) deg, with allowCollisions True
+obj3 = BigRock right of ego by 0.178, facing (-1.784 deg, 10.612 deg)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require (distance to obj2) <= 10.466

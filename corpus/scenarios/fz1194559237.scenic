@@ -1,0 +1,19 @@
+# fuzz-generated scenario (seed 1194559237)
+gap = (-19.544 deg, 19.544 deg)
+class Crate(Object):
+    width: Range(1.725, 2.49)
+    height: (0.988, 1.006)
+    halfWidth: self.width / 2
+class Totem(Object):
+    width: (0.936, 1.008)
+    height: (2.943, 2.956)
+    halfWidth: self.width / 2
+class Box(Totem):
+    height: (0.934, 1.784)
+ego = Crate at 0 @ 0, facing -4.915 deg
+obj1 = Totem right of ego by resample(gap), facing away from 2.437 @ 0.582
+for i in range(2):
+    Totem offset by (i * 4.933 - 5.893) @ (5.893, 13.893)
+param time = Range(1.711, 19.195) * 60
+param time = (8.126, 22.234) * 60
+require[0.703] (distance to obj1) <= 79.529

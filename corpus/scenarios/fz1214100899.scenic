@@ -1,0 +1,9 @@
+# fuzz-generated scenario (seed 1214100899)
+import mars
+b = (-15.032 deg, 15.032 deg)
+scale = (-15.82 deg, 15.82 deg)
+ego = Rover at -0.974 @ -1.578
+if 4 >= 2:
+    Pipe behind ego by 0.536, apparently facing (-10.445 deg, 26.435 deg), with requireVisible False, with width Range(0.112, 0.257)
+else:
+    BigRock at 1.498 @ Range(-0.264, -0.223), facing -51.074 deg, with requireVisible False

@@ -1,0 +1,17 @@
+# fuzz-generated scenario (seed 1262070553)
+import gtaLib
+shift = (-10.676 deg, 10.676 deg)
+class Drone(Car):
+    width: Range(1.398, 2.392)
+    height: Range(2.077, 2.662)
+    halfWidth: self.width / 2
+ego = EgoCar with roadDeviation shift
+if 4 >= 1:
+    Car on road, with requireVisible False, with roadDeviation (-8.528 deg, 18.164 deg) relative to roadDirection
+else:
+    Car offset by TruncatedNormal(0, 1, -3, 3) @ resample(shift), with requireVisible False, with height (1.475, 2.611), with width (1.593, 1.623)
+obj2 = Car following roadDirection for (8.312, 9.17), with requireVisible False, with width (1.815, 2.256), with height Range(2.377, 2.643)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+param quality = Range(0.103, 0.902)
+mutate
+require (distance to obj2) <= 72.409

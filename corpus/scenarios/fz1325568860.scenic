@@ -1,0 +1,15 @@
+# fuzz-generated scenario (seed 1325568860)
+import mars
+scale = (1.879, 3.249)
+def placeNear(anchor, gap=0.615):
+    return BigRock left of anchor by gap
+ego = Rover at -0.401 @ -1.891
+j = 0
+while j < 2:
+    Pipe left of ego by 0.627 + j * 0.6
+    j = j + 1
+obj3 = Rock at (-0.693 + 1.699) @ Range(-1.091, -1.003), with width (0.128, 0.311), with requireVisible False
+obj4 = BigRock behind ego by Uniform(0.57, 0.818, 0.283, 0.716), facing (242.28) deg, with requireVisible False, with allowCollisions True
+param label = 'fuzz'
+param label = 'fuzz'
+require abs(relative heading of obj3) <= 95.092 deg

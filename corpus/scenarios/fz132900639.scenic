@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 132900639)
+import mars
+scale = 2.827
+class Box(Pipe):
+    pass
+ego = Rover at -0.371 @ -1.504
+for i in range(2):
+    BigRock offset by (i * 1.437 - 1.688) @ (1.688, 3.688)
+Rock behind ego by (0.857, 0.971), with cargo Discrete({1: 2, 2: 1}), with allowCollisions True
+param quality = (0.343, 0.383)

@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 135165853)
+import gtaLib
+class Box(Car):
+    width: Range(2.091, 2.393)
+    height: (1.466, 1.64)
+ego = Car with visibleDistance 60
+if 3 >= 3:
+    Box ahead of ego by Range(3.441, 3.594), with cargo Discrete({1: 2, 2: 1}), with allowCollisions True
+else:
+    Car behind ego by (5.133 * 0.393), with requireVisible False
+param quality = Range(0.271, 0.798)
+mutate

@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 1352915454)
+import mars
+wiggle = (-10.188 deg, 10.188 deg)
+spread = (-12.651 deg, 12.651 deg)
+ego = Rover at 0.89 @ -1.72
+obj1 = Pipe ahead of ego by Range(0.556, 0.805), facing spread, with allowCollisions True, with requireVisible False
+obj2 = BigRock at 0.747 @ Range(-1.146, -0.691), facing (-10.411 deg, 14.294 deg)
+param label = 'fuzz'
+param time = (14.895, 23.339) * 60
+mutate

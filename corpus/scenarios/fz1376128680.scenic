@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 1376128680)
+b = Range(1.21, 5.41)
+gap = (1.122, 5.222)
+class Box(Object):
+    width: Range(1.495, 1.603)
+    height: Range(1.365, 2.829)
+class Drone(Box):
+    width: Range(1.257, 1.361)
+    height: Range(0.957, 2.099)
+class Totem(Drone):
+    height: Range(1.544, 1.668)
+ego = Box at 0 @ 0, facing (-23.077 deg, 10.263 deg)
+obj1 = Drone offset by Uniform(-15.038, -9.282) @ Range(-8.96, 9.888), facing 25.238 deg, with allowCollisions True
+param quality = Range(0.424, 0.75)

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 137878512)
+import gtaLib
+ego = EgoCar
+Car left of ego by 0.881, with requireVisible False, facing away from -7.253 @ (7.597 + 0.629)
+obj2 = Car on road, with requireVisible False, with roadDeviation (-5.826 deg, 2.944 deg), with width (2.222, 2.267), with cargo Discrete({1: 2, 2: 1})
+if 2 >= 4:
+    Car left of obj2 by (4.058 + 0.27), with requireVisible False, facing -96.395 deg, with height (1.046, 1.669), with width Range(1.637, 1.808)
+else:
+    Car on road, with requireVisible False, with width (1.544, 2.295)
+require abs(relative heading of obj2) <= 106.573 deg
+require[0.564] (distance to obj2) <= 74.918

@@ -1,0 +1,21 @@
+# fuzz-generated scenario (seed 138541348)
+k = Range(4.734, 5.912)
+a = 1.289
+class Crate(Object):
+    width: (0.766, 1.261)
+    height: (0.741, 2.081)
+    shade: Uniform('red', 'green', 'blue')
+class Kiosk(Crate):
+    height: (0.859, 1.633)
+class Box(Crate):
+    width: (0.74, 1.736)
+    height: (0.841, 1.351)
+    halfWidth: self.width / 2
+ego = Crate at 0 @ 0, facing (213.291) deg
+Box ahead of ego by 3.699, with cargo Discrete({1: 2, 2: 1})
+if 2 >= 1:
+    Kiosk behind ego by (1.255, 4.847)
+else:
+    Box ahead of ego by (1.165, 3.765), facing (-38.241 deg, 9.728 deg), with allowCollisions True, with requireVisible False
+param time = Range(15.842, 17.772) * 60
+param time = Range(1.715, 1.943) * 60

@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 1397150701)
+import mars
+a = 3.219
+spread = 2.508
+class Crate(Rock):
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=0.576):
+    return Crate ahead of anchor by gap
+ego = Rover at -0.288 @ -1.415
+obj1 = BigRock ahead of ego by Range(0.385, 0.701), with height Range(0.091, 0.407), with allowCollisions True
+Rock left of ego by (0.399, 0.964), facing (-0.551 deg, 18.306 deg)
+obj3 = Pipe ahead of ego by TruncatedNormal(0.575, 0.142, 0.15, 1), with cargo Discrete({1: 2, 2: 1})
+obj4 = Pipe right of ego by Range(0.479, 0.789), with requireVisible False, with cargo Discrete({1: 2, 2: 1})
+require (distance to obj3) >= 0.441

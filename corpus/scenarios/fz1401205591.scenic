@@ -1,0 +1,17 @@
+# fuzz-generated scenario (seed 1401205591)
+import mars
+k = (-20.77 deg, 20.77 deg)
+class Box(Rock):
+    width: (0.255, 0.284)
+    height: (0.314, 0.402)
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=0.908):
+    return BigRock ahead of anchor by gap
+ego = Rover at 0.497 @ -1.986
+Box behind ego by (0.62 * 1.014), facing 59.766 deg, with allowCollisions True, with requireVisible False
+obj2 = placeNear(ego, gap=0.628)
+obj3 = Rock ahead of obj2 by Uniform(0.199, 0.815), facing away from TruncatedNormal(0, 3.333, -10, 10) @ (-5.837 + 0.384)
+Pipe offset by -1.031 @ Range(0.332, 0.42), with requireVisible False, with allowCollisions True
+param label = 'fuzz'
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+mutate obj2 by 0.563

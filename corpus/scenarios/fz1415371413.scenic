@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 1415371413)
+import gtaLib
+shift = (3.33, 3.94)
+shift = (-16.681 deg, 16.681 deg)
+class Crate(Car):
+    shade: Uniform('red', 'green', 'blue')
+ego = Car
+obj1 = Car on road, with requireVisible False, facing (-17.285 deg, 27.786 deg)
+obj2 = Car offset by TruncatedNormal(0, 1, -3, 3) @ 13.999, with requireVisible False, with roadDeviation 20.263 deg
+if 4 >= 3:
+    Car offset by (-2.223, 0.791) @ Uniform(19.872, 9.264, 17.33, 15.803), with requireVisible False, apparently facing shift, with cargo Discrete({1: 2, 2: 1})
+else:
+    Car left of obj1 by (2.531, 3.747), with requireVisible False
+param quality = (0.073, 0.809)

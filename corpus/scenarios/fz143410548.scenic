@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 143410548)
+import mars
+def placeNear(anchor, gap=0.852):
+    return Rock left of anchor by gap
+ego = Rover at -0.003 @ -1.475
+BigRock at Range(-0.602, 1.053) @ (-0.957 * 1.237), apparently facing (-20.352 deg, 5.858 deg)
+j = 0
+while j < 2:
+    Pipe left of ego by 0.413 + j * 0.6
+    j = j + 1
+param time = (9.263, 18.713) * 60
+mutate

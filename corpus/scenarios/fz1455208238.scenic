@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1455208238)
+import mars
+wiggle = (2.959, 2.993)
+shift = (-17.846 deg, 17.846 deg)
+ego = Rover at -0.309 @ -1.417
+j = 0
+while j < 2:
+    Rock left of ego by 0.732 + j * 0.6
+    j = j + 1
+if 4 >= 4:
+    Pipe ahead of ego by 0.689, facing (-4.34 deg, 13.649 deg), with width Range(0.204, 0.32)
+else:
+    BigRock beyond ego by (-0.28, 0.422) @ 0.489, facing away from 7.188 @ TruncatedNormal(0, 3.333, -10, 10), with cargo Discrete({1: 2, 2: 1})

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 1484226381)
+import mars
+shift = Range(1.789, 4.573)
+scale = (1.625, 5.434)
+class Totem(Pipe):
+    pass
+def placeNear(anchor, gap=0.751):
+    return BigRock right of anchor by gap
+ego = Rover at -0.904 @ -1.733
+BigRock beyond ego by 0.397 @ Uniform(0.825, 0.596, 0.949, 0.487), facing away from resample(scale) @ 4.641
+Rock left of ego by resample(scale), facing 68.306 deg, with cargo Discrete({1: 2, 2: 1}), with allowCollisions True

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1486887151)
+k = (2.178, 5.958)
+a = 3.845
+class Drone(Object):
+    width: (0.781, 1.719)
+    height: Range(0.839, 1.998)
+    shade: Uniform('red', 'green', 'blue')
+ego = Drone at 0 @ 0, facing (-24.825 deg, 33.411 deg)
+obj1 = Drone ahead of ego by (1.991, 5.903), facing (-36.864 deg, 26.335 deg), with height Range(1.457, 2.341)
+obj2 = Drone at -17.764 @ -11.315, facing (356.256) deg, with cargo Discrete({1: 2, 2: 1}), with height (0.834, 2.157)
+obj3 = Drone beyond ego by (-1.668 + 1.14) @ Range(5.867, 6.664), with width (0.912, 2.56), with allowCollisions True
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require[0.43] (distance to obj1) >= 0.845

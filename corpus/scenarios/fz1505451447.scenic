@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 1505451447)
+import mars
+scale = (-5.419 deg, 5.419 deg)
+spread = (-10.137 deg, 10.137 deg)
+ego = Rover at 0.055 @ -1.311
+obj1 = BigRock offset by Uniform(-0.819, -1.513, -1.377) @ resample(spread), apparently facing (-30.837 deg, 6.053 deg), with width Range(0.204, 0.333), with allowCollisions True
+obj2 = Pipe right of obj1 by Range(0.496, 0.802), apparently facing 72.782 deg
+obj3 = Pipe offset by -1.563 @ Range(0.533, 0.974), with requireVisible False, with width Range(0.166, 0.212)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+mutate
+require (distance to obj2) <= 9.211
+require (distance to obj3) >= 0.228

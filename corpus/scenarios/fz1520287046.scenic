@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 1520287046)
+import gtaLib
+b = Range(2.914, 4.211)
+gap = (-8.274 deg, 8.274 deg)
+class Kiosk(Car):
+    pass
+ego = EgoCar
+Car right of ego by Uniform(2.723, 5.477)
+for i in range(2):
+    Car offset by (i * 5.118 - 4.663) @ (4.663, 12.663), with requireVisible False
+mutate

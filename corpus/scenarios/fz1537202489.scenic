@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 1537202489)
+import mars
+spread = (1.739, 4.641)
+gap = Range(1.589, 5.86)
+class Drone(Pipe):
+    width: (0.106, 0.319)
+    height: Range(0.141, 0.382)
+ego = Rover at -0.992 @ -1.838
+obj1 = Pipe ahead of ego by 0.775, facing (328.841) deg
+Drone offset by (-1.292 + 0.932) @ 1.49, facing away from 9.031 @ (-3.431, 3.887), with requireVisible False
+Pipe at (-1.05 + 0.973) @ (-0.202 - 1.017), with height (0.15, 0.348), with width Range(0.134, 0.169)
+obj4 = Rock beyond obj1 by Uniform(-0.008, -0.241, 0.509) @ 0.412, apparently facing (-10.215 deg, 22.738 deg), with height Range(0.095, 0.349)
+require (distance to obj4) <= 13.192
+require (distance to obj1) <= 12.15

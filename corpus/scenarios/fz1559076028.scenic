@@ -1,0 +1,8 @@
+# fuzz-generated scenario (seed 1559076028)
+import gtaLib
+ego = EgoCar
+obj1 = Car following roadDirection for 6.117, with requireVisible False, with roadDeviation (-7.544 deg, 15.887 deg) relative to roadDirection, with height Range(2.115, 2.587), with allowCollisions True
+Car right of ego by (1.204, 5.26), with requireVisible False, apparently facing (-27.285 deg, 15.313 deg), with width (1.103, 1.995), with height Range(1.045, 1.13)
+Car behind obj1 by 3.351
+require (distance to obj1) <= 80.982
+require abs(relative heading of obj1) <= 109.179 deg

@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 1581194526)
+import gtaLib
+gap = (2.567, 3.077)
+spread = Range(5.263, 5.271)
+def placeNear(anchor, gap=4.858):
+    return Car right of anchor by gap, with requireVisible False
+ego = Car with visibleDistance 60
+for i in range(3):
+    Car offset by (i * 4.021 - 4.172) @ (4.172, 12.172), with requireVisible False
+obj4 = Car ahead of ego by Range(4.441, 4.805), with roadDeviation (-29.236 deg, 29.726 deg), with cargo Discrete({1: 2, 2: 1})
+require[0.382] (distance to obj4) >= 1.603
+require (distance to obj4) <= 93.229

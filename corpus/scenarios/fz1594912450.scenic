@@ -1,0 +1,17 @@
+# fuzz-generated scenario (seed 1594912450)
+gap = (-12.949 deg, 12.949 deg)
+scale = (-20.796 deg, 20.796 deg)
+class Totem(Object):
+    width: (2.053, 2.104)
+    height: (1.871, 2.332)
+class Box(Object):
+    width: Range(1.266, 2.372)
+    height: Range(0.908, 2.597)
+def placeNear(anchor, gap=3.659):
+    return Box behind anchor by gap
+ego = Totem at 0 @ 0
+Box ahead of ego by Range(0.964, 5.695), facing toward 9.964 @ Range(-7.746, -6.692), with requireVisible False, with height (1.403, 1.953)
+for i in range(2):
+    Totem offset by (i * 3.775 - 5.259) @ (5.259, 13.259)
+param quality = Range(0.146, 0.535)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')

@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 1595058949)
+import gtaLib
+shift = 3.484
+class Buoy(Car):
+    pass
+def placeNear(anchor, gap=5.591):
+    return Car right of anchor by gap, with requireVisible False
+ego = Car
+obj1 = Buoy behind ego by Uniform(5.886, 5.136, 4.844, 4.354), with requireVisible False, with width Range(1.9, 1.968)
+Car beyond ego by -1.387 @ Range(5.892, 6.996), with requireVisible False, with allowCollisions True, with width Range(1.33, 2.035)
+obj3 = Car offset by -1.616 @ 17.349, with requireVisible False, facing (-19.323 deg, 7.758 deg)
+obj4 = placeNear(obj3)
+param time = Range(4.226, 15.09) * 60
+mutate obj3 by 0.653

@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 1599305035)
+wiggle = (1.392, 2.617)
+b = (2.199, 5.532)
+class Box(Object):
+    width: Range(1.444, 1.956)
+    height: Range(0.603, 1.933)
+ego = Box at 0 @ 0, facing (-2.614 deg, 27.987 deg)
+obj1 = Box beyond ego by (-1.621, -0.172) @ Uniform(2.268, 4.772), facing -153.493 deg
+for i in range(2):
+    Box offset by (i * 3.852 - 4.652) @ (4.652, 12.652)
+Box beyond obj1 by (-0.718, -0.521) @ Uniform(7.035, 3.966, 2.031, 2.353), apparently facing (-23.327 deg, 20.933 deg)
+param label = 'fuzz'

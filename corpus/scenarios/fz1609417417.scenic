@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1609417417)
+import gtaLib
+spread = (1.806, 2.967)
+gap = (-16.249 deg, 16.249 deg)
+class Crate(Car):
+    width: (1.223, 1.333)
+    height: (2.115, 2.639)
+ego = EgoCar
+obj1 = Car on road, facing away from (-9.65, -7.643) @ Uniform(-3.219, -4.082, 5.304), with requireVisible False
+param quality = (0.274, 0.523)
+mutate obj1 by 0.613
+require abs(relative heading of obj1) <= 136.639 deg
+require (distance to obj1) >= 0.831

@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 1641469015)
+import mars
+k = Range(4.109, 4.56)
+ego = Rover at -0.501 @ -1.755
+Pipe left of ego by 0.326, apparently facing -9.856 deg, with allowCollisions True, with width (0.095, 0.155)
+obj2 = BigRock right of ego by Range(0.718, 0.779), facing (124.669) deg
+obj3 = Pipe offset by (-1.248, 0.908) @ Range(0.768, 1.033), facing -65.399 deg, with width (0.155, 0.225), with allowCollisions True
+obj4 = BigRock ahead of ego by (0.435, 0.759), with height (0.286, 0.289)
+param time = Range(13.838, 17.233) * 60
+require (distance to obj4) <= 12.886

@@ -1,0 +1,15 @@
+# fuzz-generated scenario (seed 1665847524)
+class Box(Object):
+    width: (0.917, 1.779)
+    height: (1.347, 1.679)
+    halfWidth: self.width / 2
+class Crate(Box):
+    height: (0.868, 1.721)
+def placeNear(anchor, gap=3.372):
+    return Crate behind anchor by gap
+ego = Crate at 0 @ 0, facing 79.769 deg
+obj1 = Crate ahead of ego by (5.74 - 1.147), with requireVisible False, with height Range(0.783, 1.264)
+param label = 'fuzz'
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require[0.854] (distance to obj1) <= 128.808
+require abs(relative heading of obj1) <= 163.251 deg

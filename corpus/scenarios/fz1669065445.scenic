@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 1669065445)
+import gtaLib
+a = Range(4.09, 5.682)
+class Box(Car):
+    shade: Uniform('red', 'green', 'blue')
+ego = EgoCar with visibleDistance 60
+Car behind ego by (0.874, 1.831), with requireVisible False
+obj2 = Box behind ego by TruncatedNormal(3.25, 0.917, 0.5, 6), with requireVisible False, with cargo Discrete({1: 2, 2: 1})
+param time = Range(4.589, 13.995) * 60
+param quality = Range(0.669, 0.875)
+require (distance to obj2) <= 118.338
+require (distance to obj2) <= 97.354

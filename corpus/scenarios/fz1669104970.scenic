@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1669104970)
+import gtaLib
+ego = EgoCar with visibleDistance 60
+if 3 >= 4:
+    Car offset by 2.637 @ (15.491 - 0.717), with requireVisible False, facing (-21.639 deg, 35.009 deg)
+else:
+    Car following roadDirection for 3.167, with requireVisible False, with allowCollisions True
+Car ahead of ego by Uniform(2.761, 4.452), facing away from (-4.167 * 1.831) @ TruncatedNormal(0, 3.333, -10, 10)
+obj3 = Car ahead of ego by Uniform(1.697, 0.924), with allowCollisions True
+if 1 >= 2:
+    Car beyond ego by 1.581 @ Range(2.957, 6.335), with requireVisible False
+else:
+    Car following roadDirection for 10.072

@@ -1,0 +1,15 @@
+# fuzz-generated scenario (seed 1673213464)
+import gtaLib
+wiggle = 3.646
+scale = (1.009, 2.618)
+class Drone(Car):
+    halfWidth: self.width / 2
+ego = Car
+obj1 = Drone offset by -1.135 @ 20.411, with roadDeviation -14.508 deg, with height Range(1.157, 2.405), with cargo Discrete({1: 2, 2: 1})
+Car on road
+if 4 >= 3:
+    Car right of ego by Range(3.704, 5.948), with requireVisible False, with roadDeviation (-20.566 deg, 19.253 deg), with allowCollisions True, with height (1.003, 1.12)
+else:
+    Car behind obj1 by (3.053 - 0.707)
+mutate obj1 by 0.663
+require (distance to obj1) >= 0.59

@@ -1,0 +1,9 @@
+# fuzz-generated scenario (seed 1673505134)
+import mars
+ego = Rover at -0.724 @ -1.263
+obj1 = Pipe beyond ego by TruncatedNormal(0, 0.2, -0.6, 0.6) @ 0.906, facing (-7.723 deg, 6.616 deg), with height Range(0.199, 0.366)
+for i in range(3):
+    BigRock offset by (i * 1.104 - 2.229) @ (2.229, 4.229)
+param quality = Range(0.051, 0.979)
+require (distance to obj1) >= 0.383
+require (distance to obj1) >= 0.447

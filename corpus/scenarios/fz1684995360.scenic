@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 1684995360)
+import mars
+class Crate(Rock):
+    shade: Uniform('red', 'green', 'blue')
+ego = Rover at 0.94 @ -1.361
+Pipe ahead of ego by 0.34, facing (-7.835 deg, 18.742 deg), with cargo Discrete({1: 2, 2: 1})
+for i in range(2):
+    Pipe offset by (i * 1.316 - 1.618) @ (1.618, 3.618)
+obj4 = Crate ahead of ego by Range(0.237, 0.828)
+param label = 'fuzz'
+require (distance to obj4) <= 9.097
+require (distance to obj4) >= 0.49

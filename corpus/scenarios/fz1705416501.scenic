@@ -1,0 +1,20 @@
+# fuzz-generated scenario (seed 1705416501)
+import gtaLib
+shift = (-20.085 deg, 20.085 deg)
+class Box(Car):
+    pass
+def placeNear(anchor, gap=4.784):
+    return Car behind anchor by gap, with requireVisible False
+ego = Car with visibleDistance 60
+Car right of ego by 4.748, with requireVisible False, with roadDeviation (-3.56 deg, 2.806 deg) relative to roadDirection
+obj2 = Car left of ego by Range(1.767, 4.759), with requireVisible False, facing away from 6.983 @ 6.471, with height (1.411, 2.616), with allowCollisions True
+if 2 >= 4:
+    Car right of ego by Range(1.778, 4.769), with roadDeviation (-3.168 deg, 26.629 deg), with allowCollisions True
+else:
+    Box visible, facing away from Range(0.832, 3.089) @ 4.59, with cargo Discrete({1: 2, 2: 1})
+if 1 >= 3:
+    Box beyond obj2 by resample(shift) @ 6.948, with requireVisible False, with roadDeviation shift, with width Range(1.724, 2.197)
+else:
+    Car visible, with roadDeviation (-2.521 deg, 13.687 deg) relative to roadDirection, with requireVisible False
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require (distance to obj2) <= 110.587

@@ -1,0 +1,19 @@
+# fuzz-generated scenario (seed 1720487990)
+import mars
+a = (-9.027 deg, 9.027 deg)
+a = (1.129, 1.997)
+class Box(Pipe):
+    width: Range(0.22, 0.286)
+    height: (0.286, 0.329)
+    halfWidth: self.width / 2
+def placeNear(anchor, gap=0.856):
+    return Box left of anchor by gap
+ego = Rover at 0.208 @ -1.678
+Rock offset by TruncatedNormal(0, 0.533, -1.6, 1.6) @ Uniform(0.868, 1.01, 0.513), facing a, with requireVisible False
+for i in range(2):
+    Box offset by (i * 0.946 - 1.93) @ (1.93, 3.93)
+obj4 = Pipe at (1.465 - 0.249) @ 1.081, facing 30.931 deg, with requireVisible False
+param quality = Range(0.605, 0.895)
+param label = 'fuzz'
+mutate
+require (distance to obj4) <= 14.505

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1723689485)
+import gtaLib
+shift = 2.937
+def placeNear(anchor, gap=5.373):
+    return Car behind anchor by gap, with requireVisible False
+ego = Car
+obj1 = Car on road, with requireVisible False, facing toward Uniform(-6.153, -4.445, -7.465, -2.421) @ 9.723
+if 3 >= 3:
+    Car left of ego by Range(2.322, 4.804)
+else:
+    Car behind ego by Range(1.018, 5.635), with requireVisible False, facing (-8.915 deg, 7.009 deg) relative to roadDirection, with height Range(1.874, 2.391), with cargo Discrete({1: 2, 2: 1})
+for i in range(2):
+    Car offset by (i * 4.522 - 4.136) @ (4.136, 12.136), with requireVisible False

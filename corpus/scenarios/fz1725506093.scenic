@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 1725506093)
+import mars
+gap = 1.215
+wiggle = (-7.033 deg, 7.033 deg)
+class Drone(Pipe):
+    pass
+ego = Rover at -0.712 @ -1.474
+obj1 = Drone ahead of ego by Range(0.704, 0.858), facing 103.644 deg
+for i in range(3):
+    Drone offset by (i * 1.362 - 1.081) @ (1.081, 3.081)

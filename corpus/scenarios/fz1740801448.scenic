@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 1740801448)
+import mars
+b = (-5.689 deg, 5.689 deg)
+class Box(Pipe):
+    width: (0.145, 0.311)
+    height: Range(0.085, 0.174)
+ego = Rover at 0.237 @ -1.42
+for i in range(3):
+    Box offset by (i * 1.449 - 1.612) @ (1.612, 3.612)
+param time = Range(16.638, 21.052) * 60
+mutate

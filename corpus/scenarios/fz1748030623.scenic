@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 1748030623)
+import mars
+spread = (2.4, 3.408)
+a = (4.257, 5.056)
+def placeNear(anchor, gap=0.807):
+    return BigRock right of anchor by gap
+ego = Rover at -0.24 @ -1.275
+obj1 = BigRock offset by Range(-0.591, 0.607) @ 0.942, facing (107.762) deg
+obj2 = Pipe beyond ego by 0.233 @ (0.353, 0.758)
+require (distance to obj2) <= 12.577

@@ -1,0 +1,8 @@
+# fuzz-generated scenario (seed 1758333139)
+import mars
+ego = Rover at -0.557 @ -1.766
+obj1 = Rock offset by Uniform(1.048, -0.857, -1.347) @ 1.444, facing (-24.304 deg, 4.681 deg)
+for i in range(3):
+    Pipe offset by (i * 0.886 - 1.193) @ (1.193, 3.193)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require abs(relative heading of obj1) <= 144.47 deg

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 1782400086)
+import gtaLib
+wiggle = 4
+gap = (-7.138 deg, 7.138 deg)
+class Crate(Car):
+    pass
+ego = Car with visibleDistance 60
+obj1 = Crate beyond ego by 1.664 @ (4.732, 7.946), with requireVisible False, facing (-39.059 deg, 35.459 deg), with allowCollisions True
+Crate on road, with roadDeviation (-9.998 deg, 11.988 deg) relative to roadDirection
+param label = 'fuzz'
+require (distance to obj1) >= 1.651

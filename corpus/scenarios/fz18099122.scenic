@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 18099122)
+import gtaLib
+k = (-19.919 deg, 19.919 deg)
+def placeNear(anchor, gap=5.715):
+    return Car right of anchor by gap, with requireVisible False
+ego = EgoCar with roadDeviation k
+obj1 = placeNear(ego)
+Car offset by (0.285 - 0.408) @ 9.266, with requireVisible False, with width (1.692, 1.72), with allowCollisions True
+obj3 = Car ahead of ego by 0.691, with roadDeviation (-19.7 deg, 0.964 deg), with cargo Discrete({1: 2, 2: 1}), with height (2.722, 3.022)
+require (distance to obj3) <= 67.592

@@ -1,0 +1,16 @@
+# fuzz-generated scenario (seed 1810219555)
+import gtaLib
+wiggle = (-7.468 deg, 7.468 deg)
+class Kiosk(Car):
+    pass
+def placeNear(anchor, gap=3.615):
+    return Car left of anchor by gap, with requireVisible False
+ego = EgoCar with roadDeviation wiggle
+Car left of ego by Range(0.938, 1.175), with requireVisible False, apparently facing (-32.227 deg, 17.76 deg), with cargo Discrete({1: 2, 2: 1}), with width Range(1.981, 2.22)
+Car visible, with allowCollisions True
+Kiosk offset by -0.839 @ 6.034, with requireVisible False, with width (1.581, 1.836), with allowCollisions True
+obj4 = Car left of ego by (0.669, 2.818), with requireVisible False, with cargo Discrete({1: 2, 2: 1}), with allowCollisions True
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+param time = Range(6.746, 17.195) * 60
+require (distance to obj4) >= 1.282
+require (distance to obj4) <= 104.982

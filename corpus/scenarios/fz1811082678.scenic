@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 1811082678)
+import gtaLib
+class Crate(Car):
+    width: Range(2.305, 2.351)
+    height: (2.133, 2.458)
+    halfWidth: self.width / 2
+def placeNear(anchor, gap=4.693):
+    return Car ahead of anchor by gap, with requireVisible False
+ego = EgoCar
+Car beyond ego by (-0.52, 1.257) @ 7.574, with requireVisible False, with cargo Discrete({1: 2, 2: 1}), with width Range(1.038, 1.325)
+mutate

@@ -1,0 +1,21 @@
+# fuzz-generated scenario (seed 1839367406)
+wiggle = 1.299
+b = 4.513
+class Box(Object):
+    width: (1.828, 2.351)
+    height: (0.832, 2.604)
+    halfWidth: self.width / 2
+class Kiosk(Box):
+    height: Range(0.76, 1.416)
+class Buoy(Box):
+    width: Range(2.147, 2.389)
+    height: Range(1.605, 2.242)
+    shade: Uniform('red', 'green', 'blue')
+ego = Kiosk at 0 @ 0
+Kiosk left of ego by Range(2.273, 5.057), with requireVisible False, with width Range(1.005, 1.311)
+j = 0
+while j < 2:
+    Box left of ego by 2.864 + j * 3
+    j = j + 1
+param label = 'fuzz'
+param quality = (0.299, 0.675)

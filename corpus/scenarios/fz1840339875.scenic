@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 1840339875)
+import mars
+spread = 1.776
+k = Range(1.209, 1.836)
+class Totem(Rock):
+    pass
+ego = Rover at -0.922 @ -1.336
+for i in range(3):
+    Pipe offset by (i * 1.451 - 1.941) @ (1.941, 3.941)
+Rock beyond ego by (-0.57 * 1.51) @ (0.802, 0.948), with requireVisible False, with allowCollisions True
+mutate

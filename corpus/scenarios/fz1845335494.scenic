@@ -1,0 +1,19 @@
+# fuzz-generated scenario (seed 1845335494)
+scale = (3.621, 4.237)
+wiggle = (-15.382 deg, 15.382 deg)
+class Drone(Object):
+    width: Range(0.852, 1.202)
+    height: (1.808, 1.889)
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+class Totem(Drone):
+    height: Range(1.135, 1.729)
+class Kiosk(Totem):
+    width: (1.71, 1.802)
+    height: Range(2.778, 3.037)
+ego = Kiosk at 0 @ 0, facing wiggle
+for i in range(3):
+    Totem offset by (i * 4.724 - 8.054) @ (8.054, 16.054)
+param time = (0.518, 4.35) * 60
+param label = 'fuzz'
+mutate

@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 1881427038)
+import gtaLib
+shift = 1.932
+class Drone(Car):
+    pass
+ego = Car
+for i in range(2):
+    Car offset by (i * 4.822 - 7.062) @ (7.062, 15.062), with requireVisible False
+param time = Range(0.37, 9.942) * 60
+param quality = Range(0.076, 0.274)

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1881896608)
+import gtaLib
+class Kiosk(Car):
+    pass
+ego = EgoCar with visibleDistance 60
+Car beyond ego by 0.716 @ (5.086 - 1.146), with requireVisible False, with allowCollisions True
+Car on road, with cargo Discrete({1: 2, 2: 1})
+if 2 >= 1:
+    Car left of ego by 2.501, with requireVisible False, with allowCollisions True, with cargo Discrete({1: 2, 2: 1})
+else:
+    Car ahead of ego by Range(3.288, 5.886)
+obj4 = Car offset by Range(-2.004, 1.637) @ (14.022 - 1.243), with requireVisible False, facing toward (-7.157 - 1.45) @ -2.514
+require (distance to obj4) <= 94.537

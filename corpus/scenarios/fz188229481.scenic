@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 188229481)
+import gtaLib
+wiggle = (-9.562 deg, 9.562 deg)
+def placeNear(anchor, gap=4.812):
+    return Car left of anchor by gap, with requireVisible False
+ego = Car
+obj1 = Car right of ego by 5.806, with requireVisible False, facing (-6.137 deg, 10.705 deg) relative to roadDirection
+obj2 = Car left of ego by (2.98 - 0.383), with requireVisible False
+param time = Range(7.472, 11.264) * 60
+mutate obj1 by 0.359

@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 1882730110)
+import mars
+class Drone(Pipe):
+    width: (0.185, 0.191)
+    height: Range(0.284, 0.342)
+def placeNear(anchor, gap=0.763):
+    return Drone left of anchor by gap
+ego = Rover at 0.91 @ -1.216
+for i in range(2):
+    Pipe offset by (i * 1.075 - 1.894) @ (1.894, 3.894)

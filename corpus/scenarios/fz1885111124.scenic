@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 1885111124)
+shift = 3.655
+class Buoy(Object):
+    width: Range(1.308, 2.515)
+    height: (1.32, 1.684)
+class Crate(Buoy):
+    height: (0.805, 1.652)
+ego = Buoy at 0 @ 0, facing (-8.079 deg, 17.719 deg)
+obj1 = Crate left of ego by 1.161, facing (-29.846 deg, 25.825 deg), with height (2.797, 3.01), with requireVisible False
+obj2 = Crate right of obj1 by (3.419, 5.228)
+param quality = (0.459, 0.508)

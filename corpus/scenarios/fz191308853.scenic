@@ -1,0 +1,18 @@
+# fuzz-generated scenario (seed 191308853)
+import gtaLib
+gap = (-8.958 deg, 8.958 deg)
+spread = 4.925
+class Drone(Car):
+    width: (1.785, 2.302)
+    height: Range(1.808, 2.737)
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=5.104):
+    return Car left of anchor by gap, with requireVisible False
+ego = EgoCar with visibleDistance 60
+if 1 >= 4:
+    Drone on road, with requireVisible False, with roadDeviation gap, with cargo Discrete({1: 2, 2: 1})
+else:
+    Car right of ego by TruncatedNormal(3.25, 0.917, 0.5, 6), with requireVisible False, apparently facing (-34.982 deg, 9.866 deg), with height (2.781, 3.068), with width (2.358, 2.363)
+obj2 = Car right of ego by TruncatedNormal(3.25, 0.917, 0.5, 6), with requireVisible False, with roadDeviation gap, with cargo Discrete({1: 2, 2: 1}), with width (1.21, 2.35)
+require abs(relative heading of obj2) <= 117.851 deg
+require abs(relative heading of obj2) <= 132.183 deg

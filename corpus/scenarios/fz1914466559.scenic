@@ -1,0 +1,18 @@
+# fuzz-generated scenario (seed 1914466559)
+import gtaLib
+b = (-6.21 deg, 6.21 deg)
+gap = (2.078, 4.792)
+class Crate(Car):
+    width: (1.707, 1.786)
+    height: (1.282, 2.651)
+    halfWidth: self.width / 2
+ego = EgoCar with visibleDistance 60
+if 2 >= 3:
+    Crate on road, with requireVisible False, with width (1.137, 2.167)
+else:
+    Car offset by (0.71, 1.955) @ (5.434, 18.538), with roadDeviation b, with requireVisible False
+Crate left of ego by Range(1.526, 5.913), with requireVisible False, apparently facing -2.366 deg, with width (1.511, 2.182)
+for i in range(2):
+    Crate offset by (i * 5.095 - 5.71) @ (5.71, 13.71), with requireVisible False
+param label = 'fuzz'
+param time = (17.529, 20.157) * 60

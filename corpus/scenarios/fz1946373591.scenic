@@ -1,0 +1,21 @@
+# fuzz-generated scenario (seed 1946373591)
+k = 3.508
+b = 3.636
+class Totem(Object):
+    width: Range(0.64, 2.404)
+    height: Range(0.605, 0.957)
+class Drone(Object):
+    width: (0.667, 1.086)
+    height: Range(2.038, 2.813)
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+ego = Drone at 0 @ 0
+j = 0
+while j < 2:
+    Totem left of ego by 2.18 + j * 3
+    j = j + 1
+if 4 >= 2:
+    Totem behind ego by Range(4.264, 5.752), facing (-17.31 deg, 22.046 deg), with allowCollisions True, with cargo Discrete({1: 2, 2: 1})
+else:
+    Drone offset by Uniform(12.571, 5.789, 7.893) @ 12.871, apparently facing (-33.925 deg, 12.196 deg), with requireVisible False
+mutate

@@ -1,0 +1,16 @@
+# fuzz-generated scenario (seed 19694688)
+import gtaLib
+k = 4.86
+a = (-12.815 deg, 12.815 deg)
+class Kiosk(Car):
+    width: (1.374, 1.971)
+    height: (1.155, 1.656)
+    halfWidth: self.width / 2
+def placeNear(anchor, gap=4.978):
+    return Car ahead of anchor by gap, with requireVisible False
+ego = Car
+obj1 = Car right of ego by (3.746 * 0.488), facing a, with cargo Discrete({1: 2, 2: 1})
+Kiosk offset by -0.327 @ 6.866, with requireVisible False, with height Range(1.084, 1.338)
+Car beyond ego by Uniform(1.409, 1.971) @ 6.03, with requireVisible False
+obj4 = Car following roadDirection for Range(3.966, 6.259), with requireVisible False
+mutate

@@ -1,0 +1,8 @@
+# fuzz-generated scenario (seed 199812675)
+import mars
+class Kiosk(Pipe):
+    pass
+ego = Rover at -0.21 @ -1.774
+obj1 = Kiosk left of ego by 0.204, facing (-33.713 deg, 24.174 deg), with cargo Discrete({1: 2, 2: 1}), with requireVisible False
+obj2 = BigRock beyond ego by (-0.071 + 1.078) @ Uniform(0.322, 0.791), facing (-8.8 deg, 39.5 deg), with height (0.17, 0.343), with cargo Discrete({1: 2, 2: 1})
+BigRock at (-0.744 + 0.317) @ 1.15, facing toward TruncatedNormal(0, 3.333, -10, 10) @ Range(-5.333, -4.597)

@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 2016373783)
+import mars
+k = (1.56, 5.661)
+class Kiosk(Rock):
+    pass
+ego = Rover at -0.554 @ -1.628
+BigRock offset by (-1.163 * 0.462) @ Range(1.014, 1.22), facing (-38.69 deg, 23.481 deg), with allowCollisions True
+for i in range(2):
+    Pipe offset by (i * 1.08 - 2.087) @ (2.087, 4.087)
+param label = 'fuzz'

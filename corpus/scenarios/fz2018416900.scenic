@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 2018416900)
+import gtaLib
+scale = 2.356
+b = (-4.298 deg, 4.298 deg)
+class Crate(Car):
+    shade: Uniform('red', 'green', 'blue')
+ego = Car with visibleDistance 60
+obj1 = Car ahead of ego by 5.574, apparently facing -57.336 deg
+for i in range(2):
+    Car offset by (i * 3.925 - 4.343) @ (4.343, 12.343), with requireVisible False
+param time = Range(19.076, 20.399) * 60
+require[0.639] (distance to obj1) <= 90.597

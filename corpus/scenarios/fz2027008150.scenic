@@ -1,0 +1,17 @@
+# fuzz-generated scenario (seed 2027008150)
+shift = (2.597, 3.737)
+k = Range(4.377, 5.113)
+class Box(Object):
+    width: Range(2.376, 2.499)
+    height: (1.026, 2.536)
+    shade: Uniform('red', 'green', 'blue')
+class Drone(Object):
+    width: (1.244, 1.3)
+    height: Range(2.728, 2.994)
+def placeNear(anchor, gap=4.159):
+    return Drone right of anchor by gap
+ego = Drone at 0 @ 0
+obj1 = Box behind ego by (4.915 + 0.34), facing toward -2.288 @ Range(-9.969, -7.192)
+obj2 = Box behind ego by 4.139, facing 95.712 deg, with width (0.789, 2.319)
+obj3 = Box behind obj1 by Range(2.945, 5.405)
+param time = Range(11.335, 21.91) * 60

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 203511274)
+import gtaLib
+k = 3.057
+wiggle = 1.583
+ego = Car with visibleDistance 60
+if 2 >= 4:
+    Car on road, with requireVisible False
+else:
+    Car left of ego by Uniform(3.945, 5.734, 4.275, 5.513), with requireVisible False
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+param time = Range(17.434, 22.683) * 60

@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 2053066463)
+gap = 2.246
+class Kiosk(Object):
+    width: (0.841, 1.167)
+    height: (0.611, 0.783)
+    shade: Uniform('red', 'green', 'blue')
+ego = Kiosk at 0 @ 0
+obj1 = Kiosk behind ego by Range(3.569, 4.453)
+obj2 = Kiosk left of obj1 by (0.544, 3.265), facing (-3.796 deg, 13.4 deg), with allowCollisions True
+Kiosk ahead of ego by Range(2.637, 4.121), with cargo Discrete({1: 2, 2: 1})
+require (distance to obj1) <= 104.516
+require (distance to obj1) >= 2.011

@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 207173194)
+import mars
+a = 4.434
+def placeNear(anchor, gap=0.939):
+    return Pipe left of anchor by gap
+ego = Rover at -0.182 @ -1.933
+j = 0
+while j < 2:
+    BigRock left of ego by 0.511 + j * 0.6
+    j = j + 1

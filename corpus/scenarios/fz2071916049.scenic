@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 2071916049)
+import gtaLib
+a = (-4.799 deg, 4.799 deg)
+gap = Range(1.739, 5.85)
+ego = Car with visibleDistance 60
+Car behind ego by 0.55, with requireVisible False, with roadDeviation (-21.262 deg, 10.16 deg)
+obj2 = Car right of ego by Uniform(1.744, 5.651), with requireVisible False, with roadDeviation (-20.601 deg, 11.983 deg), with cargo Discrete({1: 2, 2: 1}), with height (1.32, 1.826)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+mutate obj2 by 0.288

@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 2083880896)
+import mars
+wiggle = (1.892, 2.721)
+a = 3.332
+class Box(Pipe):
+    shade: Uniform('red', 'green', 'blue')
+ego = Rover at 0.127 @ -1.752
+Box behind ego by TruncatedNormal(0.575, 0.142, 0.15, 1)
+for i in range(2):
+    Box offset by (i * 1.202 - 1.1) @ (1.1, 3.1)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+mutate

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 2088667677)
+import gtaLib
+class Kiosk(Car):
+    width: (1.802, 2.197)
+    height: Range(1.754, 2.753)
+ego = Car with visibleDistance 60
+Car offset by -1.087 @ 11.28, with requireVisible False, with roadDeviation (-16.063 deg, 16.733 deg), with width (1.014, 1.898)
+obj2 = Car on road, with width (1.913, 2.252), with height (2.48, 2.837)
+obj3 = Kiosk beyond ego by -0.267 @ (4.437 * 0.893), with requireVisible False, with roadDeviation (-27.086 deg, 21.428 deg), with cargo Discrete({1: 2, 2: 1}), with height Range(2.419, 2.847)
+obj4 = Car right of obj2 by TruncatedNormal(3.25, 0.917, 0.5, 6), with requireVisible False, with height Range(1.326, 1.714)
+mutate

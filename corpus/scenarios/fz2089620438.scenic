@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 2089620438)
+import mars
+class Totem(Rock):
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=0.618):
+    return Totem right of anchor by gap
+ego = Rover at 0.252 @ -1.744
+obj1 = Pipe behind ego by (0.763 * 1.806)
+obj2 = Rock beyond obj1 by Range(-0.596, 0.099) @ TruncatedNormal(0.75, 0.15, 0.3, 1.2), with allowCollisions True, with height Range(0.289, 0.324)
+obj3 = Pipe offset by TruncatedNormal(0, 0.533, -1.6, 1.6) @ (1.161, 1.312)
+Totem right of obj3 by (0.757, 0.98), facing (-11.532 deg, 6.587 deg), with height Range(0.117, 0.367), with width Range(0.266, 0.766)
+param quality = (0.414, 0.82)
+param time = Range(2.317, 3.475) * 60

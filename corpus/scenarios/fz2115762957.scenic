@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 2115762957)
+import gtaLib
+a = (-8.507 deg, 8.507 deg)
+gap = (1.788, 2.895)
+ego = Car with visibleDistance 60
+for i in range(3):
+    Car offset by (i * 5.845 - 6.023) @ (6.023, 14.023), with requireVisible False
+if 4 >= 1:
+    Car right of ego by Range(5.261, 5.741), with requireVisible False, facing toward Uniform(0.416, -0.88) @ 5.224, with allowCollisions True, with cargo Discrete({1: 2, 2: 1})
+else:
+    Car left of ego by (2.636, 3.833), facing away from 2.616 @ 2.047, with width (1.13, 1.678)

@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 2130539956)
+import gtaLib
+k = (-19.212 deg, 19.212 deg)
+class Box(Car):
+    width: (1.151, 1.325)
+    height: Range(1.231, 2.695)
+ego = EgoCar with roadDeviation k
+obj1 = Car right of ego by 1.615
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require (distance to obj1) <= 70.9

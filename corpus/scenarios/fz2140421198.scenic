@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 2140421198)
+import mars
+scale = (2.329, 4.601)
+spread = (-15.806 deg, 15.806 deg)
+ego = Rover at 0.081 @ -1.709
+for i in range(2):
+    Pipe offset by (i * 1.013 - 1.334) @ (1.334, 3.334)
+if 1 >= 2:
+    Rock right of ego by (0.97, 0.977), facing spread, with allowCollisions True
+else:
+    Pipe behind ego by 0.342, with width (0.169, 0.203)
+param quality = Range(0.36, 0.768)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')

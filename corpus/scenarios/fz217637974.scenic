@@ -1,0 +1,17 @@
+# fuzz-generated scenario (seed 217637974)
+import mars
+shift = (-12.222 deg, 12.222 deg)
+k = (-20.633 deg, 20.633 deg)
+def placeNear(anchor, gap=0.58):
+    return Pipe behind anchor by gap
+ego = Rover at -0.684 @ -1.708
+obj1 = Pipe beyond ego by (-0.538 - 0.749) @ (0.341, 0.518)
+j = 0
+while j < 2:
+    Pipe left of ego by 0.441 + j * 0.6
+    j = j + 1
+obj4 = BigRock left of ego by Uniform(0.347, 0.683, 0.471)
+param quality = (0.465, 0.496)
+param time = Range(15.633, 23.695) * 60
+require (distance to obj1) <= 11.618
+require abs(relative heading of obj4) <= 164.806 deg

@@ -1,0 +1,9 @@
+# fuzz-generated scenario (seed 241109841)
+import mars
+class Totem(Pipe):
+    width: Range(0.145, 0.18)
+    height: Range(0.287, 0.382)
+    shade: Uniform('red', 'green', 'blue')
+ego = Rover at -0.011 @ -1.207
+for i in range(3):
+    Pipe offset by (i * 1.315 - 1.679) @ (1.679, 3.679)

@@ -1,0 +1,20 @@
+# fuzz-generated scenario (seed 26332014)
+import gtaLib
+gap = (4.171, 4.878)
+class Totem(Car):
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=3.366):
+    return Totem right of anchor by gap, with requireVisible False
+ego = EgoCar with visibleDistance 60
+obj1 = Car on road
+for i in range(2):
+    Car offset by (i * 3.951 - 4.508) @ (4.508, 12.508), with requireVisible False
+if 1 >= 1:
+    Car offset by (2.54 + 1.198) @ (5.234 - 0.892), with requireVisible False, with allowCollisions True
+else:
+    Car offset by TruncatedNormal(0, 1, -3, 3) @ 5.107, with requireVisible False, facing away from Uniform(8.045, 8.431, 5.968) @ resample(gap), with height Range(1.516, 2.175)
+param label = 'fuzz'
+mutate obj1 by 0.295
+require[0.641] abs(relative heading of obj1) <= 160.166 deg
+require (distance to obj1) >= 1.588

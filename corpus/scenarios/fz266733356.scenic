@@ -1,0 +1,16 @@
+# fuzz-generated scenario (seed 266733356)
+k = (2.917, 4.843)
+b = (-8.181 deg, 8.181 deg)
+class Box(Object):
+    width: (1.484, 1.521)
+    height: (0.85, 1.703)
+    shade: Uniform('red', 'green', 'blue')
+ego = Box at 0 @ 0, facing (-3.057 deg, 13.894 deg)
+obj1 = Box left of ego by (1.981, 2.194)
+Box left of obj1 by resample(b), with requireVisible False, with width Range(2.14, 2.221)
+if 1 >= 1:
+    Box left of ego by Range(2.12, 5.813), facing b, with height Range(0.843, 1.591)
+else:
+    Box ahead of ego by TruncatedNormal(3.25, 0.917, 0.5, 6), facing (242.84) deg, with allowCollisions True, with width Range(0.908, 2.513)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require (distance to obj1) <= 123.978

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 31586053)
+import mars
+b = (-15.895 deg, 15.895 deg)
+k = Range(3.62, 5.404)
+ego = Rover at -0.781 @ -1.725
+obj1 = Rock offset by -0.256 @ 0.589, facing b, with allowCollisions True
+obj2 = BigRock offset by -0.071 @ resample(b), facing toward (2.438, 9.67) @ 9.01
+obj3 = BigRock left of obj1 by resample(b), facing (46.879) deg, with requireVisible False, with cargo Discrete({1: 2, 2: 1})
+param time = Range(15.729, 20.327) * 60
+param time = (0.534, 7.748) * 60
+mutate

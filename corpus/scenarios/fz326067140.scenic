@@ -1,0 +1,17 @@
+# fuzz-generated scenario (seed 326067140)
+k = (-12.407 deg, 12.407 deg)
+class Buoy(Object):
+    width: (1.289, 2.013)
+    height: (1.156, 1.303)
+    shade: Uniform('red', 'green', 'blue')
+class Drone(Buoy):
+    width: (1.819, 1.888)
+    height: (0.857, 0.894)
+    shade: Uniform('red', 'green', 'blue')
+class Crate(Drone):
+    height: (1.249, 1.694)
+ego = Drone at 0 @ 0, facing -18.28 deg
+obj1 = Crate beyond ego by 1.443 @ Uniform(6.097, 2.018)
+param time = Range(11.916, 16.75) * 60
+param label = 'fuzz'
+require (distance to obj1) <= 113.265

@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 335689611)
+import mars
+class Drone(Rock):
+    width: (0.158, 0.205)
+    height: Range(0.141, 0.151)
+    halfWidth: self.width / 2
+ego = Rover at -0.667 @ -1.306
+if 2 >= 1:
+    Rock right of ego by 0.369, facing away from (-1.656, 4.392) @ Uniform(7.65, 2.246), with requireVisible False, with width Range(0.092, 0.221)
+else:
+    BigRock offset by -0.695 @ 1.216, facing (-25.725 deg, 35.654 deg), with requireVisible False
+param quality = Range(0.097, 0.196)

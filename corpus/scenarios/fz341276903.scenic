@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 341276903)
+import mars
+scale = Range(1.092, 2.498)
+class Totem(Pipe):
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+ego = Rover at -0.541 @ -1.98
+obj1 = Totem behind ego by Uniform(0.287, 0.68, 0.364), with cargo Discrete({1: 2, 2: 1})
+obj2 = BigRock offset by TruncatedNormal(0, 0.533, -1.6, 1.6) @ (1.31 * 1.546), facing (142.053) deg, with cargo Discrete({1: 2, 2: 1}), with requireVisible False
+obj3 = Rock right of obj1 by Range(0.44, 0.674), with height Range(0.176, 0.213)
+param time = (14.017, 14.317) * 60
+param time = (2.031, 10.077) * 60
+mutate obj3 by 0.248
+require abs(relative heading of obj3) <= 125.765 deg

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 345568713)
+import mars
+wiggle = 4.814
+class Crate(Pipe):
+    halfWidth: self.width / 2
+ego = Rover at -0.511 @ -1.497
+obj1 = Pipe behind ego by (0.564, 0.765), with cargo Discrete({1: 2, 2: 1})
+obj2 = Rock right of obj1 by (0.476 * 1.802), facing toward -3.894 @ TruncatedNormal(0, 3.333, -10, 10)
+obj3 = Rock right of obj2 by (0.218, 0.932), facing (-39.124 deg, 28.509 deg), with height Range(0.376, 0.438)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+mutate

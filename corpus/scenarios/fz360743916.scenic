@@ -1,0 +1,20 @@
+# fuzz-generated scenario (seed 360743916)
+import gtaLib
+wiggle = (-6.598 deg, 6.598 deg)
+spread = (-7.143 deg, 7.143 deg)
+class Buoy(Car):
+    width: Range(1.043, 2.368)
+    height: Range(2.629, 2.836)
+    halfWidth: self.width / 2
+def placeNear(anchor, gap=3.891):
+    return Car right of anchor by gap, with requireVisible False
+ego = EgoCar with visibleDistance 60
+obj1 = placeNear(ego, gap=5.147)
+obj2 = Car offset by TruncatedNormal(0, 1, -3, 3) @ resample(wiggle), with requireVisible False, with roadDeviation (-14.426 deg, 17.778 deg) relative to roadDirection, with cargo Discrete({1: 2, 2: 1})
+j = 0
+while j < 2:
+    Car left of ego by 3.079 + j * 3, with requireVisible False
+    j = j + 1
+param time = (7.076, 8.165) * 60
+param label = 'fuzz'
+require (distance to obj1) >= 2.287

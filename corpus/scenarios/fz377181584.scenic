@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 377181584)
+gap = (-17.705 deg, 17.705 deg)
+scale = 1.537
+class Crate(Object):
+    width: (1.8, 2.506)
+    height: (2.12, 2.962)
+def placeNear(anchor, gap=3.949):
+    return Crate right of anchor by gap
+ego = Crate at 0 @ 0
+Crate offset by Uniform(-12.826, 12.04) @ resample(gap), with width Range(0.903, 1.704), with height (0.645, 1.352)
+obj2 = placeNear(ego, gap=5.149)
+obj3 = Crate left of obj2 by (1.282 + 1.573), facing 115.223 deg
+require (distance to obj3) <= 130.153

@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 410756255)
+import gtaLib
+class Box(Car):
+    width: Range(1.176, 1.608)
+    height: (2.265, 2.329)
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+ego = Car with visibleDistance 60
+if 3 >= 1:
+    Car beyond ego by TruncatedNormal(0, 0.667, -2, 2) @ 7.774, facing (-33.514 deg, 22.956 deg)
+else:
+    Car offset by 1.348 @ (15.111 + 0.432), with requireVisible False, facing (-9.513 deg, 15.482 deg), with cargo Discrete({1: 2, 2: 1})

@@ -1,0 +1,16 @@
+# fuzz-generated scenario (seed 43296974)
+import mars
+shift = Range(1.499, 5.887)
+gap = (-5.989 deg, 5.989 deg)
+class Totem(Pipe):
+    width: (0.096, 0.184)
+    height: Range(0.149, 0.151)
+    halfWidth: self.width / 2
+def placeNear(anchor, gap=0.668):
+    return Totem behind anchor by gap
+ego = Rover at -0.195 @ -1.95
+obj1 = Totem at Range(0.564, 1.29) @ TruncatedNormal(0, 0.533, -1.6, 1.6), facing gap, with requireVisible False
+param quality = Range(0.026, 0.408)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require abs(relative heading of obj1) <= 136.749 deg
+require abs(relative heading of obj1) <= 155.668 deg

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 50504595)
+import gtaLib
+class Kiosk(Car):
+    pass
+def placeNear(anchor, gap=4.347):
+    return Car ahead of anchor by gap, with requireVisible False
+ego = Car with visibleDistance 60
+obj1 = Car on road, facing (-13.85 deg, 11.939 deg)
+obj2 = Car offset by (1.063 - 0.349) @ 5.206, facing away from TruncatedNormal(0, 3.333, -10, 10) @ Range(0.908, 1.342), with width Range(1.061, 1.435)
+Kiosk ahead of obj1 by 5.68, facing toward 2.671 @ -7.328, with allowCollisions True, with cargo Discrete({1: 2, 2: 1})
+obj4 = Car on road, with requireVisible False, facing (-6.328 deg, 26.017 deg), with width Range(1.948, 2.235), with cargo Discrete({1: 2, 2: 1})
+require (distance to obj2) >= 2.433
+require (distance to obj1) <= 72.359

@@ -1,0 +1,9 @@
+# fuzz-generated scenario (seed 542021601)
+import mars
+ego = Rover at 0.326 @ -1.357
+for i in range(2):
+    BigRock offset by (i * 0.957 - 2.013) @ (2.013, 4.013)
+Rock right of ego by 0.857, with cargo Discrete({1: 2, 2: 1}), with allowCollisions True
+obj4 = Rock ahead of ego by TruncatedNormal(0.575, 0.142, 0.15, 1)
+param label = 'fuzz'
+require (distance to obj4) <= 14.426

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 558046106)
+import gtaLib
+gap = (1.645, 3.745)
+spread = Range(2.415, 5.588)
+class Totem(Car):
+    width: Range(1.386, 1.971)
+    height: (1.676, 2.134)
+    shade: Uniform('red', 'green', 'blue')
+ego = Car with visibleDistance 60
+obj1 = Car following roadDirection for (9.827 * 0.596), with requireVisible False, with cargo Discrete({1: 2, 2: 1})
+obj2 = Car following roadDirection for TruncatedNormal(7.5, 1.5, 3, 12), with requireVisible False, facing (-4.824 deg, 14.023 deg)
+param quality = (0.377, 0.976)
+param label = 'fuzz'

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 614831858)
+import gtaLib
+k = (-18.702 deg, 18.702 deg)
+class Kiosk(Car):
+    width: (1.464, 2.229)
+    height: Range(1.203, 2.718)
+ego = EgoCar with roadDeviation k
+for i in range(3):
+    Car offset by (i * 3.258 - 8.637) @ (8.637, 16.637), with requireVisible False
+Car offset by Uniform(-1.309, -0.155, 1.538) @ resample(k), with requireVisible False, facing toward -3.287 @ 3.534, with width (1.932, 2.134)
+param time = Range(11.914, 18.656) * 60
+param label = 'fuzz'
+mutate

@@ -1,0 +1,18 @@
+# fuzz-generated scenario (seed 618265371)
+wiggle = 4.63
+class Kiosk(Object):
+    width: Range(1.67, 2.445)
+    height: (1.771, 3.068)
+    shade: Uniform('red', 'green', 'blue')
+class Totem(Object):
+    width: Range(2.053, 2.136)
+    height: (1.925, 2.703)
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=5.311):
+    return Totem right of anchor by gap
+ego = Kiosk at 0 @ 0
+obj1 = Totem behind ego by TruncatedNormal(3.25, 0.917, 0.5, 6), facing (-31.893 deg, 1.523 deg), with requireVisible False, with width Range(0.643, 0.672)
+obj2 = Kiosk behind obj1 by TruncatedNormal(3.25, 0.917, 0.5, 6), facing 47.183 deg, with requireVisible False, with cargo Discrete({1: 2, 2: 1})
+obj3 = placeNear(ego)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+mutate

@@ -1,0 +1,7 @@
+# fuzz-generated scenario (seed 622806628)
+import gtaLib
+gap = Range(5.032, 5.571)
+ego = EgoCar with visibleDistance 60
+Car offset by -1.559 @ Range(8.351, 19.045), with requireVisible False, with allowCollisions True
+param time = Range(8.561, 22.533) * 60
+param time = Range(12.645, 13.836) * 60

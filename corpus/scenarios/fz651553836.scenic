@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 651553836)
+import mars
+wiggle = Range(2.034, 5.706)
+ego = Rover at -0.394 @ -1.596
+Pipe left of ego by 0.598, apparently facing (-34.158 deg, 20.381 deg)
+if 2 >= 1:
+    BigRock at -0.677 @ -0.942, with allowCollisions True, with width (0.088, 0.257)
+else:
+    Rock left of ego by TruncatedNormal(0.575, 0.142, 0.15, 1), facing (140.699) deg
+for i in range(2):
+    Rock offset by (i * 0.985 - 1.907) @ (1.907, 3.907)

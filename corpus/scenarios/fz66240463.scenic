@@ -1,0 +1,22 @@
+# fuzz-generated scenario (seed 66240463)
+a = (-21.362 deg, 21.362 deg)
+k = Range(1.298, 3.975)
+class Buoy(Object):
+    width: Range(1.74, 2.122)
+    height: (2.681, 3.053)
+class Drone(Buoy):
+    height: (0.639, 0.756)
+def placeNear(anchor, gap=4.808):
+    return Buoy ahead of anchor by gap
+ego = Drone at 0 @ 0
+obj1 = Drone behind ego by 3.367
+if 3 >= 4:
+    Buoy behind ego by (2.305 - 1.294), facing (255.732) deg
+else:
+    Buoy ahead of obj1 by Range(3.814, 4.021), with cargo Discrete({1: 2, 2: 1})
+obj3 = placeNear(ego, gap=4.124)
+Drone beyond ego by (1.73 + 0.751) @ 2.677, with height Range(1.431, 2.191)
+param quality = (0.093, 0.879)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require abs(relative heading of obj1) <= 163.672 deg
+require (distance to obj3) <= 62.401

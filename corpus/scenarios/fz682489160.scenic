@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 682489160)
+import gtaLib
+gap = Range(1.404, 5.049)
+k = (-7.116 deg, 7.116 deg)
+class Totem(Car):
+    width: Range(2.231, 2.31)
+    height: (1.062, 1.319)
+def placeNear(anchor, gap=3.897):
+    return Car ahead of anchor by gap, with requireVisible False
+ego = Car
+if 4 >= 3:
+    Totem beyond ego by Uniform(0.175, 0.238, 1.409) @ resample(gap), with requireVisible False, apparently facing -143.108 deg
+else:
+    Car visible, facing away from (2.457, 6.587) @ 2.832

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 6873819)
+import mars
+b = (3.279, 4.963)
+def placeNear(anchor, gap=0.897):
+    return Pipe ahead of anchor by gap
+ego = Rover at 0.019 @ -1.232
+obj1 = Rock ahead of ego by resample(b), facing (18.786) deg, with width (0.107, 0.333)
+obj2 = Pipe at Range(1.126, 1.428) @ -0.537
+for i in range(2):
+    BigRock offset by (i * 1.47 - 1.988) @ (1.988, 3.988)
+require (distance to obj1) <= 12.009

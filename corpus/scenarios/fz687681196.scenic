@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 687681196)
+import mars
+wiggle = (-20.342 deg, 20.342 deg)
+class Buoy(Pipe):
+    pass
+ego = Rover at -0.422 @ -1.809
+obj1 = Rock behind ego by Uniform(0.677, 0.558, 0.492), with allowCollisions True, with requireVisible False
+if 4 >= 4:
+    Buoy behind ego by (0.582 + 1.77)
+else:
+    Rock offset by 1.573 @ 0.421, with height (0.092, 0.27), with cargo Discrete({1: 2, 2: 1})
+param label = 'fuzz'
+require (distance to obj1) >= 0.296

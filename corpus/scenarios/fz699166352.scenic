@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 699166352)
+import mars
+a = (2.116, 5.964)
+class Totem(Rock):
+    pass
+def placeNear(anchor, gap=0.774):
+    return Totem left of anchor by gap
+ego = Rover at -0.343 @ -1.353
+BigRock offset by 1.516 @ (0.352, 1.429), with allowCollisions True
+obj2 = BigRock ahead of ego by Range(0.614, 0.775), facing toward TruncatedNormal(0, 3.333, -10, 10) @ (1.315, 1.532), with cargo Discrete({1: 2, 2: 1}), with width Range(0.308, 0.324)
+Rock at resample(a) @ 0.298, facing toward -9.764 @ 3.591
+obj4 = Rock right of obj2 by 0.662, facing (-6.218 deg, 7.014 deg), with allowCollisions True, with width (0.101, 0.325)
+mutate obj2 by 0.374

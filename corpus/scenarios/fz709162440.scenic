@@ -1,0 +1,5 @@
+# fuzz-generated scenario (seed 709162440)
+import gtaLib
+ego = EgoCar
+Car on road, facing away from -3.014 @ (3.407 * 1.655), with width Range(1.447, 2.372)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')

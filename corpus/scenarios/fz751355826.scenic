@@ -1,0 +1,15 @@
+# fuzz-generated scenario (seed 751355826)
+class Crate(Object):
+    width: (1.933, 2.496)
+    height: (1.057, 2.125)
+class Buoy(Crate):
+    height: (0.734, 1.01)
+ego = Crate at 0 @ 0
+obj1 = Buoy behind ego by (2.057, 3.636), with width Range(1.479, 2.082)
+if 1 >= 3:
+    Crate left of ego by 2.58
+else:
+    Crate ahead of obj1 by 2.882, facing away from TruncatedNormal(0, 3.333, -10, 10) @ (-8.246 - 1.16), with cargo Discrete({1: 2, 2: 1})
+param time = Range(10.435, 12.215) * 60
+param time = (9.244, 21.019) * 60
+mutate obj1 by 0.354

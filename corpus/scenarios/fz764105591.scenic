@@ -1,0 +1,18 @@
+# fuzz-generated scenario (seed 764105591)
+import gtaLib
+class Kiosk(Car):
+    width: (1.319, 2.323)
+    height: Range(2.129, 2.713)
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+ego = Car with visibleDistance 60
+obj1 = Kiosk offset by 0.876 @ 11.705, with requireVisible False, facing toward TruncatedNormal(0, 3.333, -10, 10) @ (-6.546, 9.973), with width Range(1.499, 1.689), with allowCollisions True
+obj2 = Car offset by (2.672 + 0.455) @ 9.442, facing (-29.338 deg, 5.027 deg), with width Range(1.281, 1.98)
+if 2 >= 4:
+    Car following roadDirection for Range(7.738, 10.031), with requireVisible False, facing (-21.284 deg, 27.441 deg), with allowCollisions True, with width Range(1.092, 2.284)
+else:
+    Car on road, with requireVisible False, with cargo Discrete({1: 2, 2: 1}), with width Range(2.011, 2.111)
+param quality = (0.358, 0.763)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require abs(relative heading of obj1) <= 174.271 deg
+require[0.52] (distance to obj1) <= 62.037

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 765683351)
+class Drone(Object):
+    width: Range(1.066, 1.276)
+    height: Range(2.287, 2.975)
+class Crate(Drone):
+    width: Range(0.717, 0.931)
+    height: (2.793, 2.798)
+    halfWidth: self.width / 2
+ego = Crate at 0 @ 0, facing (-33.32 deg, 4.613 deg)
+if 3 >= 4:
+    Drone ahead of ego by Range(1.328, 4.193)
+else:
+    Drone right of ego by 4.451, facing (-6.257 deg, 39.468 deg), with cargo Discrete({1: 2, 2: 1})

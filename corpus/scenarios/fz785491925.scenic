@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 785491925)
+import mars
+b = (1.303, 1.4)
+scale = Range(2.28, 4.808)
+ego = Rover at 0.868 @ -1.965
+j = 0
+while j < 2:
+    Pipe left of ego by 0.434 + j * 0.6
+    j = j + 1
+mutate

@@ -1,0 +1,8 @@
+# fuzz-generated scenario (seed 808173033)
+import mars
+gap = (1.184, 4.239)
+ego = Rover at -0.122 @ -1.453
+BigRock beyond ego by Range(0.043, 0.409) @ Uniform(0.629, 0.843), facing 121.576 deg, with requireVisible False, with height (0.243, 0.351)
+obj2 = Rock right of ego by 0.985, facing (277.734) deg, with height Range(0.232, 0.233), with requireVisible False
+obj3 = BigRock at 1.286 @ Range(0.456, 1.434), facing (-8.601 deg, 19.326 deg), with allowCollisions True
+require abs(relative heading of obj2) <= 167.612 deg

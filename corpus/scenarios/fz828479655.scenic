@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 828479655)
+import gtaLib
+b = 2.991
+class Buoy(Car):
+    width: Range(1.862, 2.295)
+    height: (1.94, 2.53)
+def placeNear(anchor, gap=4.638):
+    return Car right of anchor by gap, with requireVisible False
+ego = Car with visibleDistance 60
+obj1 = placeNear(ego, gap=4.366)
+obj2 = Car following roadDirection for (3.832, 10.023), with requireVisible False, with cargo Discrete({1: 2, 2: 1})
+obj3 = placeNear(obj2, gap=5.565)
+obj4 = Car behind ego by (3.561 * 1.781), with requireVisible False, with roadDeviation (-0.855 deg, 21.204 deg), with cargo Discrete({1: 2, 2: 1})
+require[0.351] (distance to obj4) >= 2.245

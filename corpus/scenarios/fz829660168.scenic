@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 829660168)
+class Drone(Object):
+    width: Range(2.018, 2.14)
+    height: Range(1.419, 2.193)
+class Crate(Drone):
+    height: (0.746, 1.267)
+def placeNear(anchor, gap=3.748):
+    return Crate ahead of anchor by gap
+ego = Drone at 0 @ 0
+obj1 = Crate offset by Range(-9.007, 3.884) @ Range(2.305, 13.38), facing away from 3.433 @ Uniform(-0.731, 1.83, -0.871, 8.838), with width (1.115, 2.59)
+obj2 = Drone beyond ego by Uniform(1.218, 0.455) @ 2.03, with cargo Discrete({1: 2, 2: 1}), with height Range(1.84, 2.275)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+param time = Range(6.015, 8.712) * 60

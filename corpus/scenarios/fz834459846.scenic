@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 834459846)
+import mars
+class Box(Pipe):
+    width: Range(0.226, 0.308)
+    height: (0.257, 0.368)
+    halfWidth: self.width / 2
+def placeNear(anchor, gap=0.628):
+    return Box right of anchor by gap
+ego = Rover at -0.673 @ -1.694
+for i in range(2):
+    BigRock offset by (i * 0.912 - 1.064) @ (1.064, 3.064)
+obj3 = BigRock left of ego by (0.435, 0.941), facing (-11.888 deg, 20.346 deg), with width Range(0.261, 0.269)
+param time = Range(6.134, 21.179) * 60
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')

@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 838755394)
+import mars
+shift = (-9.114 deg, 9.114 deg)
+shift = 4.859
+ego = Rover at -0.656 @ -1.645
+for i in range(2):
+    Pipe offset by (i * 1.252 - 1.852) @ (1.852, 3.852)
+param time = (9.204, 21.086) * 60
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+mutate

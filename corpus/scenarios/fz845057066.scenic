@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 845057066)
+import mars
+gap = 1.795
+ego = Rover at -0.029 @ -1.978
+obj1 = Pipe beyond ego by Range(-0.442, 0.263) @ Range(0.909, 1.015), facing (-28.146 deg, 33.012 deg)
+for i in range(2):
+    Rock offset by (i * 1.191 - 1.635) @ (1.635, 3.635)
+if 4 >= 1:
+    BigRock at 0.552 @ Range(-1.058, 0.986), facing (-22.63 deg, 12.443 deg), with requireVisible False, with allowCollisions True
+else:
+    BigRock behind ego by Range(0.93, 0.995), with requireVisible False, with cargo Discrete({1: 2, 2: 1})
+require abs(relative heading of obj1) <= 122.475 deg
+require (distance to obj1) <= 9.861

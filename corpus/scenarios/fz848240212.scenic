@@ -1,0 +1,21 @@
+# fuzz-generated scenario (seed 848240212)
+class Buoy(Object):
+    width: (1.002, 1.331)
+    height: Range(0.82, 1.878)
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+class Drone(Buoy):
+    height: (0.641, 0.93)
+def placeNear(anchor, gap=4.372):
+    return Buoy ahead of anchor by gap
+ego = Buoy at 0 @ 0
+obj1 = Buoy beyond ego by (-0.763, 1.526) @ (3.032, 5.789)
+if 4 >= 1:
+    Buoy behind obj1 by 2.723, facing (-24.631 deg, 24.425 deg), with width (0.999, 1.499), with height Range(2.022, 3.031)
+else:
+    Buoy beyond ego by (0.607 + 0.967) @ Uniform(3.29, 4.365), facing (-7.755 deg, 32.731 deg)
+obj3 = Drone beyond obj1 by TruncatedNormal(0, 0.667, -2, 2) @ Range(3.736, 4.342), with allowCollisions True, with requireVisible False
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+param label = 'fuzz'
+require (distance to obj3) <= 84.916
+require abs(relative heading of obj3) <= 91.944 deg

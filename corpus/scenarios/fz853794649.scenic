@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 853794649)
+import mars
+gap = (-9.128 deg, 9.128 deg)
+ego = Rover at -0.306 @ -1.657
+if 1 >= 4:
+    Pipe ahead of ego by (0.57, 0.578), facing (-12.594 deg, 0.169 deg), with width Range(0.145, 0.334)
+else:
+    Pipe left of ego by (0.272 + 1.088), facing (-8.035 deg, 25.045 deg), with width Range(0.132, 0.248), with allowCollisions True
+obj2 = BigRock ahead of ego by TruncatedNormal(0.575, 0.142, 0.15, 1), with allowCollisions True, with requireVisible False
+param time = (9.867, 20.539) * 60
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+mutate
+require (distance to obj2) <= 9.474
+require (distance to obj2) >= 0.247

@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 856547250)
+import gtaLib
+gap = Range(4.956, 5.923)
+class Drone(Car):
+    width: (1.418, 1.554)
+    height: Range(2.569, 2.625)
+ego = EgoCar with visibleDistance 60
+for i in range(2):
+    Drone offset by (i * 5.202 - 7.454) @ (7.454, 15.454), with requireVisible False
+mutate

@@ -1,0 +1,15 @@
+# fuzz-generated scenario (seed 868081191)
+import gtaLib
+class Buoy(Car):
+    width: Range(1.067, 2.031)
+    height: (1.019, 1.716)
+ego = Car with visibleDistance 60
+obj1 = Buoy left of ego by Range(2.389, 3.285), with requireVisible False, facing toward Range(-6.234, 5.347) @ (0.144 - 0.153), with height (1.224, 2.452), with allowCollisions True
+Buoy ahead of ego by (0.925 - 1.358), apparently facing (-3.242 deg, 0.452 deg) relative to roadDirection, with height Range(2.611, 2.845), with width Range(1.28, 1.398)
+if 1 >= 3:
+    Car behind ego by (5.534 + 0.447), facing away from (0.169, 5.763) @ TruncatedNormal(0, 3.333, -10, 10), with requireVisible False, with width (1.658, 2.097)
+else:
+    Car right of obj1 by 5.758
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require (distance to obj1) <= 89.323

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 897766458)
+k = (4.778, 5.55)
+class Buoy(Object):
+    width: Range(1.071, 1.172)
+    height: Range(1.755, 1.838)
+    halfWidth: self.width / 2
+ego = Buoy at 0 @ 0
+obj1 = Buoy behind ego by Uniform(5.244, 3.393, 4.881, 0.844), facing 163.288 deg
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require (distance to obj1) >= 1.59
+require (distance to obj1) <= 80.941

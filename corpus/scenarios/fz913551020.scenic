@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 913551020)
+import gtaLib
+def placeNear(anchor, gap=4.114):
+    return Car behind anchor by gap, with requireVisible False
+ego = EgoCar with visibleDistance 60
+obj1 = Car offset by 0.984 @ 17.131, with roadDeviation -27.025 deg, with height Range(1.116, 1.414)
+obj2 = placeNear(obj1, gap=3.51)
+param label = 'fuzz'
+param quality = Range(0.616, 0.808)
+require (distance to obj1) <= 99.357
+require (distance to obj1) >= 1.991

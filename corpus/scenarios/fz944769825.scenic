@@ -1,0 +1,14 @@
+# fuzz-generated scenario (seed 944769825)
+import gtaLib
+k = (-10.34 deg, 10.34 deg)
+b = (2.386, 2.93)
+class Drone(Car):
+    width: (1.003, 1.091)
+    height: (2.029, 2.074)
+ego = EgoCar with visibleDistance 60
+Car ahead of ego by 4.423, with roadDeviation k
+if 3 >= 3:
+    Car visible, with requireVisible False
+else:
+    Car following roadDirection for 5.915, with requireVisible False, with height Range(1.379, 2.153), with cargo Discrete({1: 2, 2: 1})
+param quality = Range(0.063, 0.645)

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1024313688)
+import gtaLib
+scale = (-17.925 deg, 17.925 deg)
+spread = (-22.978 deg, 22.978 deg)
+def placeNear(anchor, gap=3.514):
+    return Car left of anchor by gap, with requireVisible False
+ego = EgoCar
+obj1 = placeNear(ego)
+j = 0
+while j < 2:
+    Car left of ego by 3.369 + j * 3, with requireVisible False
+    j = j + 1
+mutate

@@ -1,0 +1,9 @@
+# fuzz-generated scenario (seed 1040539528)
+import mars
+def placeNear(anchor, gap=0.904):
+    return Pipe ahead of anchor by gap
+ego = Rover at -0.174 @ -1.446
+obj1 = BigRock behind ego by Uniform(0.247, 0.582), with height (0.118, 0.165), with cargo Discrete({1: 2, 2: 1})
+param label = 'fuzz'
+require (distance to obj1) >= 0.444
+require abs(relative heading of obj1) <= 140.514 deg

@@ -1,0 +1,9 @@
+# fuzz-generated scenario (seed 1065701143)
+import mars
+ego = Rover at -0.034 @ -1.84
+obj1 = Pipe right of ego by Uniform(0.614, 0.42)
+Pipe at (1.432 - 1.377) @ -1.263
+obj3 = Rock left of ego by Uniform(0.74, 0.527, 0.692), facing -143.998 deg, with requireVisible False, with width Range(0.163, 0.34)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+param quality = Range(0.077, 0.524)
+mutate obj3 by 0.464

@@ -1,0 +1,10 @@
+# fuzz-generated scenario (seed 1077342434)
+import mars
+shift = Range(5.193, 5.719)
+ego = Rover at -0.195 @ -1.238
+j = 0
+while j < 2:
+    BigRock left of ego by 0.77 + j * 0.6
+    j = j + 1
+param quality = (0.196, 0.199)
+param time = Range(3.371, 10.396) * 60

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1084493941)
+import gtaLib
+wiggle = 2.132
+def placeNear(anchor, gap=5.515):
+    return Car ahead of anchor by gap, with requireVisible False
+ego = Car with visibleDistance 60
+obj1 = Car on road, with requireVisible False, with height Range(1.137, 1.634)
+obj2 = Car offset by -2.258 @ (20.991 * 0.946), with requireVisible False, with allowCollisions True, with width (1.451, 2.064)
+obj3 = Car behind obj2 by Range(3.215, 5.546), with requireVisible False, with width Range(1.729, 2.161), with cargo Discrete({1: 2, 2: 1})
+param label = 'fuzz'
+param quality = Range(0.053, 0.241)
+require (distance to obj1) <= 75.875
+require (distance to obj2) >= 1.851

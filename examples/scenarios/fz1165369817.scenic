@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1165369817)
+class Box(Object):
+    width: Range(1.568, 2.011)
+    height: Range(1.191, 1.952)
+class Kiosk(Box):
+    height: Range(1.004, 1.58)
+ego = Kiosk at 0 @ 0, facing (-31.932 deg, 1.766 deg)
+if 3 >= 3:
+    Box right of ego by TruncatedNormal(3.25, 0.917, 0.5, 6), with requireVisible False
+else:
+    Kiosk offset by (-11.392, -4.648) @ (-12.913 + 0.616), facing (-18.329 deg, 38.847 deg)
+param time = (2.668, 22.859) * 60
+param time = (11.284, 14.56) * 60

@@ -1,0 +1,17 @@
+# fuzz-generated scenario (seed 1176334152)
+import gtaLib
+wiggle = Range(3.731, 4.192)
+k = 3.204
+class Crate(Car):
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=5.106):
+    return Car behind anchor by gap, with requireVisible False
+ego = Car with visibleDistance 60
+obj1 = placeNear(ego)
+obj2 = Crate behind ego by (1.812, 3.732), with requireVisible False, facing away from (-2.561 - 0.334) @ 0.428, with width (1.364, 1.555)
+obj3 = Crate visible, with cargo Discrete({1: 2, 2: 1}), with height Range(1.97, 2.598)
+param time = (10.975, 23.595) * 60
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+require (distance to obj2) >= 1.908
+require (distance to obj1) <= 72.363

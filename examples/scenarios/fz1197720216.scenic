@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 1197720216)
+import gtaLib
+shift = 1.253
+spread = 4.267
+class Buoy(Car):
+    halfWidth: self.width / 2
+ego = EgoCar
+obj1 = Car right of ego by (2.531, 3.237)
+obj2 = Car following roadDirection for TruncatedNormal(7.5, 1.5, 3, 12), with requireVisible False, with cargo Discrete({1: 2, 2: 1}), with width (1.24, 1.251)
+Buoy following roadDirection for 6.331, with requireVisible False, with height (2.238, 2.552)
+param time = Range(7.816, 10.431) * 60
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')

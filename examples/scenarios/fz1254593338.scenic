@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1254593338)
+spread = (-24.371 deg, 24.371 deg)
+class Crate(Object):
+    width: (1.85, 2.502)
+    height: Range(1.543, 2.36)
+    halfWidth: self.width / 2
+ego = Crate at 0 @ 0, facing spread
+Crate offset by (-2.686, 17.697) @ Uniform(-13.069, -6.211, 7.758), with allowCollisions True
+if 3 >= 2:
+    Crate behind ego by Range(4.039, 4.35)
+else:
+    Crate right of ego by Uniform(4.823, 3.587), with width Range(1.254, 1.328)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')

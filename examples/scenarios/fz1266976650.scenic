@@ -1,0 +1,19 @@
+# fuzz-generated scenario (seed 1266976650)
+class Box(Object):
+    width: Range(0.632, 1.149)
+    height: Range(1.18, 2.29)
+    halfWidth: self.width / 2
+class Drone(Box):
+    width: Range(1.109, 2.128)
+    height: (2.556, 2.788)
+    halfWidth: self.width / 2
+    shade: Uniform('red', 'green', 'blue')
+def placeNear(anchor, gap=5.084):
+    return Drone ahead of anchor by gap
+ego = Drone at 0 @ 0
+obj1 = placeNear(ego)
+obj2 = Drone behind ego by Uniform(3.371, 3.457, 1.674, 4.618), with width (1.293, 2.574)
+Box left of ego by 4.115, apparently facing -150.178 deg, with cargo Discrete({1: 2, 2: 1}), with requireVisible False
+obj4 = Drone at (-13.452, -8.69) @ (12.039 + 1.075), facing toward 0.565 @ -3.03, with height Range(1.539, 2.473)
+require (distance to obj1) <= 128.865
+require (distance to obj2) <= 126.709

@@ -92,6 +92,20 @@ class PruningReport:
             return 1.0
         return self.area_after / self.area_before
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe summary (the shape the eval scorecards publish)."""
+        return {
+            "applied": self.applied,
+            "objects_pruned": self.objects_pruned,
+            "objects_skipped_mutation": self.objects_skipped_mutation,
+            "area_before": self.area_before,
+            "area_after": self.area_after,
+            "area_ratio": self.area_ratio,
+            "techniques": list(self.techniques),
+            "technique_ratios": self.technique_ratios(),
+            "notes": list(self.notes),
+        }
+
     def technique_ratios(self) -> Dict[str, float]:
         """Area kept by each technique (area-out / area-in, per stage)."""
         ratios: Dict[str, float] = {}

@@ -151,8 +151,15 @@ def run_campaign(
     corpus: Sequence[str] = (),
     oracle: Optional[Callable[..., OracleReport]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    collector: Optional[Callable[..., None]] = None,
 ) -> CampaignResult:
-    """Run one fuzz campaign; see the module docstring for the modes."""
+    """Run one fuzz campaign; see the module docstring for the modes.
+
+    *collector*, when given, is called as ``collector(program, report)`` for
+    every grammar-generated program whose oracles all pass — the promotion
+    hook the corpus pipeline (:mod:`repro.evals.promote`) uses to harvest
+    known-good programs from a campaign instead of re-generating them.
+    """
     oracle = oracle or run_oracles
     result = CampaignResult(config=config)
     start = time.perf_counter()
@@ -210,6 +217,8 @@ def run_campaign(
 
         if report.verdict == "pass":
             result.passed += 1
+            if collector is not None and mode == "valid":
+                collector(program, report)
         elif report.verdict == "skip":
             result.skipped += 1
         else:

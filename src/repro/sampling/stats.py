@@ -198,6 +198,27 @@ class AggregateStats:
             "importance_scenes": self.importance_scenes,
         }
 
+    def as_eval_metrics(self) -> Dict[str, object]:
+        """This roll-up as the flat metric dict the quality-eval harness scores.
+
+        Single owner of the per-(scenario, strategy) metric shape consumed
+        by :mod:`repro.evals.scoring` and published in the committed
+        ``results/EVALS_*.json`` scorecards: accepted scenes, draws,
+        candidate iterations, honest drawn-candidate count, acceptance
+        rate, sampling wall time, the rejection breakdown and the mean
+        importance weight (``None`` when the strategy stamps no weights).
+        """
+        return {
+            "scenes": self.scenes,
+            "draws": self.draws,
+            "iterations": self.total_iterations,
+            "candidates": self.total_candidates,
+            "acceptance_rate": self.acceptance_rate,
+            "sampling_seconds": self.elapsed_seconds,
+            "rejections": self.rejection_breakdown(),
+            "mean_importance_weight": self.mean_importance_weight,
+        }
+
     def importance_summary(self) -> Dict[str, Dict[str, float]]:
         """Per-strategy importance-weight diagnostics for the roll-ups."""
         return {

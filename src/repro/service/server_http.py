@@ -111,12 +111,21 @@ class HttpGenerationServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            # One request per connection: simple, and every route is either
-            # one-shot or holds the connection for its whole stream anyway.
-            parsed = await self._read_request(reader, writer)
-            if parsed is not None:
+            # HTTP/1.1 keep-alive: serve requests on this connection until
+            # the client asks to close (``Connection: close``), a route
+            # hijacks the socket (WebSocket upgrade, chunked NDJSON
+            # streams), an error response is sent, or the peer hangs up.
+            while True:
+                parsed = await self._read_request(reader, writer)
+                if parsed is None:
+                    break
                 method, path, headers, body = parsed
-                await self._route(method, path, headers, body, reader, writer)
+                keep_alive = "close" not in headers.get("connection", "").lower()
+                reusable = await self._route(
+                    method, path, headers, body, reader, writer, keep_alive
+                )
+                if not (reusable and keep_alive):
+                    break
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -171,7 +180,10 @@ class HttpGenerationServer:
         body: bytes,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
-    ) -> None:
+        keep_alive: bool = False,
+    ) -> bool:
+        """Serve one request; returns whether the connection is reusable."""
+        close = not keep_alive
         path = path.split("?", 1)[0]
         if path == "/healthz" and method == "GET":
             await self._send_json(writer, 200, {
@@ -179,24 +191,25 @@ class HttpGenerationServer:
                 "status": "serving",
                 "workers": self.service.workers,
                 "pending": self.service._pending,
-            })
-            return
+            }, close=close)
+            return True
         if path == "/metrics" and method == "GET":
             await self._send_text(writer, 200, self._metrics_text(),
-                                  content_type="text/plain; version=0.0.4")
-            return
+                                  content_type="text/plain; version=0.0.4",
+                                  close=close)
+            return True
         if path == "/ws" and headers.get("upgrade", "").lower() == "websocket":
             await self._serve_websocket(headers, reader, writer)
-            return
+            return False
         if path == "/generate":
             if method != "POST":
                 await self._send_json(writer, 405, _error_response(
-                    ValueError("use POST /generate")))
-                return
-            await self._serve_generate(body, writer)
-            return
+                    ValueError("use POST /generate")), close=close)
+                return True
+            return await self._serve_generate(body, writer, close=close)
         await self._send_json(writer, 404, _error_response(
-            ValueError(f"no such route {path!r}")))
+            ValueError(f"no such route {path!r}")), close=close)
+        return True
 
     # -- routes -------------------------------------------------------------------
 
@@ -219,25 +232,30 @@ class HttpGenerationServer:
             lines.append(f"{metric} {stats[key]}")
         return "\n".join(lines) + "\n"
 
-    async def _serve_generate(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+    async def _serve_generate(
+        self, body: bytes, writer: asyncio.StreamWriter, close: bool = True
+    ) -> bool:
         try:
             request = json.loads(body.decode("utf-8")) if body else {}
             if not isinstance(request, dict):
                 raise ValueError("request body must be a JSON object")
             params = _generate_params(request)
         except Exception as error:  # noqa: BLE001
-            await self._send_json(writer, 400, _error_response(error))
-            return
+            await self._send_json(writer, 400, _error_response(error), close=close)
+            return True
 
         if request.get("stream"):
             await self._stream_ndjson(params, writer)
-            return
+            return False  # chunked stream always ends the connection
         try:
             response = await self.service.generate(**params)
         except Exception as error:  # noqa: BLE001
-            await self._send_json(writer, _error_status(error), _error_response(error))
-            return
-        await self._send_json(writer, 200, {"ok": True, **response.as_dict()})
+            await self._send_json(
+                writer, _error_status(error), _error_response(error), close=close
+            )
+            return True
+        await self._send_json(writer, 200, {"ok": True, **response.as_dict()}, close=close)
+        return True
 
     async def _stream_ndjson(self, params: Dict[str, Any], writer: asyncio.StreamWriter) -> None:
         """``POST /generate`` with ``stream: true`` → chunked NDJSON frames."""
@@ -303,9 +321,26 @@ class HttpGenerationServer:
             await _ws_send_close(writer)
             return
 
+        # Stream frames while watching the socket for a client close frame
+        # (RFC 6455 §5.5.1): a client hanging up mid-stream must abort the
+        # generation promptly and still get the close handshake reply,
+        # instead of the server pushing frames into a dead conversation.
         stream = self.service.generate_stream(**params)
+        watcher = asyncio.ensure_future(self._ws_await_close(reader))
         try:
-            async for frame in stream:
+            while True:
+                frame_task = asyncio.ensure_future(stream.__anext__())
+                await asyncio.wait(
+                    {frame_task, watcher}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if watcher.done():
+                    frame_task.cancel()
+                    await asyncio.gather(frame_task, return_exceptions=True)
+                    break
+                try:
+                    frame = frame_task.result()
+                except StopAsyncIteration:
+                    break
                 await _ws_send_text(writer, json.dumps({"ok": True, **frame}))
         except (ConnectionResetError, BrokenPipeError):
             raise
@@ -315,15 +350,29 @@ class HttpGenerationServer:
             )
         finally:
             await stream.aclose()
+            if not watcher.done():
+                watcher.cancel()
+                await asyncio.gather(watcher, return_exceptions=True)
         await _ws_send_close(writer)
+
+    @staticmethod
+    async def _ws_await_close(reader: asyncio.StreamReader) -> None:
+        """Consume client frames until a close frame (or EOF) arrives."""
+        while await _ws_read_frame(reader) is not None:
+            pass
 
     # -- plumbing -----------------------------------------------------------------
 
     async def _send_json(
-        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        close: bool = True,
     ) -> None:
         await self._send_text(
-            writer, status, json.dumps(payload), content_type="application/json"
+            writer, status, json.dumps(payload), content_type="application/json",
+            close=close,
         )
 
     async def _send_text(
@@ -332,14 +381,16 @@ class HttpGenerationServer:
         status: int,
         text: str,
         content_type: str = "text/plain",
+        close: bool = True,
     ) -> None:
         body = text.encode("utf-8")
         phrase = _STATUS_PHRASES.get(status, "OK")
+        connection = "close" if close else "keep-alive"
         writer.write(
             f"HTTP/1.1 {status} {phrase}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n".encode("latin-1")
+            f"Connection: {connection}\r\n\r\n".encode("latin-1")
             + body
         )
         await writer.drain()

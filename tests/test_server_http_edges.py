@@ -1,0 +1,227 @@
+"""HTTP front-end edge cases: keep-alive, WebSocket close, /metrics headers.
+
+These pin the connection-lifecycle behaviour of ``HttpGenerationServer``
+that the happy-path service tests never look at:
+
+* HTTP/1.1 keep-alive — several requests over one socket, honoured until
+  the client sends ``Connection: close``;
+* the RFC 6455 close handshake when the client hangs up mid-stream — the
+  server must answer with a close frame and drop the connection cleanly
+  (and keep serving other clients);
+* the exact Prometheus content type of ``GET /metrics``.
+"""
+
+import asyncio
+import base64
+import json
+import struct
+from pathlib import Path
+
+from repro.service import GenerationService, HttpGenerationServer
+
+SCENARIO_DIR = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
+
+SOURCE = "ego = Object at Range(-3, 3) @ 0\nObject at Range(-3, 3) @ 4\n"
+
+_WS_KEY = base64.b64encode(b"repro-ws-edge-tests!").decode("ascii")
+
+
+async def _send_request(reader, writer, method, path, body=None, close=False):
+    """One raw HTTP/1.1 request on an already-open connection."""
+    payload = json.dumps(body).encode("utf-8") if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Type: application/json\r\nContent-Length: {len(payload)}\r\n"
+    )
+    if close:
+        head += "Connection: close\r\n"
+    writer.write(head.encode("latin-1") + b"\r\n" + payload)
+    await writer.drain()
+    status_line = await reader.readuntil(b"\r\n")
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readuntil(b"\r\n")
+        if line == b"\r\n":
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    body_bytes = await reader.readexactly(length) if length else b""
+    return status, headers, body_bytes
+
+
+def test_keep_alive_reuses_one_connection():
+    async def run():
+        async with GenerationService(workers=0) as service:
+            async with HttpGenerationServer(service) as server:
+                reader, writer = await asyncio.open_connection(server.host, server.port)
+                try:
+                    status1, headers1, body1 = await _send_request(
+                        reader, writer, "GET", "/healthz"
+                    )
+                    status2, headers2, body2 = await _send_request(
+                        reader, writer, "POST", "/generate",
+                        body={"source": SOURCE, "n": 2, "seed": 5},
+                    )
+                    # Even an error response keeps the connection usable.
+                    status3, headers3, _ = await _send_request(
+                        reader, writer, "GET", "/no-such-route"
+                    )
+                    status4, headers4, _ = await _send_request(
+                        reader, writer, "GET", "/healthz", close=True
+                    )
+                    eof = await reader.read()
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+        return (status1, headers1, body1, status2, headers2, body2,
+                status3, headers3, status4, headers4, eof)
+
+    (status1, headers1, body1, status2, headers2, body2,
+     status3, headers3, status4, headers4, eof) = asyncio.run(run())
+    assert status1 == 200 and json.loads(body1)["ok"] is True
+    assert headers1["connection"] == "keep-alive"
+    assert status2 == 200
+    response = json.loads(body2)
+    assert response["ok"] is True and len(response["scenes"]) == 2
+    assert headers2["connection"] == "keep-alive"
+    assert status3 == 404 and headers3["connection"] == "keep-alive"
+    # Connection: close is honoured: final response says so, then EOF.
+    assert status4 == 200 and headers4["connection"] == "close"
+    assert eof == b""
+
+
+def test_metrics_content_type():
+    async def run():
+        async with GenerationService(workers=0) as service:
+            async with HttpGenerationServer(service) as server:
+                reader, writer = await asyncio.open_connection(server.host, server.port)
+                try:
+                    return await _send_request(
+                        reader, writer, "GET", "/metrics", close=True
+                    )
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+    status, headers, body = asyncio.run(run())
+    assert status == 200
+    assert headers["content-type"] == "text/plain; version=0.0.4"
+    assert b"# TYPE repro_service_requests_total counter" in body
+
+
+# ---------------------------------------------------------------------------
+# WebSocket close handshake
+# ---------------------------------------------------------------------------
+
+
+def _masked_frame(opcode, payload=b""):
+    key = b"\x01\x02\x03\x04"
+    assert len(payload) < 126
+    masked = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes([0x80 | opcode, 0x80 | len(payload)]) + key + masked
+
+
+async def _read_ws_frame(reader):
+    """Raw server frame → (opcode, payload); None on EOF."""
+    try:
+        first, second = await reader.readexactly(2)
+    except asyncio.IncompleteReadError:
+        return None
+    opcode, length = first & 0x0F, second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    payload = await reader.readexactly(length) if length else b""
+    return opcode, payload
+
+
+async def _ws_handshake(host, port, reader, writer):
+    writer.write(
+        f"GET /ws HTTP/1.1\r\nHost: {host}:{port}\r\n"
+        f"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {_WS_KEY}\r\nSec-WebSocket-Version: 13\r\n\r\n".encode("latin-1")
+    )
+    await writer.drain()
+    status = await reader.readuntil(b"\r\n\r\n")
+    assert b" 101 " in status.split(b"\r\n", 1)[0]
+
+
+def test_websocket_close_mid_stream_gets_close_reply():
+    async def run():
+        async with GenerationService(workers=0) as service:
+            async with HttpGenerationServer(service) as server:
+                reader, writer = await asyncio.open_connection(server.host, server.port)
+                try:
+                    await _ws_handshake(server.host, server.port, reader, writer)
+                    request = json.dumps({"source": SOURCE, "n": 6, "seed": 3})
+                    writer.write(_masked_frame(0x1, request.encode("utf-8")))
+                    # Hang up immediately: the close frame races the stream.
+                    writer.write(_masked_frame(0x8, b"\x03\xe8"))  # 1000 normal
+                    await writer.drain()
+                    opcodes = []
+                    while True:
+                        frame = await asyncio.wait_for(_read_ws_frame(reader), timeout=30)
+                        if frame is None:
+                            break
+                        opcodes.append(frame[0])
+                        if frame[0] == 0x8:
+                            break
+                    eof = await reader.read()
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                # The server survived the aborted stream: a fresh connection
+                # still gets answers.
+                status, _, body = await _fresh_healthz(server)
+        return opcodes, eof, status, json.loads(body)
+
+    opcodes, eof, status, health = asyncio.run(run())
+    # Some text frames may have been in flight, but the conversation must
+    # end with the server's close reply and a clean EOF.
+    assert opcodes and opcodes[-1] == 0x8
+    assert all(opcode in (0x1, 0x8) for opcode in opcodes)
+    assert eof == b""
+    assert status == 200 and health["ok"] is True
+
+
+async def _fresh_healthz(server):
+    reader, writer = await asyncio.open_connection(server.host, server.port)
+    try:
+        return await _send_request(reader, writer, "GET", "/healthz", close=True)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+def test_websocket_full_stream_still_ends_with_close():
+    # The watcher must not break the normal path: a patient client gets
+    # every frame, then the server-initiated close.
+    async def run():
+        async with GenerationService(workers=0) as service:
+            async with HttpGenerationServer(service) as server:
+                reader, writer = await asyncio.open_connection(server.host, server.port)
+                try:
+                    await _ws_handshake(server.host, server.port, reader, writer)
+                    request = json.dumps({"source": SOURCE, "n": 3, "seed": 11})
+                    writer.write(_masked_frame(0x1, request.encode("utf-8")))
+                    await writer.drain()
+                    frames = []
+                    while True:
+                        frame = await asyncio.wait_for(_read_ws_frame(reader), timeout=30)
+                        if frame is None or frame[0] == 0x8:
+                            frames.append(("close", b"") if frame else ("eof", b""))
+                            break
+                        frames.append(("text", frame[1]))
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+        return frames
+
+    frames = asyncio.run(run())
+    assert frames[-1][0] == "close"
+    payloads = [json.loads(data) for kind, data in frames if kind == "text"]
+    assert payloads[-1]["frame"] == "end"
+    assert payloads[-1]["scenes"] == 3
