@@ -21,7 +21,7 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 #: The machine-readable perf trajectory for this PR: every benchmark that
 #: produces a headline number also records it here, so future PRs can diff
 #: measured performance against a committed baseline instead of prose.
-BENCH_JSON = RESULTS_DIR / "BENCH_8.json"
+BENCH_JSON = RESULTS_DIR / "BENCH_9.json"
 
 
 def save_result(name: str, text: str) -> None:
@@ -33,7 +33,7 @@ def save_result(name: str, text: str) -> None:
 
 
 def save_bench_json(name: str, payload: dict) -> None:
-    """Merge one benchmark's numbers into ``results/BENCH_8.json``.
+    """Merge one benchmark's numbers into ``results/BENCH_9.json``.
 
     The file accumulates across a benchmark run (each test owns one key),
     so a full ``pytest bench_engine.py`` leaves a complete, diffable

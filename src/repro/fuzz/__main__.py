@@ -38,6 +38,14 @@ def _corpus_sources() -> list:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.backend is not None:
+        from repro.geometry.backends import get_backend
+
+        try:
+            get_backend(args.backend)  # fail fast with the registry's message
+        except Exception as error:  # noqa: BLE001 - CLI boundary
+            print(f"--backend {args.backend}: {error}", file=sys.stderr)
+            return 2
     regression_dir = None
     if args.out is not None:
         regression_dir = Path(args.out)
@@ -54,6 +62,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         statistical=args.equivalence,
         equivalence_samples=args.equivalence_samples,
+        backend=args.backend,
     )
     result = run_campaign(config, corpus=_corpus_sources(), progress=print)
     print(result.summary())
@@ -124,6 +133,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--equivalence-samples", type=int, default=120,
         help="scenes per strategy for the oracle E comparison",
+    )
+    parser.add_argument(
+        "--backend", type=str, default=None, metavar="NAME",
+        help="geometry-kernel backend to sample under (numpy/numba/jax/auto; "
+        "see docs/backends.md).  The kernel oracle always cross-checks every "
+        "available backend; this drives the sampling hot path through one.",
     )
     parser.add_argument(
         "--repro", type=int, default=None, metavar="INDEX",

@@ -1,0 +1,224 @@
+"""Registry of pluggable geometry-kernel compute backends.
+
+The sampling hot path's batched predicates (:mod:`repro.geometry.kernel`)
+dispatch to a :class:`~repro.geometry.backends.base.KernelBackend`.  Three
+backends ship built-in:
+
+============  ==========  ========================================================
+name          priority    implementation
+============  ==========  ========================================================
+``numpy``     10          vectorized reference (always available, **default**;
+                          bit-identical to the golden corpus)
+``numba``     30          lazily JIT-compiled parallel ``prange`` loops
+                          (optional; requires ``numba``)
+``jax``       20          ``jax.numpy`` mirror stub (optional; requires ``jax``)
+============  ==========  ========================================================
+
+Selection API:
+
+* :func:`get_backend` — resolve a name (``"numpy"``, ``"numba"``, ``"jax"``,
+  or ``"auto"`` for the highest-priority *available* backend) to a cached
+  instance, raising :class:`BackendUnavailableError` when the dependency is
+  absent.
+* :func:`active_backend` / :func:`set_active_backend` /
+  :func:`use_backend` — the process-global default the kernel facade
+  dispatches to.  It starts as ``numpy`` (keeping the bit-identical
+  determinism contract) unless the ``REPRO_GEOMETRY_BACKEND`` environment
+  variable names another backend; an unavailable env selection falls back
+  to numpy with a warning rather than failing import.
+* Per-engine selection — ``SamplerEngine(..., backend="numba")`` pins one
+  engine (and every strategy check it runs) to a backend without touching
+  the global default; the service forwards a ``"backend"`` strategy option
+  the same way.
+
+Third-party backends subclass :class:`KernelBackend` and call
+:func:`register_backend`; see ``docs/backends.md`` for the full contract
+and the differential gauntlet every backend must survive.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Type, Union
+
+from .base import BackendUnavailableError, KernelBackend
+from .jax_backend import JaxBackend
+from .numba_backend import NumbaBackend
+from .numpy_backend import NumpyBackend
+
+#: The always-available reference backend and process-global initial default.
+DEFAULT_BACKEND = "numpy"
+
+#: Environment variable consulted (once, lazily) for the initial global backend.
+BACKEND_ENV_VAR = "REPRO_GEOMETRY_BACKEND"
+
+_REGISTRY: Dict[str, Type[KernelBackend]] = {}
+_INSTANCES: Dict[str, KernelBackend] = {}
+# Resolved lazily: explicit > env var > default.  Holds a registered name or,
+# for ad-hoc `use_backend(instance)` scopes, the instance itself.
+_ACTIVE: Optional[Union[str, KernelBackend]] = None
+
+
+def register_backend(
+    backend_class: Type[KernelBackend], *, overwrite: bool = False
+) -> Type[KernelBackend]:
+    """Register a :class:`KernelBackend` subclass under its ``name``.
+
+    Re-registering an existing name raises ``ValueError`` unless
+    *overwrite* is true (mirroring ``register_strategy``).  Returns the
+    class, so it can be used as a decorator.
+    """
+    name = getattr(backend_class, "name", None)
+    if not isinstance(name, str) or not name or name in ("auto", "abstract"):
+        raise ValueError(
+            f"backend class {backend_class!r} must define a non-empty name "
+            "(and 'auto'/'abstract' are reserved)"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"geometry backend {name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[name] = backend_class
+    _INSTANCES.pop(name, None)
+    return backend_class
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (primarily for tests registering fakes)."""
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown geometry backend {name!r}")
+    del _REGISTRY[name]
+    _INSTANCES.pop(name, None)
+    global _ACTIVE
+    if _ACTIVE == name:
+        _ACTIVE = DEFAULT_BACKEND
+
+
+def registered_backends() -> List[str]:
+    """Every registered backend name, in capability-fallback order."""
+    return sorted(_REGISTRY, key=lambda name: (-_REGISTRY[name].priority, name))
+
+
+def available_backends() -> List[str]:
+    """Registered backends whose dependencies import, in fallback order."""
+    return [name for name in registered_backends() if _REGISTRY[name].is_available()]
+
+
+def get_backend(name: Union[str, KernelBackend, None] = None) -> KernelBackend:
+    """Resolve *name* to a backend instance.
+
+    ``None`` returns the process-global active backend; ``"auto"`` picks the
+    highest-priority available backend; an explicit name must be registered
+    *and* available (:class:`BackendUnavailableError` otherwise).  Instances
+    pass through unchanged, so APIs can accept either form.
+    """
+    if name is None:
+        return active_backend()
+    if isinstance(name, KernelBackend):
+        return name
+    if name == "auto":
+        for candidate in registered_backends():
+            if _REGISTRY[candidate].is_available():
+                return get_backend(candidate)
+        raise BackendUnavailableError("no registered geometry backend is available")
+    backend_class = _REGISTRY.get(name)
+    if backend_class is None:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ValueError(f"unknown geometry backend {name!r} (registered: {known})")
+    if not backend_class.is_available():
+        raise BackendUnavailableError(
+            f"geometry backend {name!r} is registered but its dependency is "
+            f"not installed (available: {', '.join(available_backends())})"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None or type(instance) is not backend_class:
+        instance = backend_class()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def _initial_backend_name() -> str:
+    """The env-var selection, degraded to the default with a warning."""
+    requested = os.environ.get(BACKEND_ENV_VAR)
+    if not requested:
+        return DEFAULT_BACKEND
+    try:
+        return get_backend(requested).name
+    except (ValueError, BackendUnavailableError) as error:
+        warnings.warn(
+            f"{BACKEND_ENV_VAR}={requested!r} is not usable ({error}); "
+            f"falling back to the {DEFAULT_BACKEND!r} backend",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return DEFAULT_BACKEND
+
+
+def active_backend() -> KernelBackend:
+    """The process-global backend the kernel facade dispatches to."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = _initial_backend_name()
+    if isinstance(_ACTIVE, KernelBackend):
+        return _ACTIVE
+    return get_backend(_ACTIVE)
+
+
+def set_active_backend(name: Union[str, None]) -> str:
+    """Set the process-global backend; returns the previous active name.
+
+    ``None`` (or ``"auto"``) resolves through the normal rules; an explicit
+    unavailable name raises rather than silently degrading.
+    """
+    global _ACTIVE
+    previous = active_backend().name
+    if name is None:
+        _ACTIVE = None
+    else:
+        _ACTIVE = get_backend(name).name
+    return previous
+
+
+@contextmanager
+def use_backend(name: Union[str, KernelBackend, None]) -> Iterator[KernelBackend]:
+    """Temporarily make *name* the process-global active backend.
+
+    Not async/thread-safe (it swaps process-global state); per-engine
+    selection via ``SamplerEngine(backend=...)`` is the concurrent-safe
+    alternative.
+    """
+    global _ACTIVE
+    backend = get_backend(name)
+    previous = _ACTIVE
+    _ACTIVE = backend if isinstance(name, KernelBackend) else backend.name
+    try:
+        yield backend
+    finally:
+        _ACTIVE = previous
+
+
+register_backend(NumpyBackend)
+register_backend(NumbaBackend)
+register_backend(JaxBackend)
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BackendUnavailableError",
+    "DEFAULT_BACKEND",
+    "JaxBackend",
+    "KernelBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "set_active_backend",
+    "unregister_backend",
+    "use_backend",
+]

@@ -1,0 +1,105 @@
+"""The kernel-backend protocol: what a geometry compute backend must provide.
+
+A :class:`KernelBackend` evaluates the sampling hot path's four batched
+predicates (see :mod:`repro.geometry.kernel` for the semantics each must
+reproduce):
+
+* :meth:`~KernelBackend.points_in_polygon` — ray-casting membership of ``N``
+  points in one simple polygon, boundary points inside;
+* :meth:`~KernelBackend.objects_contained` — the corners-plus-edge-midpoints
+  object containment test against a region;
+* :meth:`~KernelBackend.pairwise_collisions` — all overlapping pairs among
+  ``N`` convex quads, lexicographic ``i < j`` order;
+* :meth:`~KernelBackend.batch_collision_free` — collision freedom of ``K``
+  candidate scenes at once.
+
+The contract is *semantic agreement with the scalar predicates*: the numpy
+reference backend is bit-identical to them by construction, and every other
+backend must agree within 1e-9 (booleans and index pairs exactly, away from
+~1-ulp boundary coincidences).  The backend-parametrized differential
+gauntlet (``tests/test_geometry_kernel.py``, ``tests/test_geometry_backends.py``
+and fuzz oracle B) holds every registered backend to that contract.
+
+Backends declare availability through :meth:`KernelBackend.is_available`, so
+optional compute stacks (numba, jax) register unconditionally and are simply
+reported unavailable — never imported — when the dependency is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+
+class BackendUnavailableError(RuntimeError):
+    """The requested backend's compute dependency is not importable."""
+
+
+class KernelBackend:
+    """Base class for geometry-kernel compute backends.
+
+    Subclasses set :attr:`name` (the registry key), :attr:`priority` (higher
+    wins in the ``"auto"`` capability fallback order) and implement the three
+    array predicates; :meth:`objects_contained` has a shared default built on
+    the region's batched point containment, which itself routes polygon
+    membership back through the backend via :func:`repro.geometry.kernel.points_in_polygon`
+    dispatch when the backend is globally active.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = "abstract"
+
+    #: Capability fallback order for ``get_backend("auto")``: the available
+    #: backend with the highest priority wins (ties break alphabetically).
+    priority: int = 0
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend's compute dependency is importable *now*."""
+        return True
+
+    # -- the protocol ------------------------------------------------------------
+
+    def points_in_polygon(self, vertices: Any, points: Any) -> np.ndarray:
+        """Membership of each point in one simple polygon (boundary = inside)."""
+        raise NotImplementedError
+
+    def objects_contained(self, region: Any, corners: Any) -> np.ndarray:
+        """Containment of ``N`` objects (``(N, 4, 2)`` corners) in *region*.
+
+        Default implementation: the corners-plus-edge-midpoints test through
+        the region's batched point containment — exactly
+        ``Region.contains_object`` semantics.  Backends whose acceleration
+        lives below the region layer (numba's polygon kernels) inherit this.
+        """
+        from ..kernel import contains_points, object_test_points
+
+        corners = np.asarray(corners, dtype=float)
+        n = corners.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        test_points = object_test_points(corners).reshape(-1, 2)
+        inside = contains_points(region, test_points).reshape(n, 8)
+        return inside.all(axis=1)
+
+    def pairwise_collisions(
+        self,
+        corners: Any,
+        collidable: Optional[np.ndarray] = None,
+        grid_threshold: Optional[int] = None,
+    ) -> np.ndarray:
+        """All overlapping pairs as ``(M, 2)`` indices, lexicographic ``i < j``."""
+        raise NotImplementedError
+
+    def batch_collision_free(
+        self, corners: Any, collidable: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Collision-freedom of ``K`` candidate scenes (``(K, N, 4, 2)`` corners)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} priority={self.priority}>"
+
+
+__all__ = ["BackendUnavailableError", "KernelBackend"]

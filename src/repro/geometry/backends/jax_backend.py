@@ -1,0 +1,163 @@
+"""Optional JAX backend stub: the numpy predicates mirrored onto ``jax.numpy``.
+
+This is deliberately a *stub*: it proves the registry's capability-gating
+shape (lazy import, :meth:`JaxBackend.is_available` via ``find_spec``,
+``BackendUnavailableError`` on construction without the dependency) and
+gives the differential gauntlet a third backend to hold to the 1e-9
+agreement contract when JAX is installed.  It mirrors the reference
+implementations op-for-op on ``jax.numpy`` arrays and converts results back
+to numpy; it does not yet ``jit``/``vmap`` or place work on accelerators —
+see ``docs/backends.md`` for what a production JAX backend would add.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Any, Optional
+
+import numpy as np
+
+from .base import BackendUnavailableError, KernelBackend
+
+
+class JaxBackend(KernelBackend):
+    """JAX array backend (optional stub; requires ``jax``)."""
+
+    name = "jax"
+    priority = 20
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("jax") is not None
+
+    def __init__(self) -> None:
+        if not self.is_available():
+            raise BackendUnavailableError(
+                "the 'jax' backend requires the jax package; "
+                "install it or select the 'numpy' backend"
+            )
+        import jax.numpy as jnp  # lazy: only reached when available
+
+        self._jnp = jnp
+
+    def points_in_polygon(self, vertices: Any, points: Any) -> np.ndarray:
+        from ..kernel import as_points
+
+        jnp = self._jnp
+        vertices = np.asarray(vertices, dtype=float)
+        pts = as_points(points)
+        if len(pts) == 0 or len(vertices) == 0:
+            return np.zeros(len(pts), dtype=bool)
+        x = jnp.asarray(pts[:, 0])
+        y = jnp.asarray(pts[:, 1])
+        count = len(vertices)
+        inside = jnp.zeros(len(pts), dtype=bool)
+        on_edge = jnp.zeros(len(pts), dtype=bool)
+        j = count - 1
+        for i in range(count):
+            xi, yi = float(vertices[i, 0]), float(vertices[i, 1])
+            xj, yj = float(vertices[j, 0]), float(vertices[j, 1])
+            edge_x, edge_y = xj - xi, yj - yi
+            length_sq = edge_x * edge_x + edge_y * edge_y
+            tolerance = 1e-9 * max(1.0, float(np.hypot(edge_x, edge_y)))
+            cross = edge_x * (y - yi) - edge_y * (x - xi)
+            dot = (x - xi) * edge_x + (y - yi) * edge_y
+            on_edge |= (jnp.abs(cross) <= tolerance) & (dot >= -1e-9) & (dot <= length_sq + 1e-9)
+            crosses = (yi > y) != (yj > y)
+            if yi != yj:
+                slope_x = xj + (y - yj) * (xi - xj) / (yi - yj)
+                inside ^= crosses & (x < slope_x)
+            j = i
+        return np.asarray(inside | on_edge)
+
+    def _quads_overlap(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+        jnp = self._jnp
+        first = jnp.asarray(first, dtype=float)
+        second = jnp.asarray(second, dtype=float)
+        edges = jnp.concatenate(
+            [jnp.roll(first, -1, axis=1) - first, jnp.roll(second, -1, axis=1) - second],
+            axis=1,
+        )
+        axes = jnp.stack([-edges[..., 1], edges[..., 0]], axis=-1)
+        projections_first = axes @ first.transpose(0, 2, 1)
+        projections_second = axes @ second.transpose(0, 2, 1)
+        separated = (projections_first.max(axis=2) < projections_second.min(axis=2)) | (
+            projections_second.max(axis=2) < projections_first.min(axis=2)
+        )
+        return np.asarray(~separated.any(axis=1))
+
+    def pairwise_collisions(
+        self,
+        corners: Any,
+        collidable: Optional[np.ndarray] = None,
+        grid_threshold: Optional[int] = None,
+    ) -> np.ndarray:
+        from ..kernel import GRID_PAIR_THRESHOLD, aabbs_of
+
+        if grid_threshold is None:
+            grid_threshold = GRID_PAIR_THRESHOLD
+        corners = np.asarray(corners, dtype=float)
+        n = corners.shape[0]
+        if n < 2:
+            return np.zeros((0, 2), dtype=int)
+        if collidable is None:
+            collidable_mask = np.ones(n, dtype=bool)
+        else:
+            collidable_mask = np.asarray(collidable, dtype=bool)
+        boxes = aabbs_of(corners)
+        if n >= grid_threshold:
+            from ..spatial_index import SpatialGrid
+
+            pairs = SpatialGrid(boxes).candidate_pairs()
+        else:
+            row, col = np.triu_indices(n, k=1)
+            pairs = np.stack([row, col], axis=1)
+        if len(pairs) == 0:
+            return np.zeros((0, 2), dtype=int)
+        i, j = pairs[:, 0], pairs[:, 1]
+        keep = collidable_mask[i] & collidable_mask[j]
+        keep &= ~(
+            (boxes[i, 2] < boxes[j, 0])
+            | (boxes[j, 2] < boxes[i, 0])
+            | (boxes[i, 3] < boxes[j, 1])
+            | (boxes[j, 3] < boxes[i, 1])
+        )
+        pairs = pairs[keep]
+        if len(pairs) == 0:
+            return pairs
+        hits = self._quads_overlap(corners[pairs[:, 0]], corners[pairs[:, 1]])
+        return pairs[hits]
+
+    def batch_collision_free(
+        self, corners: Any, collidable: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        corners = np.asarray(corners, dtype=float)
+        k, n = corners.shape[0], corners.shape[1]
+        if k == 0:
+            return np.zeros(0, dtype=bool)
+        if n < 2:
+            return np.ones(k, dtype=bool)
+        row, col = np.triu_indices(n, k=1)
+        mins = corners.min(axis=2)
+        maxs = corners.max(axis=2)
+        candidate = ~(
+            (maxs[:, row, 0] < mins[:, col, 0])
+            | (maxs[:, col, 0] < mins[:, row, 0])
+            | (maxs[:, row, 1] < mins[:, col, 1])
+            | (maxs[:, col, 1] < mins[:, row, 1])
+        )
+        if collidable is not None:
+            mask = np.asarray(collidable, dtype=bool)
+            candidate &= mask[:, row] & mask[:, col]
+        scene_index, pair_index = np.nonzero(candidate)
+        if len(scene_index) == 0:
+            return np.ones(k, dtype=bool)
+        hits = self._quads_overlap(
+            corners[scene_index, row[pair_index]], corners[scene_index, col[pair_index]]
+        )
+        free = np.ones(k, dtype=bool)
+        free[scene_index[hits]] = False
+        return free
+
+
+__all__ = ["JaxBackend"]

@@ -1,0 +1,291 @@
+"""Cross-request kernel fusion: one fused geometry launch per service tick.
+
+Motivation (ROADMAP "fuse across scenes, not just candidates"): in the
+inline service (``workers=0``) many concurrent requests each run a sampling
+shard on its own thread, and each shard's candidate block ends in a small
+geometry-kernel call — ``batch_collision_free`` over a ``(K, N, 4, 2)``
+corner stack, ``objects_contained`` over ``(N, 4, 2)``.  For service-sized
+blocks the numpy *call overhead* dominates the arithmetic, so R concurrent
+requests pay R fixed costs per tick.  The :class:`FusionHub` coalesces
+those calls: shards submit their blocks, the last arriver of a tick (or a
+~2 ms timeout) concatenates compatible blocks along the batch axis, runs
+**one** fused kernel call per group on the underlying backend, and hands
+each shard back exactly its slice.
+
+Determinism contract — fused ≡ serial, bit for bit.  Both fused entry
+points are *element-independent*: ``batch_collision_free`` decides each
+candidate scene from its own ``(N, 4, 2)`` corners only, and
+``objects_contained`` decides each object from its own test points only
+(the reference implementations never reduce across the batch axis, and the
+AABB-prefilter/SAT arithmetic per element is unchanged by concatenation).
+Therefore a shard's result slice is identical no matter which — or how
+many — other requests happened to share its tick, and per-request scenes,
+RNG streams and stats stay exactly what serial execution produces.  The
+fusion determinism suite (``tests/test_service_stats.py``) and the hub
+unit tests pin this.  (Scope note, same as the service's worker-count
+contract: the ``direct`` family's ``importance_weight`` is an *online*
+estimate accumulated in engine-local tracker state, so it already varies
+with engine reuse across ``workers=0/1/2``; fused shards use fresh engines
+and inherit exactly that caveat.  Scene geometry and params are
+bit-identical for every strategy.)
+
+Fusion groups are keyed so concatenation is well-formed: by underlying
+backend and per-scene object count for collision blocks; by backend and
+region identity for containment blocks.  Shards of the same published
+program share the artifact's interned scenario — hence the same workspace
+region object — so concurrent requests for one program fuse; unrelated
+programs simply land in different groups of the same tick.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.backends import KernelBackend
+
+#: How long a submitted block waits for tick-mates before flushing alone.
+#: Long enough for threads mid-concretization to arrive, short enough to be
+#: invisible next to a candidate block's Python-side draw cost.
+DEFAULT_MAX_WAIT_SECONDS = 0.002
+
+
+class _FusionItem:
+    """One shard's pending kernel call: inputs, and the result slot."""
+
+    __slots__ = (
+        "kind",
+        "group_key",
+        "arrays",
+        "region",
+        "backend",
+        "size",
+        "done",
+        "result",
+        "error",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        group_key: Tuple[Any, ...],
+        arrays: Tuple[np.ndarray, ...],
+        backend: KernelBackend,
+        region: Any = None,
+    ):
+        self.kind = kind
+        self.group_key = group_key
+        self.arrays = arrays
+        self.backend = backend
+        self.region = region
+        self.size = int(arrays[0].shape[0])
+        self.done = False
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
+class FusionHub:
+    """Coalesces concurrent shards' kernel calls into fused launches.
+
+    Threading model: shards (threads) ``register()`` while sampling and
+    ``submit_*`` each kernel call.  A submission blocks until its result is
+    ready; the *last* concurrently-waiting shard executes the flush (every
+    registered shard is either waiting here or not currently in a kernel
+    call, so "all active shards are waiting" is the natural tick boundary),
+    and a timeout guarantees progress when some registered shard never
+    submits (scalar-path scenarios, finished loops).
+    """
+
+    def __init__(self, max_wait_seconds: float = DEFAULT_MAX_WAIT_SECONDS):
+        self.max_wait_seconds = float(max_wait_seconds)
+        self._cv = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._items: List[_FusionItem] = []
+        self._ticks = 0
+        self._fused_calls = 0
+        self._submitted = 0
+        self._max_tick_items = 0
+
+    # -- shard lifecycle ---------------------------------------------------------
+
+    def register(self) -> None:
+        """A shard is now sampling (its kernel calls may arrive any moment)."""
+        with self._cv:
+            self._active += 1
+
+    def unregister(self) -> None:
+        """A shard finished; waiters re-check whether they are now the last."""
+        with self._cv:
+            self._active -= 1
+            self._cv.notify_all()
+
+    # -- fused entry points ------------------------------------------------------
+
+    def submit_batch_collision_free(
+        self,
+        backend: KernelBackend,
+        corners: np.ndarray,
+        collidable: Optional[np.ndarray],
+    ) -> np.ndarray:
+        corners = np.asarray(corners, dtype=float)
+        k, n = corners.shape[0], corners.shape[1]
+        if k == 0:
+            return np.zeros(0, dtype=bool)
+        # Materialize the no-mask default so blocks with and without masks
+        # concatenate into one call (an all-True mask is semantically
+        # identical to collidable=None in every backend).
+        if collidable is None:
+            collidable = np.ones((k, n), dtype=bool)
+        else:
+            collidable = np.asarray(collidable, dtype=bool)
+        item = _FusionItem(
+            "collision", ("collision", id(backend), n), (corners, collidable), backend
+        )
+        return self._submit(item)
+
+    def submit_objects_contained(
+        self, backend: KernelBackend, region: Any, corners: np.ndarray
+    ) -> np.ndarray:
+        corners = np.asarray(corners, dtype=float)
+        if corners.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        item = _FusionItem(
+            "containment",
+            ("containment", id(backend), id(region)),
+            (corners,),
+            backend,
+            region=region,
+        )
+        return self._submit(item)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _submit(self, item: _FusionItem) -> np.ndarray:
+        deadline = time.monotonic() + self.max_wait_seconds
+        with self._cv:
+            self._items.append(item)
+            self._submitted += 1
+            self._waiting += 1
+            try:
+                while not item.done:
+                    if self._waiting >= max(self._active, 1):
+                        self._flush_locked()
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._flush_locked()
+                        break
+                    self._cv.wait(remaining)
+            finally:
+                self._waiting -= 1
+        if item.error is not None:
+            raise item.error
+        return item.result
+
+    def _flush_locked(self) -> None:
+        """Run every pending item, fused per group; called with the lock held.
+
+        Executing under the lock serializes the kernel work of a tick, which
+        is the point: one launch doing all shards' arithmetic instead of R
+        overlapping small ones.
+        """
+        items, self._items = self._items, []
+        if not items:
+            return
+        self._ticks += 1
+        self._max_tick_items = max(self._max_tick_items, len(items))
+        groups: Dict[Tuple[Any, ...], List[_FusionItem]] = {}
+        for item in items:
+            groups.setdefault(item.group_key, []).append(item)
+        self._fused_calls += len(groups)
+        for group in groups.values():
+            try:
+                self._run_group(group)
+            except BaseException as error:  # noqa: BLE001 - delivered to submitters
+                for item in group:
+                    item.error = error
+        for item in items:
+            item.done = True
+        self._cv.notify_all()
+
+    @staticmethod
+    def _run_group(group: List[_FusionItem]) -> None:
+        first = group[0]
+        backend = first.backend
+        if len(group) == 1:
+            fused_arrays = first.arrays
+        else:
+            fused_arrays = tuple(
+                np.concatenate([item.arrays[position] for item in group])
+                for position in range(len(first.arrays))
+            )
+        if first.kind == "collision":
+            fused_result = backend.batch_collision_free(*fused_arrays)
+        else:
+            fused_result = backend.objects_contained(first.region, fused_arrays[0])
+        offset = 0
+        for item in group:
+            item.result = fused_result[offset : offset + item.size]
+            offset += item.size
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Fusion counters: how much coalescing actually happened."""
+        with self._cv:
+            return {
+                "ticks": self._ticks,
+                "submitted_calls": self._submitted,
+                "fused_calls": self._fused_calls,
+                "calls_saved": self._submitted - self._fused_calls,
+                "max_tick_items": self._max_tick_items,
+                "active_shards": self._active,
+            }
+
+
+class FusedKernelBackend(KernelBackend):
+    """A :class:`KernelBackend` proxy routing batch predicates through a hub.
+
+    Wraps an underlying backend (numpy by default): the two fusible,
+    element-independent predicates go through the hub; the rest delegate
+    directly.  Engines in fused shards are constructed with
+    ``SamplerEngine(..., backend=FusedKernelBackend(hub, base))`` — per-
+    engine pinning, so the process-global backend (and with it the
+    non-service determinism contract) is never touched.
+    """
+
+    def __init__(self, hub: FusionHub, base: KernelBackend):
+        self.hub = hub
+        self.base = base
+        self.name = f"fused+{base.name}"
+        self.priority = base.priority
+
+    def points_in_polygon(self, vertices: Any, points: Any) -> np.ndarray:
+        return self.base.points_in_polygon(vertices, points)
+
+    def objects_contained(self, region: Any, corners: Any) -> np.ndarray:
+        return self.hub.submit_objects_contained(self.base, region, corners)
+
+    def pairwise_collisions(
+        self,
+        corners: Any,
+        collidable: Optional[np.ndarray] = None,
+        grid_threshold: Optional[int] = None,
+    ) -> np.ndarray:
+        return self.base.pairwise_collisions(corners, collidable, grid_threshold=grid_threshold)
+
+    def batch_collision_free(
+        self, corners: Any, collidable: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return self.hub.submit_batch_collision_free(self.base, corners, collidable)
+
+
+__all__ = [
+    "DEFAULT_MAX_WAIT_SECONDS",
+    "FusedKernelBackend",
+    "FusionHub",
+]

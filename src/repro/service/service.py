@@ -120,6 +120,13 @@ class GenerationService:
     shm_threshold:
         Minimum packed block size (bytes) before ``"shm"`` creates a
         segment; smaller blocks pickle their arrays.
+    fusion:
+        Cross-request kernel fusion (requires ``workers=0``): concurrent
+        requests' shards run on threads and their geometry-kernel calls
+        coalesce into one fused launch per tick through a
+        :class:`~repro.service.fusion.FusionHub`.  Output is bit-identical
+        to ``fusion=False`` — see ``docs/backends.md``.  Fusion counters
+        appear under ``service_stats()["fusion"]``.
     """
 
     def __init__(
@@ -131,8 +138,21 @@ class GenerationService:
         worker_cache_size: int = 64,
         transport: Optional[str] = None,
         shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        fusion: bool = False,
     ):
         self.workers = max(0, int(workers))
+        if fusion and self.workers > 0:
+            raise ValueError(
+                "kernel fusion coalesces shards running inline on threads; "
+                "it requires workers=0 (process-pool workers already batch "
+                "within their own shards)"
+            )
+        if fusion:
+            from .fusion import FusionHub
+
+            self.fusion_hub: Optional[Any] = FusionHub()
+        else:
+            self.fusion_hub = None
         self.max_inflight = max_inflight if max_inflight is not None else 2 * max(self.workers, 1)
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
@@ -543,6 +563,10 @@ class GenerationService:
     ) -> ShardOutcome:
         loop = asyncio.get_running_loop()
         pool = self._pools[worker] if worker is not None else None
+        if pool is None and self.fusion_hub is not None:
+            # Fused inline mode: shards from every concurrent request run on
+            # the default thread pool and coalesce kernel calls per tick.
+            return await loop.run_in_executor(None, run_shard, payload, self.fusion_hub)
         # workers=0: run_in_executor(None) -> default thread pool, same code path.
         return await loop.run_in_executor(pool, run_shard, payload)
 
@@ -563,6 +587,7 @@ class GenerationService:
             ),
             "published_programs": len(self._sources),
             "coordinator_cache": self.cache.stats.as_dict(),
+            "fusion": self.fusion_hub.stats() if self.fusion_hub is not None else None,
         }
 
 

@@ -106,14 +106,86 @@ def _engine_for(payload: ShardPayload) -> Tuple[Any, bool, bool]:
     return engine, warm, False
 
 
-def run_shard(payload: ShardPayload) -> ShardOutcome:
-    """Sample one shard's scene indices; never raises.
+def _fused_engine_for(payload: ShardPayload, fusion: Any) -> Tuple[Any, bool]:
+    """A *fresh* engine whose kernel calls coalesce through the fusion hub.
+
+    Fused shards run concurrently on threads, so they cannot share the
+    mutable cached engines in :data:`_ENGINES`; the artifact cache still
+    amortises compiles, and bind-time analysis is the only per-shard cost.
+    A ``"backend"`` strategy option picks the *underlying* compute backend
+    the hub launches fused calls on (numpy/the process default otherwise).
+    """
+    from ..geometry import backends as _geometry_backends
+    from ..sampling import SamplerEngine
+    from .fusion import FusedKernelBackend
+
+    cache = _cache()
+    artifact = cache.lookup_fingerprint(payload.fingerprint)
+    warm = artifact is not None
+    if artifact is None:
+        artifact = cache.get(payload.source)
+    options = dict(payload.strategy_options)
+    base = _geometry_backends.get_backend(options.pop("backend", None))
+    engine = SamplerEngine(
+        artifact,
+        strategy=payload.strategy,
+        backend=FusedKernelBackend(fusion, base),
+        **options,
+    )
+    return engine, warm
+
+
+def _sample_indices(
+    engine: Any,
+    payload: ShardPayload,
+    aggregate: Any,
+    scenes: List[Any],
+    iterations: List[Optional[int]],
+) -> None:
+    """The shard sampling loop, shared by the serial and fused paths.
 
     Splitmix mode (``payload.seeds`` given): scene *i* is drawn with its own
     ``Random(seeds[i])``, so the result is independent of how indices were
     sharded.  Direct mode: the shard draws sequentially from
     ``Random(master_seed)``, reproducing the classic
     ``Scenario.generate_batch`` stream.
+    """
+    sequential_rng = _random.Random(payload.master_seed) if payload.seeds is None else None
+    for position, index in enumerate(payload.indices):
+        rng = (
+            sequential_rng
+            if sequential_rng is not None
+            else _random.Random(payload.seeds[position])
+        )
+        stats_before = engine.last_stats
+        try:
+            scene = engine.sample(max_iterations=payload.max_iterations, rng=rng)
+        except Exception:
+            # Keep the failing draw's diagnostics (when the engine
+            # got far enough to produce any) in the shard stats.
+            if engine.last_stats is not None and engine.last_stats is not stats_before:
+                aggregate.record(engine.last_stats, payload.strategy, accepted=False)
+            raise
+        aggregate.record(
+            engine.last_stats,
+            payload.strategy,
+            accepted=True,
+            importance_weight=(
+                scene.importance_weight
+                if engine.strategy.uses_importance_weights
+                else None
+            ),
+        )
+        scenes.append(scene)
+        iterations.append(
+            engine.last_stats.iterations
+            if payload.record_iterations and engine.last_stats
+            else None
+        )
+
+
+def run_shard(payload: ShardPayload, fusion: Any = None) -> ShardOutcome:
+    """Sample one shard's scene indices; never raises.
 
     The accepted scenes are packed into one columnar
     :class:`~repro.service.transport.SceneBlock` after the sampling loop and
@@ -121,10 +193,20 @@ def run_shard(payload: ShardPayload) -> ShardOutcome:
     ``payload.shm_threshold`` bytes into a shared-memory segment the
     coordinator unlinks after reading.
 
-    Holds :data:`_SHARD_LOCK` for the duration: shards within one process
-    run serially (only observable in the coordinator's inline
-    ``workers=0`` mode — pool workers are single-threaded anyway), keeping
-    the cached engines' state and stats coherent.
+    Without *fusion*, holds :data:`_SHARD_LOCK` for the duration: shards
+    within one process run serially (only observable in the coordinator's
+    inline ``workers=0`` mode — pool workers are single-threaded anyway),
+    keeping the cached engines' state and stats coherent.
+
+    With *fusion* (a :class:`~repro.service.fusion.FusionHub`; inline mode
+    only), shards run **concurrently** on threads and their kernel calls
+    coalesce into fused launches.  Each shard gets a fresh engine (no shared
+    mutable state; per-scene RNG streams and sampling order are untouched),
+    so the fused output is bit-identical to serial execution — the fusion
+    determinism suite asserts this.  Non-mutating strategies sharing the
+    artifact's interned scenario across shard threads is already proven
+    safe by ``ParallelSampler``'s thread-pool contract; mutating strategies
+    (pruning/direct) resolve fresh scenarios per engine as always.
     """
     from ..sampling import AggregateStats
 
@@ -135,51 +217,26 @@ def run_shard(payload: ShardPayload) -> ShardOutcome:
     error: Optional[Dict[str, Any]] = None
     cache_hit = False
     engine_hit = False
-    with _SHARD_LOCK:
-        try:
-            engine, cache_hit, engine_hit = _engine_for(payload)
-            sequential_rng = (
-                _random.Random(payload.master_seed) if payload.seeds is None else None
-            )
-            for position, index in enumerate(payload.indices):
-                rng = (
-                    sequential_rng
-                    if sequential_rng is not None
-                    else _random.Random(payload.seeds[position])
-                )
-                stats_before = engine.last_stats
-                try:
-                    scene = engine.sample(max_iterations=payload.max_iterations, rng=rng)
-                except Exception:
-                    # Keep the failing draw's diagnostics (when the engine
-                    # got far enough to produce any) in the shard stats.
-                    if engine.last_stats is not None and engine.last_stats is not stats_before:
-                        aggregate.record(engine.last_stats, payload.strategy, accepted=False)
-                    raise
-                aggregate.record(
-                    engine.last_stats,
-                    payload.strategy,
-                    accepted=True,
-                    importance_weight=(
-                        scene.importance_weight
-                        if engine.strategy.uses_importance_weights
-                        else None
-                    ),
-                )
-                scenes.append(scene)
-                iterations.append(
-                    engine.last_stats.iterations
-                    if payload.record_iterations and engine.last_stats
-                    else None
-                )
-        except Exception as exc:  # noqa: BLE001 - outcomes must always pickle home
-            error = {
-                "type": type(exc).__name__,
-                "message": str(exc),
-                "index": payload.indices[len(scenes)]
-                if len(scenes) < len(payload.indices)
-                else None,
-            }
+    try:
+        if fusion is not None:
+            engine, cache_hit = _fused_engine_for(payload, fusion)
+            fusion.register()
+            try:
+                _sample_indices(engine, payload, aggregate, scenes, iterations)
+            finally:
+                fusion.unregister()
+        else:
+            with _SHARD_LOCK:
+                engine, cache_hit, engine_hit = _engine_for(payload)
+                _sample_indices(engine, payload, aggregate, scenes, iterations)
+    except Exception as exc:  # noqa: BLE001 - outcomes must always pickle home
+        error = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "index": payload.indices[len(scenes)]
+            if len(scenes) < len(payload.indices)
+            else None,
+        }
     block = SceneBlock.pack(scenes, iterations=iterations)
     return ShardOutcome(
         indices=list(payload.indices[: len(scenes)]),

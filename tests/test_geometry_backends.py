@@ -1,0 +1,407 @@
+"""The geometry-backend registry and its differential gauntlet.
+
+Three layers of guarantees (docs/backends.md):
+
+* **Registry semantics** — registration/overwrite/unknown-name errors, the
+  reserved names, and the capability-fallback order of ``"auto"``, checked
+  both directly and as Hypothesis properties over randomly generated fake
+  backends.
+* **Cross-backend agreement** — ``batch_collision_free`` must equal the
+  conjunction of ``pairwise_collisions`` emptiness on random object sets,
+  for every *available* backend (numpy always; numba/jax in the CI
+  ``backends`` job).
+* **The gauntlet catches real bugs** — a planted backend whose corners are
+  biased by a single ulp must be flagged by the fuzz kernel-equivalence
+  oracle on a scene with exactly-touching objects, while numpy passes the
+  identical check.  This is the selfcheck proving the differential suites
+  have teeth at 1-ulp resolution.
+
+Artifact fingerprints must be backend-independent (an engine cache keyed by
+fingerprint must never conflate — or split — entries because of compute
+backend choice); that is pinned here too.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objects import Object
+from repro.geometry import backends as geometry_backends
+from repro.geometry import kernel
+from repro.geometry.backends import (
+    BackendUnavailableError,
+    KernelBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+    use_backend,
+)
+from repro.geometry.polygon import polygons_intersect
+
+from conftest import backend_params
+
+
+def make_fake_backend(name, priority, available=True):
+    """A registrable backend class: numpy's math under a different identity."""
+    return type(
+        f"Fake_{name.replace('-', '_')}",
+        (NumpyBackend,),
+        {
+            "name": name,
+            "priority": priority,
+            "is_available": classmethod(lambda cls, _available=available: _available),
+        },
+    )
+
+
+class TestRegistrySemantics:
+    def test_builtins_are_registered_in_priority_order(self):
+        names = registered_backends()
+        assert names == ["numba", "jax", "numpy"]  # priority 30 > 20 > 10
+        assert "numpy" in available_backends()  # the reference always works
+
+    def test_duplicate_registration_is_an_error(self):
+        fake = make_fake_backend("fake-dup", priority=1)
+        register_backend(fake)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend(make_fake_backend("fake-dup", priority=2))
+            assert get_backend("fake-dup").priority == 1
+        finally:
+            unregister_backend("fake-dup")
+
+    def test_overwrite_replaces_class_and_cached_instance(self):
+        register_backend(make_fake_backend("fake-over", priority=1))
+        try:
+            assert get_backend("fake-over").priority == 1
+            register_backend(make_fake_backend("fake-over", priority=7), overwrite=True)
+            assert get_backend("fake-over").priority == 7  # stale instance dropped
+        finally:
+            unregister_backend("fake-over")
+
+    @pytest.mark.parametrize("reserved", ["auto", "abstract", ""])
+    def test_reserved_and_empty_names_are_rejected(self, reserved):
+        with pytest.raises(ValueError, match="reserved|non-empty"):
+            register_backend(make_fake_backend(reserved, priority=1) if reserved
+                             else type("Nameless", (NumpyBackend,), {"name": ""}))
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match="unknown geometry backend 'nope'"):
+            get_backend("nope")
+        with pytest.raises(ValueError, match="unknown"):
+            unregister_backend("nope")
+
+    def test_unavailable_backend_raises_backend_unavailable(self):
+        register_backend(make_fake_backend("fake-absent", priority=99, available=False))
+        try:
+            with pytest.raises(BackendUnavailableError, match="not installed"):
+                get_backend("fake-absent")
+            # Unavailable backends never win "auto" despite top priority.
+            assert get_backend("auto").name != "fake-absent"
+        finally:
+            unregister_backend("fake-absent")
+
+    def test_instances_pass_through_get_backend(self):
+        instance = NumpyBackend()
+        assert get_backend(instance) is instance
+
+    def test_unregistering_the_active_backend_restores_the_default(self):
+        register_backend(make_fake_backend("fake-active", priority=1))
+        previous = geometry_backends.set_active_backend("fake-active")
+        try:
+            assert geometry_backends.active_backend().name == "fake-active"
+            unregister_backend("fake-active")
+            assert geometry_backends.active_backend().name == "numpy"
+        finally:
+            if "fake-active" in registered_backends():
+                unregister_backend("fake-active")
+            geometry_backends.set_active_backend(previous)
+
+    def test_env_var_fallback_warns_instead_of_failing(self, monkeypatch):
+        monkeypatch.setenv(geometry_backends.BACKEND_ENV_VAR, "definitely-not-real")
+        monkeypatch.setattr(geometry_backends, "_ACTIVE", None)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert geometry_backends.active_backend().name == "numpy"
+
+    def test_use_backend_restores_previous_active(self):
+        before = geometry_backends.active_backend().name
+        with use_backend("numpy") as active:
+            assert active.name == "numpy"
+        assert geometry_backends.active_backend().name == before
+
+
+@st.composite
+def fake_backend_specs(draw):
+    """Distinct fake backends: (name, priority, available) triples."""
+    count = draw(st.integers(min_value=1, max_value=5))
+    priorities = draw(
+        st.lists(st.integers(min_value=-5, max_value=100), min_size=count, max_size=count)
+    )
+    availabilities = draw(st.lists(st.booleans(), min_size=count, max_size=count))
+    return [
+        (f"fake-hyp-{index}", priority, available)
+        for index, (priority, available) in enumerate(zip(priorities, availabilities))
+    ]
+
+
+class TestCapabilityFallbackProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(specs=fake_backend_specs())
+    def test_auto_selects_highest_priority_available(self, specs):
+        registered = []
+        try:
+            for name, priority, available in specs:
+                register_backend(make_fake_backend(name, priority, available))
+                registered.append(name)
+            names = registered_backends()
+            # Fallback order is total and deterministic: priority desc, name asc.
+            assert names == sorted(names, key=lambda n: (-get_priority(n), n))
+            avail = available_backends()
+            assert [n for n in names if n in set(avail)] == avail
+            assert get_backend("auto").name == avail[0]
+        finally:
+            for name in registered:
+                unregister_backend(name)
+
+    @settings(deadline=None, max_examples=30)
+    @given(specs=fake_backend_specs())
+    def test_registry_round_trips(self, specs):
+        before = registered_backends()
+        registered = []
+        try:
+            for name, priority, available in specs:
+                register_backend(make_fake_backend(name, priority, available))
+                registered.append(name)
+                assert name in registered_backends()
+        finally:
+            for name in registered:
+                unregister_backend(name)
+        assert registered_backends() == before
+
+
+def get_priority(name):
+    return geometry_backends._REGISTRY[name].priority
+
+
+def random_objects(rng, count):
+    return [
+        Object._make(
+            position=(rng.uniform(-12, 12), rng.uniform(-12, 12)),
+            heading=rng.uniform(-math.pi, math.pi),
+            width=rng.uniform(0.3, 5.0),
+            height=rng.uniform(0.3, 5.0),
+            allowCollisions=False,
+        )
+        for _ in range(count)
+    ]
+
+
+class TestCrossBackendAgreement:
+    """batch_collision_free ≡ pairwise_collisions, per available backend."""
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        object_count=st.integers(min_value=1, max_value=10),
+        scene_count=st.integers(min_value=1, max_value=8),
+    )
+    def test_batch_equals_pairwise_conjunction(self, seed, object_count, scene_count):
+        rng = random.Random(seed)
+        scenes = [random_objects(rng, object_count) for _ in range(scene_count)]
+        corners = np.stack([kernel.corners_array(objects) for objects in scenes])
+        for name in available_backends():
+            backend = get_backend(name)
+            free = backend.batch_collision_free(corners)
+            expected = [
+                len(backend.pairwise_collisions(scene_corners)) == 0
+                for scene_corners in corners
+            ]
+            assert free.tolist() == expected, f"backend {name!r} disagrees with itself"
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        object_count=st.integers(min_value=2, max_value=12),
+    )
+    def test_pairwise_matches_scalar_double_loop(self, seed, object_count):
+        rng = random.Random(seed)
+        objects = random_objects(rng, object_count)
+        corners = kernel.corners_array(objects)
+        scalar = [
+            (i, j)
+            for i in range(object_count)
+            for j in range(i + 1, object_count)
+            if polygons_intersect(objects[i].bounding_polygon, objects[j].bounding_polygon)
+        ]
+        for name in available_backends():
+            pairs = [tuple(pair) for pair in get_backend(name).pairwise_collisions(corners)]
+            assert pairs == scalar, f"backend {name!r} diverges from the scalar loop"
+
+    @pytest.mark.parametrize("name", backend_params())
+    def test_objects_contained_agrees_across_backends(self, name):
+        from repro.core.regions import CircularRegion
+
+        region = CircularRegion((0.0, 0.0), 8.0)
+        corners = kernel.corners_array(random_objects(random.Random(3), 40))
+        reference = get_backend("numpy").objects_contained(region, corners)
+        assert get_backend(name).objects_contained(region, corners).tolist() == (
+            reference.tolist()
+        )
+
+
+class TestFingerprintsAreBackendIndependent:
+    SOURCE = "ego = Object at 0 @ 0\nother = Object at 3 @ 1\n"
+
+    def test_compile_fingerprint_ignores_active_backend(self):
+        from repro.language import compile_scenario
+
+        baseline = compile_scenario(self.SOURCE).fingerprint
+        for name in available_backends():
+            with use_backend(name):
+                assert compile_scenario(self.SOURCE).fingerprint == baseline
+
+    def test_engines_on_different_backends_share_one_artifact(self):
+        from repro.language import compile_scenario
+        from repro.sampling import SamplerEngine
+
+        artifact = compile_scenario(self.SOURCE)
+        default = SamplerEngine(artifact)
+        pinned = SamplerEngine(artifact, backend="numpy")
+        # Same interned scenario — the backend pins compute, not compilation.
+        assert pinned.scenario is default.scenario
+        assert pinned.backend.name == "numpy"
+        assert default.backend is None
+
+    def test_unknown_backend_fails_at_engine_construction(self):
+        from repro.sampling import SamplerEngine
+
+        with pytest.raises(ValueError, match="unknown geometry backend"):
+            SamplerEngine(self.SOURCE, backend="not-a-backend")
+
+
+class UlpBiasedBackend(NumpyBackend):
+    """The planted bug: every corner pulled one ulp toward its centroid.
+
+    Exactly-touching quads stop touching, so any differential check with
+    boundary-contact cases must flag this backend — that is the resolution
+    claim of the gauntlet.
+    """
+
+    name = "ulp-biased"
+    priority = 5
+
+    @staticmethod
+    def _bias(corners):
+        corners = np.asarray(corners, dtype=float)
+        centroids = corners.mean(axis=-2, keepdims=True)
+        return np.nextafter(corners, np.broadcast_to(centroids, corners.shape))
+
+    def pairwise_collisions(self, corners, collidable=None, grid_threshold=None):
+        return super().pairwise_collisions(
+            self._bias(corners), collidable, grid_threshold=grid_threshold
+        )
+
+    def batch_collision_free(self, corners, collidable=None):
+        return super().batch_collision_free(self._bias(corners), collidable)
+
+
+def touching_scenario_and_scene():
+    """Two fixed 2x2 squares sharing the edge x = 1 (contact, zero overlap)."""
+    from repro.core import At, Facing, ScenarioBuilder, Vector
+    from repro.core import Object as BuilderObject
+
+    with ScenarioBuilder() as builder:
+        ego = BuilderObject(
+            At(Vector(0, 0)), Facing(0.0), width=2.0, height=2.0, allowCollisions=True
+        )
+        builder.set_ego(ego)
+        BuilderObject(
+            At(Vector(2, 0)), Facing(0.0), width=2.0, height=2.0, allowCollisions=True
+        )
+    scenario = builder.scenario()
+    return scenario, scenario.generate(seed=0)
+
+
+class TestPlantedUlpBiasedBackend:
+    def test_oracle_catches_the_planted_backend_and_clears_numpy(self):
+        from repro.fuzz.oracles import check_kernel_equivalence
+
+        scenario, scene = touching_scenario_and_scene()
+        # Sanity: the scene really has boundary contact, the hardest case.
+        corners = kernel.corners_array(scene.objects)
+        assert polygons_intersect(
+            scene.objects[0].bounding_polygon, scene.objects[1].bounding_polygon
+        )
+        register_backend(UlpBiasedBackend)
+        try:
+            problems = check_kernel_equivalence(
+                scenario, scene, seed=9, backends_to_check=["ulp-biased"]
+            )
+            assert problems, "the gauntlet must flag a 1-ulp-biased backend"
+            assert any(
+                "[ulp-biased]" in problem and "pairwise_collisions" in problem
+                for problem in problems
+            ), problems
+            # The identical check on the reference backend stays clean.
+            assert check_kernel_equivalence(
+                scenario, scene, seed=9, backends_to_check=["numpy"]
+            ) == []
+        finally:
+            unregister_backend("ulp-biased")
+
+    def test_kernel_level_differential_catches_the_bias_directly(self):
+        a = np.array([[(0, 0), (1, 0), (1, 1), (0, 1)]], dtype=float)
+        b = np.array([[(1, 0), (2, 0), (2, 1), (1, 1)]], dtype=float)
+        corners = np.concatenate([a, b])
+        biased = UlpBiasedBackend()
+        assert len(get_backend("numpy").pairwise_collisions(corners)) == 1
+        assert len(biased.pairwise_collisions(corners)) == 0  # the planted miss
+
+    def test_every_available_backend_survives_the_touching_gauntlet(self):
+        from repro.fuzz.oracles import check_kernel_equivalence
+
+        scenario, scene = touching_scenario_and_scene()
+        assert check_kernel_equivalence(scenario, scene, seed=9) == []
+
+
+class TestKernelFacadeDispatch:
+    def test_facade_routes_through_the_active_backend(self):
+        calls = []
+
+        class Recording(NumpyBackend):
+            name = "fake-recording"
+            priority = 1
+
+            def pairwise_collisions(self, corners, collidable=None, grid_threshold=None):
+                calls.append("pairwise")
+                return super().pairwise_collisions(
+                    corners, collidable, grid_threshold=grid_threshold
+                )
+
+        register_backend(Recording)
+        try:
+            corners = kernel.corners_array(random_objects(random.Random(2), 4))
+            with use_backend("fake-recording"):
+                kernel.pairwise_collisions(corners)
+            assert calls == ["pairwise"]
+        finally:
+            unregister_backend("fake-recording")
+
+    def test_backend_protocol_is_complete(self):
+        for name in available_backends():
+            backend = get_backend(name)
+            assert isinstance(backend, KernelBackend)
+            for method in (
+                "points_in_polygon",
+                "objects_contained",
+                "pairwise_collisions",
+                "batch_collision_free",
+            ):
+                assert callable(getattr(backend, method))

@@ -4,6 +4,13 @@ The kernel's contract is that batch results are identical to the scalar
 implementations: for every built-in Region subclass, ``contains_points_batch``
 must agree with ``contains_point`` point for point, and
 ``pairwise_collisions`` must reproduce the scalar double loop pair for pair.
+
+Since PR 9 the kernel dispatches to pluggable backends
+(:mod:`repro.geometry.backends`), so the equivalence classes are
+parametrized over every *registered* backend via the shared
+``geometry_backend`` fixture — numpy always runs; numba/jax run when
+installed and show as skips otherwise (the CI ``backends`` job installs
+numba and runs them for real).
 """
 
 import math
@@ -74,6 +81,7 @@ def seeded_points(seed, count=POINT_COUNT, span=8.0):
 
 
 class TestContainsPointsEquivalence:
+    @pytest.mark.usefixtures("geometry_backend")
     @pytest.mark.parametrize("name", sorted(region_fixtures()))
     def test_batch_matches_scalar_on_random_points(self, name):
         region = region_fixtures()[name]
@@ -146,6 +154,7 @@ def scalar_collision_pairs(objects):
     return pairs
 
 
+@pytest.mark.usefixtures("geometry_backend")
 class TestPairwiseCollisionEquivalence:
     @pytest.mark.parametrize("count", [2, 5, 12, 30])
     def test_matches_scalar_loop(self, count):
@@ -194,6 +203,7 @@ class TestPairwiseCollisionEquivalence:
             assert free[index] == (len(scalar_collision_pairs(objs)) == 0)
 
 
+@pytest.mark.usefixtures("geometry_backend")
 class TestObjectsContained:
     def test_matches_contains_object(self):
         region = PolygonalRegion([_concave_polygon()])

@@ -1,0 +1,335 @@
+"""Cross-request kernel fusion (`repro/service/fusion.py`).
+
+Unit-level pins for the :class:`FusionHub` tick protocol — grouping,
+slicing, mask materialization, error delivery, counters — and for the
+:class:`FusedKernelBackend` proxy.  The end-to-end fused-vs-serial
+bit-identity contract lives in ``tests/test_service_stats.py`` (it needs
+the whole service); here every hub behaviour is exercised deterministically
+with explicit threads.
+"""
+
+import math
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.objects import Object
+from repro.core.regions import CircularRegion
+from repro.geometry import kernel
+from repro.geometry.backends import NumpyBackend, get_backend
+from repro.service import FusedKernelBackend, FusionHub
+
+
+def random_objects(seed, count):
+    rng = random.Random(seed)
+    return [
+        Object._make(
+            position=(rng.uniform(-12, 12), rng.uniform(-12, 12)),
+            heading=rng.uniform(-math.pi, math.pi),
+            width=rng.uniform(0.3, 5.0),
+            height=rng.uniform(0.3, 5.0),
+            allowCollisions=False,
+        )
+        for _ in range(count)
+    ]
+
+
+def scene_stack(seed, scenes, objects_per_scene):
+    return np.stack(
+        [
+            kernel.corners_array(random_objects(seed + index, objects_per_scene))
+            for index in range(scenes)
+        ]
+    )
+
+
+def run_threads(workers):
+    """Run the callables on parallel threads; re-raise the first failure."""
+    errors = []
+
+    def wrap(work):
+        def target():
+            try:
+                work()
+            except BaseException as error:  # noqa: BLE001 - reported to pytest
+                errors.append(error)
+
+        return target
+
+    threads = [threading.Thread(target=wrap(work)) for work in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    if errors:
+        raise errors[0]
+    return errors
+
+
+class TestFusionHubSingleShard:
+    def test_lone_submission_flushes_immediately_and_matches_direct(self):
+        hub = FusionHub()
+        backend = get_backend("numpy")
+        corners = scene_stack(0, scenes=5, objects_per_scene=4)
+        hub.register()
+        try:
+            result = hub.submit_batch_collision_free(backend, corners, None)
+        finally:
+            hub.unregister()
+        assert result.tolist() == backend.batch_collision_free(corners).tolist()
+        stats = hub.stats()
+        assert stats["ticks"] == 1
+        assert stats["submitted_calls"] == 1
+        assert stats["fused_calls"] == 1
+        assert stats["calls_saved"] == 0
+        assert stats["active_shards"] == 0
+
+    def test_empty_batch_short_circuits_without_a_tick(self):
+        hub = FusionHub()
+        backend = get_backend("numpy")
+        assert hub.submit_batch_collision_free(
+            backend, np.zeros((0, 3, 4, 2)), None
+        ).shape == (0,)
+        assert hub.submit_objects_contained(
+            backend, CircularRegion((0, 0), 1.0), np.zeros((0, 4, 2))
+        ).shape == (0,)
+        assert hub.stats()["ticks"] == 0
+
+    def test_containment_matches_direct(self):
+        hub = FusionHub()
+        backend = get_backend("numpy")
+        region = CircularRegion((0.0, 0.0), 9.0)
+        corners = kernel.corners_array(random_objects(7, 30))
+        hub.register()
+        try:
+            result = hub.submit_objects_contained(backend, region, corners)
+        finally:
+            hub.unregister()
+        assert result.tolist() == backend.objects_contained(region, corners).tolist()
+
+
+class TestFusionHubCoalescing:
+    def test_concurrent_same_shape_blocks_fuse_into_one_call(self):
+        calls = []
+
+        class Counting(NumpyBackend):
+            def batch_collision_free(self, corners, collidable=None):
+                calls.append(np.asarray(corners).shape[0])
+                return super().batch_collision_free(corners, collidable)
+
+        # A wait long enough that only the all-waiting condition (never the
+        # timeout) can flush — making the single fused tick deterministic.
+        hub = FusionHub(max_wait_seconds=5.0)
+        backend = Counting()
+        blocks = [scene_stack(seed, scenes=3, objects_per_scene=4) for seed in (10, 20)]
+        results = {}
+
+        def shard(index):
+            def work():
+                results[index] = hub.submit_batch_collision_free(
+                    backend, blocks[index], None
+                )
+
+            return work
+
+        # Register both shards *before* either submits — exactly what the
+        # service does — so neither can flush a solo tick in the window
+        # before its peer's register() lands.
+        hub.register()
+        hub.register()
+        try:
+            run_threads([shard(0), shard(1)])
+        finally:
+            hub.unregister()
+            hub.unregister()
+        assert calls == [6]  # one launch carrying both 3-scene blocks
+        for index in (0, 1):
+            expected = NumpyBackend().batch_collision_free(blocks[index])
+            assert results[index].tolist() == expected.tolist()
+        stats = hub.stats()
+        assert stats["submitted_calls"] == 2
+        assert stats["fused_calls"] == 1
+        assert stats["calls_saved"] == 1
+        assert stats["max_tick_items"] == 2
+
+    def test_mismatched_object_counts_land_in_separate_groups(self):
+        hub = FusionHub(max_wait_seconds=5.0)
+        backend = get_backend("numpy")
+        small = scene_stack(1, scenes=2, objects_per_scene=3)
+        large = scene_stack(2, scenes=2, objects_per_scene=5)
+        results = {}
+
+        def shard(name, block):
+            def work():
+                hub.register()
+                try:
+                    results[name] = hub.submit_batch_collision_free(backend, block, None)
+                finally:
+                    hub.unregister()
+
+            return work
+
+        run_threads([shard("small", small), shard("large", large)])
+        assert results["small"].tolist() == backend.batch_collision_free(small).tolist()
+        assert results["large"].tolist() == backend.batch_collision_free(large).tolist()
+        stats = hub.stats()
+        # Incompatible shapes cannot concatenate: grouped apart, zero saved.
+        assert stats["fused_calls"] == stats["submitted_calls"] == 2
+
+    def test_none_and_explicit_masks_fuse_together(self):
+        hub = FusionHub(max_wait_seconds=5.0)
+        backend = get_backend("numpy")
+        block_a = scene_stack(3, scenes=2, objects_per_scene=4)
+        block_b = scene_stack(4, scenes=2, objects_per_scene=4)
+        all_true = np.ones(block_b.shape[:2], dtype=bool)
+        results = {}
+
+        def shard(name, block, mask):
+            def work():
+                results[name] = hub.submit_batch_collision_free(backend, block, mask)
+
+            return work
+
+        hub.register()
+        hub.register()
+        try:
+            run_threads([shard("a", block_a, None), shard("b", block_b, all_true)])
+        finally:
+            hub.unregister()
+            hub.unregister()
+        assert hub.stats()["fused_calls"] == 1
+        assert results["a"].tolist() == backend.batch_collision_free(block_a).tolist()
+        assert results["b"].tolist() == backend.batch_collision_free(block_b).tolist()
+
+    def test_shared_region_containment_fuses(self):
+        hub = FusionHub(max_wait_seconds=5.0)
+        backend = get_backend("numpy")
+        region = CircularRegion((1.0, -2.0), 10.0)
+        corners = {name: kernel.corners_array(random_objects(seed, 12))
+                   for name, seed in (("a", 30), ("b", 31))}
+        results = {}
+
+        def shard(name):
+            def work():
+                results[name] = hub.submit_objects_contained(
+                    backend, region, corners[name]
+                )
+
+            return work
+
+        hub.register()
+        hub.register()
+        try:
+            run_threads([shard("a"), shard("b")])
+        finally:
+            hub.unregister()
+            hub.unregister()
+        assert hub.stats()["fused_calls"] == 1
+        for name in ("a", "b"):
+            expected = backend.objects_contained(region, corners[name])
+            assert results[name].tolist() == expected.tolist()
+
+    def test_timeout_flushes_when_a_registered_shard_never_submits(self):
+        hub = FusionHub(max_wait_seconds=0.005)
+        backend = get_backend("numpy")
+        corners = scene_stack(5, scenes=2, objects_per_scene=4)
+        hub.register()  # shard 1: submits below
+        hub.register()  # shard 2: never submits (e.g. scalar-path scenario)
+        try:
+            result = hub.submit_batch_collision_free(backend, corners, None)
+        finally:
+            hub.unregister()
+            hub.unregister()
+        assert result.tolist() == backend.batch_collision_free(corners).tolist()
+        assert hub.stats()["ticks"] == 1
+
+
+class TestFusionHubErrors:
+    def test_group_failure_is_delivered_to_every_submitter(self):
+        class Exploding(NumpyBackend):
+            def batch_collision_free(self, corners, collidable=None):
+                raise RuntimeError("planted kernel failure")
+
+        hub = FusionHub(max_wait_seconds=5.0)
+        backend = Exploding()
+        corners = scene_stack(6, scenes=2, objects_per_scene=3)
+        failures = []
+
+        def shard():
+            hub.register()
+            try:
+                hub.submit_batch_collision_free(backend, corners, None)
+            except RuntimeError as error:
+                failures.append(str(error))
+            finally:
+                hub.unregister()
+
+        run_threads([shard, shard])
+        assert failures == ["planted kernel failure"] * 2
+
+    def test_one_groups_failure_does_not_poison_the_other(self):
+        class Exploding(NumpyBackend):
+            def batch_collision_free(self, corners, collidable=None):
+                raise RuntimeError("planted")
+
+        hub = FusionHub(max_wait_seconds=5.0)
+        healthy = get_backend("numpy")
+        corners = scene_stack(7, scenes=2, objects_per_scene=3)
+        outcome = {}
+
+        def bad():
+            hub.register()
+            try:
+                hub.submit_batch_collision_free(Exploding(), corners, None)
+                outcome["bad"] = "no error"
+            except RuntimeError:
+                outcome["bad"] = "raised"
+            finally:
+                hub.unregister()
+
+        def good():
+            hub.register()
+            try:
+                outcome["good"] = hub.submit_batch_collision_free(healthy, corners, None)
+            finally:
+                hub.unregister()
+
+        run_threads([bad, good])
+        assert outcome["bad"] == "raised"
+        assert outcome["good"].tolist() == healthy.batch_collision_free(corners).tolist()
+
+
+class TestFusedKernelBackend:
+    def test_proxy_routes_batch_predicates_through_the_hub(self):
+        hub = FusionHub()
+        fused = FusedKernelBackend(hub, get_backend("numpy"))
+        assert fused.name == "fused+numpy"
+        corners = scene_stack(8, scenes=3, objects_per_scene=4)
+        direct = get_backend("numpy").batch_collision_free(corners)
+        assert fused.batch_collision_free(corners).tolist() == direct.tolist()
+        region = CircularRegion((0, 0), 8.0)
+        flat = kernel.corners_array(random_objects(9, 10))
+        assert fused.objects_contained(region, flat).tolist() == (
+            get_backend("numpy").objects_contained(region, flat).tolist()
+        )
+        assert hub.stats()["submitted_calls"] == 2
+
+    def test_proxy_delegates_unfusible_predicates_directly(self):
+        hub = FusionHub()
+        base = get_backend("numpy")
+        fused = FusedKernelBackend(hub, base)
+        flat = kernel.corners_array(random_objects(11, 8))
+        pairs = fused.pairwise_collisions(flat)
+        assert pairs.tolist() == base.pairwise_collisions(flat).tolist()
+        vertices = np.array([(0, 0), (4, 0), (4, 4), (0, 4)], dtype=float)
+        points = np.array([(1, 1), (9, 9)], dtype=float)
+        assert fused.points_in_polygon(vertices, points).tolist() == [True, False]
+        assert hub.stats()["submitted_calls"] == 0  # the hub never saw them
+
+    def test_fusion_requires_inline_mode(self):
+        from repro.service import GenerationService
+
+        with pytest.raises(ValueError, match="workers=0"):
+            GenerationService(workers=2, fusion=True)
