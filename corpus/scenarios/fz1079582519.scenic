@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1079582519)
+import warehouse
+class Box(Pallet):
+    width: Range(0.612, 0.629)
+    height: Range(0.548, 0.697)
+ego = Robot
+obj1 = Box offset by 0.178 @ 2.959, with requireVisible False, with width Range(0.316, 0.85), with allowCollisions True
+obj2 = Crate offset by 0.666 @ TruncatedNormal(2.65, 0.617, 0.8, 4.5), with requireVisible False, with allowCollisions True, with width (0.583, 0.799)
+obj3 = Shelf on aisle, with requireVisible False, with width Range(0.582, 0.817), with cargo Discrete({1: 2, 2: 1})
+Pallet left of obj1 by (1.241, 1.706), with requireVisible False, facing away from Uniform(0.517, -9.239) @ (6.761 * 0.64), with cargo Discrete({1: 2, 2: 1})
+param quality = Range(0.583, 0.632)
+require (distance to obj3) <= 23.237
+require[0.313] abs(relative heading of obj1) <= 177.401 deg

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1199379842)
+import warehouse
+spread = (4.939, 5.931)
+class Buoy(Pallet):
+    width: Range(0.324, 0.719)
+    height: (0.352, 0.374)
+ego = Robot
+if 2 >= 4:
+    Crate behind ego by resample(spread), with requireVisible False, facing away from resample(spread) @ -8.491, with allowCollisions True, with width Range(0.533, 0.879)
+else:
+    Worker behind ego by 2.145, with requireVisible False
+param time = Range(14.569, 20.9) * 60
+param quality = Range(0.09, 0.64)

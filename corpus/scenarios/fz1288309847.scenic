@@ -1,0 +1,8 @@
+# fuzz-generated scenario (seed 1288309847)
+import warehouse
+ego = Robot
+for i in range(2):
+    Robot offset by (i * 2.028 - 4.558) @ (4.558, 9.358), with requireVisible False
+obj3 = Worker ahead of ego by Range(0.922, 1.005), with allowCollisions True, with width (0.687, 0.793)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+mutate obj3 by 0.374

@@ -1,0 +1,13 @@
+# fuzz-generated scenario (seed 1371273765)
+import warehouse
+wiggle = 4.766
+ego = Robot
+obj1 = Pallet on aisle, with aisleDeviation (-13.354 deg, 2.253 deg) relative to aisleDirection, with cargo Discrete({1: 2, 2: 1})
+for i in range(2):
+    Crate offset by (i * 2.996 - 2.559) @ (2.559, 7.359), with requireVisible False
+if 3 >= 3:
+    Crate on floor, with requireVisible False, with aisleDeviation (-28.101 deg, 5.695 deg)
+else:
+    Crate on floor, with height Range(0.349, 0.711)
+param time = Range(3.835, 14.054) * 60
+param label = 'fuzz'

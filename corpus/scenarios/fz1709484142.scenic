@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 1709484142)
+import warehouse
+scale = (3.632, 5.489)
+class Drone(Crate):
+    width: (0.545, 0.692)
+    height: Range(0.867, 0.938)
+    halfWidth: self.width / 2
+ego = Robot
+if 4 >= 1:
+    Shelf offset by (-0.823, -0.651) @ 1.141, with requireVisible False, facing (-33.739 deg, 12.427 deg), with cargo Discrete({1: 2, 2: 1})
+else:
+    Pallet offset by Uniform(0.133, 0.153, 0.363, 0.418) @ 0.988, with requireVisible False, with aisleDeviation (-26.891 deg, 16.167 deg)

@@ -1,0 +1,15 @@
+# fuzz-generated scenario (seed 1982952542)
+import warehouse
+b = (-3.417 deg, 3.417 deg)
+class Kiosk(Pallet):
+    width: Range(0.35, 0.856)
+    height: (0.686, 0.855)
+    shade: Uniform('red', 'green', 'blue')
+ego = Robot with aisleDeviation b
+if 1 >= 3:
+    Pallet ahead of ego by 2.099, with aisleDeviation (-18.61 deg, 25.969 deg), with requireVisible False, with width Range(0.35, 0.759)
+else:
+    Shelf following aisleDirection for (5.869 * 1.225), facing (-14.724 deg, 30.454 deg), with cargo Discrete({1: 2, 2: 1}), with allowCollisions True
+obj2 = Shelf following aisleDirection for (3.39, 4.763), with requireVisible False, with height (0.369, 0.728), with width Range(0.35, 0.546)
+obj3 = Shelf on aisle, with aisleDeviation b, with width (0.782, 0.868), with cargo Discrete({1: 2, 2: 1})
+require (distance to obj3) <= 28.58

@@ -1,0 +1,5 @@
+# fuzz-generated scenario (seed 2136939934)
+import warehouse
+ego = Robot
+for i in range(2):
+    Worker offset by (i * 2.731 - 4.956) @ (4.956, 9.756), with requireVisible False

@@ -1,0 +1,12 @@
+# fuzz-generated scenario (seed 413436360)
+import warehouse
+a = Range(1.912, 4.085)
+class Totem(Crate):
+    width: Range(0.418, 0.489)
+    height: Range(0.603, 0.792)
+def placeNear(anchor, gap=1.3):
+    return Shelf right of anchor by gap, with requireVisible False
+ego = Robot
+Robot behind ego by Range(0.988, 1.993), with requireVisible False, with aisleDeviation (-23.336 deg, 6.035 deg)
+param label = 'fuzz'
+param label = 'fuzz'

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 444012655)
+import warehouse
+ego = Robot
+obj1 = Robot on aisle, with requireVisible False, with aisleDeviation (-24.315 deg, 2.688 deg), with cargo Discrete({1: 2, 2: 1}), with width (0.524, 0.665)
+if 3 >= 3:
+    Pallet visible, with aisleDeviation (-20.371 deg, 19.83 deg), with allowCollisions True
+else:
+    Worker visible, with requireVisible False
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')
+param time = Range(8.005, 23.185) * 60
+require (distance to obj1) <= 24.942

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 823009586)
+import warehouse
+b = Range(2.928, 5.206)
+class Drone(Pallet):
+    pass
+def placeNear(anchor, gap=1.635):
+    return Pallet right of anchor by gap, with requireVisible False
+ego = Robot
+Robot ahead of ego by 1.033, with allowCollisions True
+param quality = (0.804, 0.859)
+param weather = Uniform('RAIN', 'CLEAR', 'SNOW')

@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 859404297)
+import warehouse
+a = Range(3.166, 4.463)
+gap = (5.528, 5.912)
+ego = Robot
+obj1 = Robot offset by (-0.444, 0.924) @ Range(2.963, 3.657), apparently facing (-12.934 deg, 1.841 deg) relative to aisleDirection, with requireVisible False, with height Range(0.717, 1.033)
+Shelf behind ego by (0.686, 1.545), with requireVisible False, apparently facing (-11.576 deg, 3.113 deg) relative to aisleDirection, with height Range(1.056, 1.148)
+for i in range(2):
+    Crate offset by (i * 2.674 - 5.294) @ (5.294, 10.094), with requireVisible False
+require (distance to obj1) <= 30.319
+require (distance to obj1) <= 31.336

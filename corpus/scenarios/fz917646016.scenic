@@ -1,0 +1,11 @@
+# fuzz-generated scenario (seed 917646016)
+import warehouse
+def placeNear(anchor, gap=1.711):
+    return Crate ahead of anchor by gap, with requireVisible False
+ego = Robot
+obj1 = Pallet offset by (0.07, 0.103) @ 3.67, with requireVisible False, with aisleDeviation (-22.456 deg, 18.815 deg)
+obj2 = Pallet left of ego by TruncatedNormal(1.3, 0.3, 0.4, 2.2), with requireVisible False
+obj3 = placeNear(obj2, gap=1.51)
+param time = (12.584, 13.61) * 60
+mutate obj1 by 0.148
+require[0.862] (distance to obj3) <= 26.762

@@ -1,0 +1,9 @@
+# A picking robot finds its aisle blocked by a dropped pallet with a
+# crate spilled beside it.  The 2 m aisle leaves ~0.3 m of slack around
+# the pallet, so the crate only fits when everything hugs one rack face —
+# the tight-clearance containment pressure the pruning strategies target.
+import warehouse
+ego = Robot on aisle, with aisleDeviation (-5, 5) deg
+blocker = Pallet ahead of ego by (2, 5)
+Crate left of blocker by (0.05, 0.3), with width 0.35, with height 0.35
+Crate beyond blocker by (-0.2, 0.2) @ (0.3, 1.0)

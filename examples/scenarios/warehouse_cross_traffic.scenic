@@ -1,0 +1,11 @@
+# Cross-aisle traffic: a second robot cutting across the end of the
+# ego's aisle.  The default visibility requirement forces the crossing
+# robot into the one cross-aisle the ego's 120-degree sensor cone can
+# reach, and the relative-heading requirements pin it to the transverse
+# flow direction — the warehouse analogue of the crossing-traffic road
+# scenario that showcases orientation pruning.
+import warehouse
+ego = Robot on aisle, with aisleDeviation (-5, 5) deg
+other = Robot on crossAisle, with aisleDeviation (-15, 15) deg
+require (relative heading of other) <= -60 deg
+require (relative heading of other) >= -120 deg

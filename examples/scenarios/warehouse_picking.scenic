@@ -1,0 +1,9 @@
+# A picker robot closing on a crate somewhere down its aisle while a
+# worker restocks just beyond it.  The visibility cone plus the distance
+# cap couple the ego's and the crate's positions along the aisle.
+import warehouse
+ego = Robot on aisle, with aisleDeviation (-10, 10) deg
+target = Crate on aisle
+require (distance to target) <= 6
+Worker beyond target by (-0.3, 0.3) @ (0.5, 1.5)
+Pallet on aisle, with requireVisible False

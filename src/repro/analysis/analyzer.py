@@ -128,8 +128,16 @@ class ClassFacts:
         return replace(self)
 
 
-def _facts_from_python_class(name: str, python_class: Any) -> ClassFacts:
-    """Derive facts for a world-library class by inspecting its defaults."""
+def _facts_from_python_class(
+    name: str, python_class: Any, profiles: Sequence[Any] = ()
+) -> ClassFacts:
+    """Derive facts for a world-library class by inspecting its defaults.
+
+    *profiles* are the :class:`~repro.worlds.profile.AnalysisProfile` hooks
+    of the imported worlds; the first hook that recognizes the class may
+    patch the width/height/deviation intervals (e.g. field-aligned classes
+    whose dimensions come from a model table).
+    """
     from ..core.distributions import supporting_interval
     from ..core.lazy import is_lazy
     from ..core.objects import Object
@@ -175,19 +183,25 @@ def _facts_from_python_class(name: str, python_class: Any) -> ClassFacts:
         except Exception:
             pass
 
-    # Field alignment and model-table dimensions for the GTA car classes.
-    try:
-        from ..worlds.gta.carlib import Car as GtaCar, CarModel
-
-        if issubclass(python_class, GtaCar):
-            deviation = static_interval("roadDeviation")
-            facts.deviation = deviation if deviation is not None else Interval.point(0.0)
-            widths = [model.width for model in CarModel.models.values()]
-            heights = [model.height for model in CarModel.models.values()]
-            facts.width = Interval(min(widths), max(widths))
-            facts.height = Interval(min(heights), max(heights))
-    except Exception:
-        pass
+    # World-specific patches (field alignment, model-table dimensions)
+    # come from the imported worlds' analysis profiles; a class no profile
+    # recognizes keeps the sound defaults derived above.
+    for profile in profiles:
+        if profile is None or profile.class_facts is None:
+            continue
+        try:
+            patch = profile.class_facts(python_class, static_interval)
+        except Exception:
+            patch = None
+        if not patch:
+            continue
+        if "deviation" in patch:
+            facts.deviation = patch["deviation"]
+        if "width" in patch:
+            facts.width = patch["width"]
+        if "height" in patch:
+            facts.height = patch["height"]
+        break
     return facts
 
 
@@ -226,6 +240,12 @@ class _Analyzer:
         self.ego: Optional[_Creation] = None
         self.mapped = True
         self.world_namespace: Dict[str, Any] = {}
+        # Analysis hooks of the imported worlds (in import order), plus the
+        # union of their field-deviation property names and model-table
+        # symbols (see AnalysisProfile).
+        self.analysis_profiles: List[Any] = []
+        self.deviation_properties: Set[str] = set()
+        self.model_symbols: Set[str] = set()
         self.class_defs: Dict[str, ast.ClassDefinition] = {}
         self.creator_functions: Set[str] = set(KNOWN_CREATOR_FUNCTIONS)
         self.facts_cache: Dict[str, ClassFacts] = {}
@@ -414,13 +434,19 @@ class _Analyzer:
 
     def _load_world(self, module: str) -> None:
         try:
-            from ..worlds.registry import load_world
+            from ..worlds.registry import analysis_profile, load_world
 
             namespace, _workspace = load_world(module)
+            profile = analysis_profile(module)
         except Exception:
             namespace = None
+            profile = None
         if namespace:
             self.world_namespace.update(namespace)
+        if profile is not None and profile not in self.analysis_profiles:
+            self.analysis_profiles.append(profile)
+            self.deviation_properties.update(profile.deviation_properties)
+            self.model_symbols.update(profile.model_symbols)
 
     # -- creations ---------------------------------------------------------------
 
@@ -457,9 +483,9 @@ class _Analyzer:
             elif python_class is None and class_name == "Object":
                 from ..core.objects import Object
 
-                facts = _facts_from_python_class(class_name, Object)
+                facts = _facts_from_python_class(class_name, Object, self.analysis_profiles)
             elif python_class is not None:
-                facts = _facts_from_python_class(class_name, python_class)
+                facts = _facts_from_python_class(class_name, python_class, self.analysis_profiles)
             else:
                 facts = ClassFacts(name=class_name)
         self.facts_cache[class_name] = facts
@@ -477,7 +503,7 @@ class _Analyzer:
         elif prop == "height":
             value = self.eval(expr)
             facts.height = value if isinstance(value, Interval) else None
-        elif prop == "roadDeviation":
+        elif prop in self.deviation_properties:
             value = self.eval(expr)
             if facts.deviation is not None:
                 facts.deviation = value if isinstance(value, Interval) else None
@@ -498,12 +524,22 @@ class _Analyzer:
         elif prop == "heading":
             facts.deviation = self._heading_deviation(expr)
 
-    def _model_dimensions(self, expr: ast.Node) -> Optional[Tuple[Interval, Interval]]:
-        """Width/height bounds for a recognizable ``model`` expression."""
-        try:
-            from ..worlds.gta.carlib import CarModel
-        except Exception:
+    def _model_table(self, symbol: str) -> Optional[Any]:
+        """The model table *symbol* binds, when an imported world declares it."""
+        if symbol not in self.model_symbols:
             return None
+        table = self.world_namespace.get(symbol)
+        if table is None or not isinstance(getattr(table, "models", None), dict):
+            return None
+        return table
+
+    def _model_dimensions(self, expr: ast.Node) -> Optional[Tuple[Interval, Interval]]:
+        """Width/height bounds for a recognizable ``model`` expression.
+
+        Recognizes ``<Table>.models['NAME']`` and ``<Table>.defaultModel()``
+        / ``<Table>.default_model()`` where ``<Table>`` is a model symbol
+        declared by an imported world's analysis profile.
+        """
         if isinstance(expr, ast.Call) and isinstance(expr.function, ast.Name):
             if expr.function.identifier == "resample" and len(expr.args) == 1:
                 return self._model_dimensions(expr.args[0])
@@ -511,23 +547,25 @@ class _Analyzer:
             isinstance(expr, ast.Subscript)
             and isinstance(expr.target, ast.Attribute)
             and isinstance(expr.target.target, ast.Name)
-            and expr.target.target.identifier == "CarModel"
             and expr.target.attribute == "models"
             and isinstance(expr.index, ast.StringLiteral)
         ):
-            model = CarModel.models.get(expr.index.value)
-            if model is not None:
-                return Interval.point(model.width), Interval.point(model.height)
+            table = self._model_table(expr.target.target.identifier)
+            if table is not None:
+                model = table.models.get(expr.index.value)
+                if model is not None:
+                    return Interval.point(model.width), Interval.point(model.height)
         if (
             isinstance(expr, ast.Call)
             and isinstance(expr.function, ast.Attribute)
             and isinstance(expr.function.target, ast.Name)
-            and expr.function.target.identifier == "CarModel"
             and expr.function.attribute in ("defaultModel", "default_model")
         ):
-            widths = [model.width for model in CarModel.models.values()]
-            heights = [model.height for model in CarModel.models.values()]
-            return Interval(min(widths), max(widths)), Interval(min(heights), max(heights))
+            table = self._model_table(expr.function.target.identifier)
+            if table is not None:
+                widths = [model.width for model in table.models.values()]
+                heights = [model.height for model in table.models.values()]
+                return Interval(min(widths), max(widths)), Interval(min(heights), max(heights))
         return None
 
     def _heading_deviation(self, expr: ast.Node) -> Optional[Interval]:

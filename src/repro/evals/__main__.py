@@ -4,7 +4,7 @@ Subcommands::
 
     promote    grow the corpus from the fuzzer's seed stream (+ optionally
                graduate scenarios into the golden-corpus gallery)
-    run        fixed-seed scoring pass -> results/EVALS_8.{json,md}
+    run        fixed-seed scoring pass -> results/EVALS_10.{json,md}
     check      re-score the stratified CI slice with the committed
                baseline's parameters and gate within tolerance bands
     selfcheck  plant a biased sampler and prove `check` flags it
@@ -31,7 +31,7 @@ from .scorecard import (
 )
 from .scoring import DEFAULT_MAX_ITERATIONS, DEFAULT_SAMPLES, DEFAULT_STRATEGIES
 
-#: The fixed seed behind the committed ``results/EVALS_8.json``.
+#: The fixed seed behind the committed ``results/EVALS_10.json``.
 EVALS_SEED = 20260808
 
 #: Default stratified CI slice: a few scenarios per (world, difficulty)
@@ -79,6 +79,7 @@ def cmd_promote(args: argparse.Namespace) -> int:
         target=args.target,
         master_seed=args.seed,
         max_programs=args.max_programs,
+        world=args.world,
         progress=progress,
     )
     graduated: List[str] = []
@@ -208,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
     promote.add_argument("--seed", type=int, default=EVALS_SEED, help="master seed")
     promote.add_argument(
         "--max-programs", type=int, default=10_000, help="fuzzer programs to consider"
+    )
+    promote.add_argument(
+        "--world",
+        help="pin every candidate to one registered world (seeds a new world's strata)",
     )
     promote.add_argument(
         "--goldens",

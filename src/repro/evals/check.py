@@ -147,7 +147,7 @@ def compare_scorecards(
         if base_result is None:
             problems.append(
                 f"{scenario_id}: not in the baseline scorecard (regenerate "
-                f"results/EVALS_8.json after changing the corpus)"
+                f"the committed scorecard baseline after changing the corpus)"
             )
             continue
         pruning = result.get("pruning", {})

@@ -10,7 +10,7 @@ scores the engine against.  It is described by a single committed document,
         {
           "id": "two_cars",
           "path": "examples/scenarios/two_cars.scenic",
-          "world": "gtaLib",                 # gtaLib | mars | inline
+          "world": "...",                    # registered world name | inline
           "features": ["facing", "require", ...],
           "difficulty": "medium",            # easy | medium | hard
           "origin": "paper-example",         # paper-example | fuzz-promoted
@@ -53,7 +53,17 @@ EXAMPLES_DIR = REPO_ROOT / "examples" / "scenarios"
 
 MANIFEST_SCHEMA = 1
 
-WORLDS = ("inline", "gtaLib", "mars")
+
+def _registered_worlds() -> Tuple[str, ...]:
+    from ..worlds.registry import registered_worlds
+
+    return registered_worlds()
+
+
+#: Stratification buckets: every registered world plus ``inline`` (no world
+#: imported).  Derived from the world registry, so adding a world extends
+#: the corpus schema without touching this module.
+WORLDS: Tuple[str, ...] = ("inline",) + _registered_worlds()
 DIFFICULTIES = ("easy", "medium", "hard")
 
 #: Tier thresholds on mean rejection iterations per accepted scene.  An
@@ -66,8 +76,10 @@ MEDIUM_MAX_ITERATIONS_PER_SCENE = 60.0
 #: Source tokens scanned by :func:`infer_features`; ordered so feature lists
 #: are stable across runs.  These mirror the fuzzer's feature labels, so
 #: hand-written gallery scenarios and promoted fuzz programs are tagged in
-#: the same vocabulary.
-_FEATURE_TOKENS: Tuple[Tuple[str, str], ...] = (
+#: the same vocabulary.  World-specific tokens (region names, deviation
+#: properties) come from each world's :class:`CorpusProfile` and are
+#: appended after these generic ones.
+_GENERIC_FEATURE_TOKENS: Tuple[Tuple[str, str], ...] = (
     ("class ", "class"),
     ("def ", "def"),
     ("if ", "if"),
@@ -84,7 +96,6 @@ _FEATURE_TOKENS: Tuple[Tuple[str, str], ...] = (
     ("ahead of", "ahead of"),
     ("behind", "behind"),
     ("beyond", "beyond"),
-    ("on road", "on"),
     ("visible", "visible"),
     ("following", "following"),
     ("facing toward", "facing toward"),
@@ -92,7 +103,6 @@ _FEATURE_TOKENS: Tuple[Tuple[str, str], ...] = (
     ("apparently facing", "apparently facing"),
     ("facing", "facing"),
     ("relative to", "relative to"),
-    ("roadDeviation", "roadDeviation"),
     ("with ", "with"),
     ("Range(", "Range"),
     ("Normal(", "Normal"),
@@ -104,23 +114,37 @@ _FEATURE_TOKENS: Tuple[Tuple[str, str], ...] = (
 )
 
 
+def _feature_tokens() -> Tuple[Tuple[str, str], ...]:
+    """Generic tokens plus every registered world's corpus tokens."""
+    from ..worlds.registry import corpus_feature_tokens
+
+    return _GENERIC_FEATURE_TOKENS + corpus_feature_tokens()
+
+
 def infer_features(source: str) -> List[str]:
     """Feature tags for *source*, by token scan (stable order, no dups)."""
     found: List[str] = []
-    for token, label in _FEATURE_TOKENS:
+    for token, label in _feature_tokens():
         if token in source and label not in found:
             found.append(label)
     return found
 
 
 def infer_world(source: str) -> str:
-    """Which world a program compiles against (``inline`` = none imported)."""
+    """Which world a program compiles against (``inline`` = none imported).
+
+    Import names are resolved through the world registry's alias map, so
+    ``import gta`` tags the same bucket as the canonical library name.
+    """
+    from ..worlds.registry import resolve_world_name
+
     for line in source.splitlines():
         stripped = line.strip()
         if stripped.startswith("import "):
             name = stripped.split()[1]
-            if name in ("gtaLib", "mars"):
-                return name
+            canonical = resolve_world_name(name)
+            if canonical is not None:
+                return canonical
     return "inline"
 
 

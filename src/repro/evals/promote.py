@@ -169,14 +169,17 @@ def promote_from_fuzzer(
     max_programs: int = 10_000,
     promoted_dir: Path = PROMOTED_DIR,
     root: Path = REPO_ROOT,
+    world: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> int:
     """Grow *manifest* to *target* scenarios from the fuzzer's seed stream.
 
     Returns the number of programs promoted.  Deterministic: the same
-    ``(manifest state, target, master_seed)`` always promotes the same
-    programs, because candidates are enumerated in derive-seed order and
-    admission depends only on the manifest built so far.
+    ``(manifest state, target, master_seed, world)`` always promotes the
+    same programs, because candidates are enumerated in derive-seed order
+    and admission depends only on the manifest built so far.  Passing
+    *world* pins every candidate to that registered world (or ``inline``),
+    which is how a newly added world seeds its corpus strata.
     """
     promoted_dir.mkdir(parents=True, exist_ok=True)
     fingerprints = manifest.fingerprints()
@@ -186,7 +189,7 @@ def promote_from_fuzzer(
         if len(manifest) >= target:
             break
         seed = derive_seed(master_seed, index)
-        program = generate_program(seed)
+        program = generate_program(seed, world=world)
         scenario_id = f"fz{seed}"
         if any(entry.id == scenario_id for entry in manifest.entries):
             continue

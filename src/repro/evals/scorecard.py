@@ -44,8 +44,8 @@ SCORECARD_SCHEMA = 1
 
 #: The committed dashboard artifacts for this PR.
 RESULTS_DIR = REPO_ROOT / "results"
-SCORECARD_JSON = RESULTS_DIR / "EVALS_8.json"
-SCORECARD_MD = RESULTS_DIR / "EVALS_8.md"
+SCORECARD_JSON = RESULTS_DIR / "EVALS_10.json"
+SCORECARD_MD = RESULTS_DIR / "EVALS_10.md"
 
 
 def _round_floats(value: Any, digits: int = 6) -> Any:

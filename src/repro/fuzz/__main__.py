@@ -38,6 +38,13 @@ def _corpus_sources() -> list:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.world is not None and args.world != "inline":
+        from repro.worlds.registry import registered_worlds, resolve_world_name
+
+        if resolve_world_name(args.world) is None:
+            names = ", ".join(("inline",) + registered_worlds(include_aliases=True))
+            print(f"--world {args.world}: unknown world (try one of: {names})", file=sys.stderr)
+            return 2
     if args.backend is not None:
         from repro.geometry.backends import get_backend
 
@@ -63,6 +70,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         statistical=args.equivalence,
         equivalence_samples=args.equivalence_samples,
         backend=args.backend,
+        world=args.world,
     )
     result = run_campaign(config, corpus=_corpus_sources(), progress=print)
     print(result.summary())
@@ -73,7 +81,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_repro(args: argparse.Namespace) -> int:
     seed = derive_seed(args.seed, args.repro)
-    program = generate_program(seed)
+    program = generate_program(seed, world=args.world)
     print(f"# program {args.repro} of campaign seed {args.seed} ({program.describe()})")
     print(program.source)
     report = run_oracles(
@@ -139,6 +147,11 @@ def main(argv=None) -> int:
         help="geometry-kernel backend to sample under (numpy/numba/jax/auto; "
         "see docs/backends.md).  The kernel oracle always cross-checks every "
         "available backend; this drives the sampling hot path through one.",
+    )
+    parser.add_argument(
+        "--world", type=str, default=None, metavar="NAME",
+        help="pin every generated program to one registered world "
+        "('inline' = no world import); default keeps the weighted mix",
     )
     parser.add_argument(
         "--repro", type=int, default=None, metavar="INDEX",

@@ -33,7 +33,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+from ..worlds.profile import EgoSpec, FuzzProfile
 
 # ---------------------------------------------------------------------------
 # Generated-program containers
@@ -58,7 +60,7 @@ class PlannedCheck:
 class GeneratedProgram:
     seed: int
     source: str
-    world: Optional[str]  # 'gtaLib' | 'mars' | None (inline classes)
+    world: Optional[str]  # canonical registered world name | None (inline classes)
     checks: List[PlannedCheck] = field(default_factory=list)
     has_soft_requirements: bool = False
     has_mutation: bool = False
@@ -86,25 +88,36 @@ def _fmt(value: float) -> str:
 _INLINE_CLASS_NAMES = ("Box", "Crate", "Drone", "Buoy", "Kiosk", "Totem")
 _VAR_NAMES = ("a", "b", "gap", "wiggle", "spread", "shift", "k", "scale")
 
-#: Per-world magnitude tuning.  The mars arena is a 5 m square with
-#: decimetre-scale objects; gta placements must stay near the ego to remain
-#: feasible on the road map; inline programs have an unbounded workspace.
-_WORLD_TUNING: Dict[Optional[str], Dict[str, Tuple[float, float]]] = {
-    None: {"size": (0.6, 2.6), "by": (0.5, 6.0), "span": (-18.0, 18.0),
-           "forward": (-18.0, 18.0), "beyond": (2.0, 8.0), "lateral": (-2.0, 2.0)},
-    "gtaLib": {"size": (1.0, 2.4), "by": (0.5, 6.0), "span": (-3.0, 3.0),
-               "forward": (4.0, 22.0), "beyond": (2.0, 8.0), "lateral": (-2.0, 2.0)},
-    "mars": {"size": (0.08, 0.35), "by": (0.15, 1.0), "span": (-1.6, 1.6),
-             "forward": (0.3, 1.5), "beyond": (0.3, 1.2), "lateral": (-0.6, 0.6)},
-}
+#: Tuning for inline (no-import) programs.  Registered worlds carry their
+#: own :class:`FuzzProfile` (``worlds/<name>/profile.py``); inline programs
+#: have an unbounded workspace, so they exercise specifiers and
+#: distributions without feasibility pressure from workspace containment.
+_INLINE_PROFILE = FuzzProfile(
+    weight=5,
+    magnitudes={
+        "size": (0.6, 2.6),
+        "by": (0.5, 6.0),
+        "span": (-18.0, 18.0),
+        "forward": (-18.0, 18.0),
+        "beyond": (2.0, 8.0),
+        "lateral": (-2.0, 2.0),
+    },
+    ego=EgoSpec(classes=()),  # inline egos use the generated classes
+    class_bases=("Object",),
+    object_pool=(),
+    generous_distance=(60.0, 140.0),
+)
 
 
 class _ProgramBuilder:
     """Accumulates source lines plus the generator's ground-truth bookkeeping."""
 
-    def __init__(self, seed: int, world: Optional[str], rng: random.Random):
+    def __init__(
+        self, seed: int, world: Optional[str], rng: random.Random, profile: FuzzProfile
+    ):
         self.seed = seed
         self.world = world
+        self.profile = profile
         self.rng = rng
         self.lines: List[str] = []
         self.object_vars: List[Tuple[str, int]] = []  # (variable, object index)
@@ -138,19 +151,31 @@ class _ProgramBuilder:
 class ProgramGenerator:
     """Grammar walk over the Scenic construct space, seeded and world-aware."""
 
-    #: Relative likelihood of each world mode.  Inline programs use the
-    #: default (unbounded) workspace, so they exercise specifiers and
-    #: distributions without feasibility pressure from workspace containment.
-    WORLD_WEIGHTS = (("inline", 5), ("gtaLib", 4), ("mars", 2))
+    #: Relative likelihood of inline mode; each registered world supplies
+    #: its own weight through its :class:`FuzzProfile`.
+    INLINE_WEIGHT = 5
 
-    def generate(self, seed: int) -> GeneratedProgram:
+    def generate(self, seed: int, world: Optional[str] = None) -> GeneratedProgram:
+        """Generate one program; *world* pins the world (``"inline"``, a
+        canonical registered name, or ``None`` for the weighted draw)."""
+        from ..worlds.registry import fuzz_profiles
+
         rng = random.Random(seed)
-        world = self._pick_weighted(rng, self.WORLD_WEIGHTS)
+        profiles = fuzz_profiles()
+        if world is None:
+            table = [("inline", self.INLINE_WEIGHT)]
+            table.extend((name, profile.weight) for name, profile in profiles.items())
+            world = self._pick_weighted(rng, table)
         if world == "inline":
             world_name: Optional[str] = None
+            profile = _INLINE_PROFILE
         else:
+            if world not in profiles:
+                known = ", ".join(["inline", *profiles])
+                raise ValueError(f"unknown fuzz world {world!r} (known: {known})")
             world_name = world
-        builder = _ProgramBuilder(seed, world_name, rng)
+            profile = profiles[world]
+        builder = _ProgramBuilder(seed, world_name, rng, profile)
 
         builder.emit(f"# fuzz-generated scenario (seed {seed})")
         if world_name is not None:
@@ -246,10 +271,10 @@ class ProgramGenerator:
             return f"({_fmt(a)} deg, {_fmt(b)} deg)"
         if roll < 0.8:
             return f"{_fmt(rng.uniform(-limit_degrees, limit_degrees))} deg"
-        if builder.world == "gtaLib":
+        if builder.profile.orientation_field is not None:
             builder.feature("relative to")
             inner = f"({_fmt(rng.uniform(-20, 0))} deg, {_fmt(rng.uniform(0, 20))} deg)"
-            return f"{inner} relative to roadDirection"
+            return f"{inner} relative to {builder.profile.orientation_field}"
         return f"({_fmt(rng.uniform(0, 2 * limit_degrees))}) deg"
 
     # statement emitters ---------------------------------------------------------
@@ -277,9 +302,9 @@ class ProgramGenerator:
         if builder.world is None:
             count = rng.randint(1, 2)
             bases = ["Object"]
-        elif rng.random() < 0.45:
+        elif rng.random() < 0.45 and builder.profile.class_bases:
             count = 1
-            bases = {"gtaLib": ["Car"], "mars": ["Rock", "Pipe"]}[builder.world]
+            bases = list(builder.profile.class_bases)
         else:
             return
         for _ in range(count):
@@ -288,7 +313,7 @@ class ProgramGenerator:
                 break
             name = rng.choice(available)
             base = rng.choice(bases + builder.classes)
-            size_low, size_high = _WORLD_TUNING[builder.world]["size"]
+            size_low, size_high = builder.profile.magnitudes["size"]
             builder.emit(f"class {name}({base}):")
             body_lines = 0
             if builder.world is None or rng.random() < 0.5:
@@ -318,21 +343,17 @@ class ProgramGenerator:
         rng = builder.rng
         if builder.world is None:
             return rng.choice(builder.classes)
-        pool = {
-            "gtaLib": ["Car", "Car", "Car"],
-            "mars": ["Rock", "BigRock", "Pipe"],
-        }[builder.world]
-        return rng.choice(pool + builder.classes)
+        return rng.choice(list(builder.profile.object_pool) + builder.classes)
 
     def _emit_helper_function(self, builder: _ProgramBuilder) -> Optional[str]:
         rng = builder.rng
         if rng.random() > 0.35:
             return None
         cls = self._object_class(builder)
-        by_low, by_high = _WORLD_TUNING[builder.world]["by"]
+        by_low, by_high = builder.profile.magnitudes["by"]
         gap_default = self._number(rng, (by_low + by_high) / 2, by_high)
         direction = rng.choice(("ahead of", "behind", "left of", "right of"))
-        relax = ", with requireVisible False" if builder.world == "gtaLib" else ""
+        relax = ", with requireVisible False" if builder.profile.relax_visibility else ""
         builder.emit(f"def placeNear(anchor, gap={gap_default}):")
         builder.emit(f"    return {cls} {direction} anchor by gap{relax}")
         builder.feature("def")
@@ -342,26 +363,37 @@ class ProgramGenerator:
     def _emit_ego(self, builder: _ProgramBuilder) -> None:
         rng = builder.rng
         index = builder.new_object_index()
-        if builder.world == "gtaLib":
-            options = ["ego = Car", "ego = EgoCar"]
-            if rng.random() < 0.5:
-                builder.emit(rng.choice(options) + " with visibleDistance 60")
-                builder.feature("with")
-            elif rng.random() < 0.5 and builder.heading_vars:
-                builder.emit(f"ego = EgoCar with roadDeviation {rng.choice(builder.heading_vars)}")
-                builder.feature("with")
-            else:
-                builder.emit(rng.choice(options))
-        elif builder.world == "mars":
-            # Keep the rover's 0.5 x 0.7 footprint inside the 5 m arena.
-            builder.emit(f"ego = Rover at {self._number(rng, -1, 1)} @ {self._number(rng, -2.0, -1.2)}")
-        else:
+        if builder.world is None:
             cls = rng.choice(builder.classes)
             heading = ""
             if rng.random() < 0.5:
                 heading = f", facing {self._heading_expr(builder)}"
                 builder.feature("facing")
             builder.emit(f"ego = {cls} at 0 @ 0{heading}")
+        else:
+            ego_spec = builder.profile.ego
+            cls = rng.choice(ego_spec.classes)
+            specifiers: List[str] = []
+            if ego_spec.placement is not None:
+                (x_low, x_high), (y_low, y_high) = ego_spec.placement
+                specifiers.append(
+                    f"at {self._number(rng, x_low, x_high)} @ {self._number(rng, y_low, y_high)}"
+                )
+            if ego_spec.visible_distance is not None and rng.random() < 0.5:
+                specifiers.append(f"with visibleDistance {_fmt(ego_spec.visible_distance)}")
+                builder.feature("with")
+            elif (
+                ego_spec.allow_deviation
+                and builder.profile.deviation_property is not None
+                and rng.random() < 0.5
+                and builder.heading_vars
+            ):
+                specifiers.append(
+                    f"with {builder.profile.deviation_property} {rng.choice(builder.heading_vars)}"
+                )
+                builder.feature("with")
+            suffix = f" {', '.join(specifiers)}" if specifiers else ""
+            builder.emit(f"ego = {cls}{suffix}")
         builder.object_vars.append(("ego", index))
 
     # -- object placement --------------------------------------------------------
@@ -370,16 +402,20 @@ class ProgramGenerator:
         """Returns (specifier source, feature label)."""
         rng = builder.rng
         ref = rng.choice(builder.object_vars)[0]
-        tuning = _WORLD_TUNING[builder.world]
+        tuning = builder.profile.magnitudes
         span = tuning["span"]
         forward = tuning["forward"]
         choices = ["at", "offset by", "left of", "right of", "ahead of", "behind", "beyond"]
-        if builder.world == "gtaLib":
-            choices += ["on road", "visible", "following"]
+        choices += [f"on {region}" for region in builder.profile.on_regions]
+        if builder.profile.supports_visible:
+            choices.append("visible")
+        if builder.profile.orientation_field is not None:
+            choices.append("following")
         kind = rng.choice(choices)
         if kind == "at":
-            if builder.world == "gtaLib":
-                # Absolute placement is feasibility-hostile on the road map;
+            if builder.profile.avoid_absolute:
+                # Absolute placement is feasibility-hostile in workspaces
+                # that are mostly illegal region (road map, racked floor);
                 # place relative to the ego instead.
                 kind = "offset by"
             else:
@@ -405,20 +441,24 @@ class ProgramGenerator:
             if rng.random() < 0.3 and ref != "ego":
                 suffix = " from ego"
             return f"beyond {ref} by {vec}{suffix}", "beyond"
-        if kind == "on road":
-            return "on road", "on"
+        if kind.startswith("on "):
+            return kind, "on"
         if kind == "visible":
             return "visible", "visible"
         if kind == "following":
-            distance = self._scalar_expr(builder, 3, 12)
-            return f"following roadDirection for {distance}", "following"
+            distance = self._scalar_expr(builder, *builder.profile.following_distance)
+            return f"following {builder.profile.orientation_field} for {distance}", "following"
         raise AssertionError(kind)
 
     def _heading_specifier(self, builder: _ProgramBuilder) -> Tuple[str, str]:
         rng = builder.rng
         roll = rng.random()
-        if builder.world == "gtaLib" and roll < 0.35:
-            return f"with roadDeviation {self._heading_expr(builder, limit_degrees=30)}", "with"
+        if builder.profile.deviation_property is not None and roll < 0.35:
+            return (
+                f"with {builder.profile.deviation_property} "
+                f"{self._heading_expr(builder, limit_degrees=30)}",
+                "with",
+            )
         if roll < 0.55:
             return f"facing {self._heading_expr(builder)}", "facing"
         if roll < 0.7:
@@ -437,7 +477,7 @@ class ProgramGenerator:
         if not options:
             return None
         prop = rng.choice(options)
-        size_low, size_high = _WORLD_TUNING[builder.world]["size"]
+        size_low, size_high = builder.profile.magnitudes["size"]
         if prop == "width":
             return f"with width {self._range_expr(rng, size_low, size_high)}", "with", prop
         if prop == "height":
@@ -458,22 +498,23 @@ class ProgramGenerator:
         specifiers.append(position)
         builder.feature(feature)
         if (
-            builder.world == "gtaLib"
+            builder.profile.relax_visibility
             and feature not in ("visible", "ahead of")
-            and rng.random() < 0.8
+            and rng.random() < builder.profile.relax_probability
         ):
-            # GTA cars have an 80-degree view cone and requireVisible
-            # defaults to True; placements beside/behind the ego are near-
-            # infeasible without lifting it.  Keep a fraction visibility-
-            # constrained (like the paper's examples), relax the rest.
+            # The ego's view cone plus the default requireVisible makes
+            # placements beside/behind the ego near-infeasible without
+            # lifting it.  Keep a fraction visibility-constrained (like the
+            # paper's examples), relax the rest.
             specifiers.append("with requireVisible False")
             used_properties.add("requireVisible")
         if rng.random() < 0.55:
             heading, feature = self._heading_specifier(builder)
             specifiers.append(heading)
             builder.feature(feature)
-            if heading.startswith("with roadDeviation"):
-                used_properties.add("roadDeviation")
+            deviation_property = builder.profile.deviation_property
+            if deviation_property is not None and heading.startswith(f"with {deviation_property}"):
+                used_properties.add(deviation_property)
         for _ in range(rng.randint(0, 2)):
             choice = self._with_specifier(builder, used_properties)
             if choice is None:
@@ -493,7 +534,7 @@ class ProgramGenerator:
                 index = builder.new_object_index()
                 var = f"obj{index}"
                 anchor = rng.choice(builder.object_vars)[0]
-                by_low, by_high = _WORLD_TUNING[builder.world]["by"]
+                by_low, by_high = builder.profile.magnitudes["by"]
                 if rng.random() < 0.5:
                     builder.emit(f"{var} = placeNear({anchor})")
                 else:
@@ -505,11 +546,11 @@ class ProgramGenerator:
                 continue
             if roll < 0.24 and budget >= 2:
                 count = rng.randint(2, min(3, budget))
-                unit = 1.0 if builder.world != "mars" else 0.25
+                unit = builder.profile.unit
                 spacing = self._number(rng, 3 * unit, 6 * unit)
                 base = self._number(rng, 4 * unit, 9 * unit)
                 cls = self._object_class(builder)
-                relax = ", with requireVisible False" if builder.world == "gtaLib" else ""
+                relax = ", with requireVisible False" if builder.profile.relax_visibility else ""
                 builder.emit(f"for i in range({count}):")
                 builder.emit(
                     f"    {cls} offset by (i * {spacing} - {base}) @ "
@@ -534,8 +575,8 @@ class ProgramGenerator:
             if roll < 0.38 and budget >= 2:
                 count = 2
                 cls = self._object_class(builder)
-                unit = 1.0 if builder.world != "mars" else 0.2
-                relax = ", with requireVisible False" if builder.world == "gtaLib" else ""
+                unit = builder.profile.unit
+                relax = ", with requireVisible False" if builder.profile.relax_visibility else ""
                 builder.emit("j = 0")
                 builder.emit(f"while j < {count}:")
                 builder.emit(
@@ -593,7 +634,7 @@ class ProgramGenerator:
         named = [entry for entry in builder.object_vars if entry[0] != "ego"]
         if not named:
             return
-        generous_distance = {"gtaLib": (60, 120), "mars": (9, 15), None: (60, 140)}[builder.world]
+        generous_distance = builder.profile.generous_distance
         for _ in range(rng.randint(0, 2)):
             var, index = rng.choice(named)
             plannable = index not in builder.mutated_indices and 0 not in builder.mutated_indices
@@ -611,7 +652,7 @@ class ProgramGenerator:
                 if plannable and not soft:
                     builder.checks.append(PlannedCheck("max_distance", index, float(_fmt(bound))))
             elif roll < 0.8:
-                bound = rng.uniform(0.5, 2.5) * (0.2 if builder.world == "mars" else 1.0)
+                bound = rng.uniform(0.5, 2.5) * builder.profile.min_distance_scale
                 builder.emit(f"{prefix} (distance to {var}) >= {_fmt(bound)}")
                 if plannable and not soft:
                     builder.checks.append(PlannedCheck("min_distance", index, float(_fmt(bound))))
@@ -779,9 +820,14 @@ def _tweak_numbers(line: str, rng: random.Random) -> str:
 _DEFAULT_GENERATOR = ProgramGenerator()
 
 
-def generate_program(seed: int) -> GeneratedProgram:
-    """Generate one well-formed program (a pure function of *seed*)."""
-    return _DEFAULT_GENERATOR.generate(seed)
+def generate_program(seed: int, world: Optional[str] = None) -> GeneratedProgram:
+    """Generate one well-formed program (a pure function of *seed*).
+
+    *world* pins the world mode: ``"inline"`` or a canonical registered
+    world name skips the weighted draw (the ``--world`` campaign flag);
+    ``None`` keeps the default world mix.
+    """
+    return _DEFAULT_GENERATOR.generate(seed, world=world)
 
 
 __all__ = [

@@ -64,6 +64,10 @@ class CampaignConfig:
     #: available backend regardless of this setting; selecting numba/jax
     #: here additionally drives the whole sampling hot path through it.
     backend: Optional[str] = None
+    #: Pin every generated program to one registered world (``--world``;
+    #: ``inline`` = no world import).  None keeps the generator's weighted
+    #: world mix.
+    world: Optional[str] = None
 
 
 @dataclass
@@ -228,7 +232,7 @@ def run_campaign(
                 expect_valid=False,
             )
         else:
-            program = generate_program(seed)
+            program = generate_program(seed, world=config.world)
             report = oracle(
                 program,
                 max_iterations=config.max_iterations,

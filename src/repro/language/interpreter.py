@@ -326,11 +326,15 @@ class Interpreter:
         method(node, env)
 
     def _execute_ImportStatement(self, node: ast.ImportStatement, env: Environment) -> None:
-        from ..worlds.registry import load_world
+        from ..worlds.registry import load_world, registered_worlds
 
         namespace, workspace = load_world(node.module)
         if namespace is None:
-            raise InterpreterError(f"unknown Scenic library '{node.module}'", node.line)
+            known = ", ".join(registered_worlds(include_aliases=True))
+            raise InterpreterError(
+                f"unknown Scenic library '{node.module}' (registered: {known})",
+                node.line,
+            )
         for name, value in namespace.items():
             self.globals.assign(name, value)
         if workspace is not None and self.workspace is None:

@@ -1,13 +1,22 @@
 """World libraries: the domain-specific object classes, regions and vector
-fields that Scenic programs import (``import gtaLib``, ``import mars``).
+fields that Scenic programs import (``import gtaLib``, ``import mars``,
+``import warehouse``).
 
 * :mod:`repro.worlds.gta` — a synthetic road world standing in for Grand
   Theft Auto V: a procedurally generated road network with traffic-direction
   vector field, curbs, car models and colours, plus weather/time parameters.
 * :mod:`repro.worlds.mars` — a Webots-like Mars rover arena with rocks,
   pipes, a goal flag, and a grid-based motion planner.
+* :mod:`repro.worlds.warehouse` — an indoor rack warehouse with picking
+  aisles, cross-aisles, robots, pallets and workers.
+
+Each world registers one :class:`~repro.worlds.profile.WorldProfile`
+(:mod:`repro.worlds.registry`) bundling its Scenic namespace and workspace
+with the fuzzer tuning, static-analysis hooks and evals metadata the rest
+of the engine resolves through the registry — see ``docs/worlds.md`` for
+the add-a-world contract.
 """
 
-from . import registry
+from . import profile, registry
 
-__all__ = ["registry"]
+__all__ = ["profile", "registry"]

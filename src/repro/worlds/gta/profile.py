@@ -1,0 +1,88 @@
+"""The registered :class:`WorldProfile` for the GTA road world (``gtaLib``)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ...core.workspace import Workspace
+from ..profile import AnalysisProfile, CorpusProfile, EgoSpec, FuzzProfile, WorldProfile
+
+
+def _load() -> Tuple[Dict[str, Any], Optional[Workspace]]:
+    from .interface import default_workspace, scenic_namespace
+
+    return scenic_namespace(), default_workspace()
+
+
+def _class_facts(
+    python_class: type, static_interval: Callable[[str], Any]
+) -> Optional[Dict[str, Any]]:
+    """Field alignment and model-table dimensions for the GTA car classes.
+
+    Cars default their heading to ``roadDirection`` plus ``roadDeviation``
+    and their footprint to a uniformly random :class:`CarModel`, so the
+    sound dimension bounds are the min/max over the model table.
+    """
+    from ...analysis.intervals import Interval
+    from .carlib import Car, CarModel
+
+    if not (isinstance(python_class, type) and issubclass(python_class, Car)):
+        return None
+    deviation = static_interval("roadDeviation")
+    widths = [model.width for model in CarModel.models.values()]
+    heights = [model.height for model in CarModel.models.values()]
+    return {
+        "deviation": deviation if deviation is not None else Interval.point(0.0),
+        "width": Interval(min(widths), max(widths)),
+        "height": Interval(min(heights), max(heights)),
+    }
+
+
+PROFILE = WorldProfile(
+    name="gtaLib",
+    aliases=("gta",),
+    description="procedural road network standing in for Grand Theft Auto V",
+    loader=_load,
+    fuzz=FuzzProfile(
+        weight=4,
+        # Placements must stay near the ego to remain feasible on the
+        # road map, hence the tight spans and the forward bias.
+        magnitudes={
+            "size": (1.0, 2.4),
+            "by": (0.5, 6.0),
+            "span": (-3.0, 3.0),
+            "forward": (4.0, 22.0),
+            "beyond": (2.0, 8.0),
+            "lateral": (-2.0, 2.0),
+        },
+        ego=EgoSpec(classes=("Car", "EgoCar"), visible_distance=60.0, allow_deviation=True),
+        class_bases=("Car",),
+        object_pool=("Car", "Car", "Car"),
+        generous_distance=(60.0, 120.0),
+        # Cars have an 80-degree view cone and requireVisible defaults to
+        # True; placements beside/behind the ego are near-infeasible
+        # without lifting it.  Keep a fraction visibility-constrained
+        # (like the paper's examples), relax the rest.
+        relax_visibility=True,
+        orientation_field="roadDirection",
+        deviation_property="roadDeviation",
+        on_regions=("road",),
+        supports_visible=True,
+        # Absolute placement is feasibility-hostile on the road map;
+        # place relative to the ego instead.
+        avoid_absolute=True,
+    ),
+    analysis=AnalysisProfile(
+        class_facts=_class_facts,
+        deviation_properties=("roadDeviation",),
+        model_symbols=("CarModel",),
+    ),
+    corpus=CorpusProfile(
+        feature_tokens=(
+            ("on road", "on"),
+            ("roadDeviation", "roadDeviation"),
+        ),
+    ),
+)
+
+__all__ = ["PROFILE"]

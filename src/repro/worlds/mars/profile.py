@@ -1,0 +1,46 @@
+"""The registered :class:`WorldProfile` for the Mars rover world (``mars``)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ...core.workspace import Workspace
+from ..profile import CorpusProfile, EgoSpec, FuzzProfile, WorldProfile
+
+
+def _load() -> Tuple[Dict[str, Any], Optional[Workspace]]:
+    from .interface import default_workspace, scenic_namespace
+
+    return scenic_namespace(), default_workspace()
+
+
+PROFILE = WorldProfile(
+    name="mars",
+    aliases=("webotsLib",),
+    description="Webots-like Mars rover arena with rocks, pipes and a planner",
+    loader=_load,
+    fuzz=FuzzProfile(
+        weight=2,
+        # The arena is a 5 m square with decimetre-scale objects, so every
+        # magnitude is shrunk accordingly.
+        magnitudes={
+            "size": (0.08, 0.35),
+            "by": (0.15, 1.0),
+            "span": (-1.6, 1.6),
+            "forward": (0.3, 1.5),
+            "beyond": (0.3, 1.2),
+            "lateral": (-0.6, 0.6),
+        },
+        # Keep the rover's 0.5 x 0.7 footprint inside the 5 m arena.
+        ego=EgoSpec(classes=("Rover",), placement=((-1.0, 1.0), (-2.0, -1.2))),
+        class_bases=("Rock", "Pipe"),
+        object_pool=("Rock", "BigRock", "Pipe"),
+        generous_distance=(9.0, 15.0),
+        min_distance_scale=0.2,
+        unit=0.25,
+    ),
+    analysis=None,  # MarsObject defaults are static; no hooks needed
+    corpus=CorpusProfile(),
+)
+
+__all__ = ["PROFILE"]

@@ -1,0 +1,220 @@
+"""The :class:`WorldProfile` contract: everything the engine knows per world.
+
+The paper's workflow (Sec. 1) makes a simulator interface "a small Scenic
+library defining the types of objects supported by the simulator, as well
+as the geometry of the workspace".  Historically this repo let world
+knowledge leak beyond :mod:`repro.worlds` — the fuzzer keyed magnitude
+tables on literal import names, the analyzer imported the GTA car-model
+table by module path, and the evals layer hardcoded the recognized world
+names.  A ``WorldProfile`` gathers all of that into one registered object,
+so adding a world is a single plugin module under ``worlds/<name>/``:
+
+* the Scenic **loader** — namespace + workspace, what ``import <name>``
+  binds (exactly what the old registry stored);
+* a :class:`FuzzProfile` — magnitude tuning, ego/object class pools,
+  ``requireVisible`` relaxation policy and require-statement ranges the
+  grammar-driven generator (:mod:`repro.fuzz.program_gen`) uses to emit
+  *feasible* programs for this world;
+* an :class:`AnalysisProfile` — hooks the static analyzer
+  (:mod:`repro.analysis.analyzer`) uses to derive class facts (dimension
+  intervals, heading-deviation bounds) and to recognize model tables in
+  default expressions, without importing world modules by path;
+* a :class:`CorpusProfile` — extra feature tokens and the stratification
+  bucket the evals corpus (:mod:`repro.evals.corpus`) tags entries with.
+
+Every field besides ``name`` and ``loader`` is optional: a world with no
+fuzz profile is simply never picked by the generator, and a world with no
+analysis profile gets the analyzer's sound default (unmapped classes bail
+to "don't prune").  See ``docs/worlds.md`` for the add-a-world checklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..core.workspace import Workspace
+
+#: ``loader`` signature: () -> (scenic namespace, workspace or None).
+WorldLoader = Callable[[], Tuple[Dict[str, Any], Optional[Workspace]]]
+
+#: Magnitude keys every fuzz profile must provide.  The generator sizes its
+#: emitted literals from these ranges so programs stay feasible in-world:
+#: ``size`` (object width/height), ``by`` (left of/ahead of gaps), ``span``
+#: (absolute / lateral offsets), ``forward`` (ego-forward offsets),
+#: ``beyond`` / ``lateral`` (the two components of ``beyond X by l @ f``).
+MAGNITUDE_KEYS: Tuple[str, ...] = ("size", "by", "span", "forward", "beyond", "lateral")
+
+
+@dataclass(frozen=True)
+class EgoSpec:
+    """How the fuzz generator instantiates the ego for a world.
+
+    ``placement`` is an optional ``((x_lo, x_hi), (y_lo, y_hi))`` box for an
+    explicit ``at x @ y`` (worlds whose default position distribution is
+    fine for the ego leave it ``None``).  ``visible_distance`` optionally
+    emits ``with visibleDistance <v>`` on a coin flip, and
+    ``allow_deviation`` lets the ego pick up the world's deviation property
+    (``with roadDeviation a`` style) when a heading variable is in scope.
+    """
+
+    classes: Tuple[str, ...]
+    placement: Optional[Tuple[Tuple[float, float], Tuple[float, float]]] = None
+    visible_distance: Optional[float] = None
+    allow_deviation: bool = False
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """World-specific tuning for the grammar-driven program generator."""
+
+    #: Relative likelihood of picking this world (inline programs have
+    #: their own weight inside the generator).
+    weight: int
+    #: Literal-magnitude ranges, one entry per :data:`MAGNITUDE_KEYS`.
+    magnitudes: Mapping[str, Tuple[float, float]]
+    ego: EgoSpec
+    #: Base classes a generated ``class X(Base)`` may derive from.
+    class_bases: Tuple[str, ...]
+    #: Classes instantiated for non-ego objects (repeats bias the draw).
+    object_pool: Tuple[str, ...]
+    #: Range for generous ``require (distance to x) <= bound`` bounds.
+    generous_distance: Tuple[float, float]
+    #: Scale applied to minimum-distance require bounds (small arenas < 1).
+    min_distance_scale: float = 1.0
+    #: Length scale for loop-emitted placements (small arenas < 1).
+    unit: float = 1.0
+    #: Emit ``with requireVisible False`` on most placements (worlds whose
+    #: classes default ``requireVisible`` to True and would otherwise make
+    #: beside/behind placements near-infeasible).
+    relax_visibility: bool = False
+    relax_probability: float = 0.8
+    #: Name of the world's orientation vector field, when it has one —
+    #: enables ``relative to <field>`` headings and ``following <field>``.
+    orientation_field: Optional[str] = None
+    #: Name of the field-deviation property (``roadDeviation`` style) —
+    #: enables ``with <property> <heading>`` specifiers.
+    deviation_property: Optional[str] = None
+    #: Named regions usable as ``on <region>`` position specifiers.
+    on_regions: Tuple[str, ...] = ()
+    #: Whether the bare ``visible`` position specifier is feasible enough
+    #: to generate (needs a bounded view region).
+    supports_visible: bool = False
+    #: Replace absolute ``at x @ y`` placements with ego-relative offsets
+    #: (workspaces where uniform boxes mostly miss the legal region).
+    avoid_absolute: bool = False
+    #: Distance range for ``following <field> for <d>`` placements.
+    following_distance: Tuple[float, float] = (3.0, 12.0)
+
+    def missing_magnitudes(self) -> List[str]:
+        """Magnitude keys absent or malformed — empty for a valid profile."""
+        problems: List[str] = []
+        for key in MAGNITUDE_KEYS:
+            bounds = self.magnitudes.get(key)
+            if (
+                bounds is None
+                or len(bounds) != 2
+                or not all(isinstance(b, (int, float)) for b in bounds)
+                or not bounds[0] <= bounds[1]
+            ):
+                problems.append(key)
+        return problems
+
+
+#: ``class_facts`` hook signature: ``(python_class, static_interval) -> patch``.
+#: *static_interval* maps a property name to the Interval of its default
+#: expression (or None when non-static); the returned patch may supply
+#: ``"width"`` / ``"height"`` / ``"deviation"`` Intervals, or None / {} when
+#: the class is not one this world knows (the analyzer then keeps its sound
+#: defaults).
+ClassFactsHook = Callable[[type, Callable[[str], Any]], Optional[Dict[str, Any]]]
+
+
+@dataclass(frozen=True)
+class AnalysisProfile:
+    """Static-analysis hooks for a world's classes and model tables."""
+
+    class_facts: Optional[ClassFactsHook] = None
+    #: Property names holding a heading deviation from the world's
+    #: orientation field (``roadDeviation`` style): class/``with`` overrides
+    #: of these fold into the analyzer's deviation bound.
+    deviation_properties: Tuple[str, ...] = ()
+    #: Namespace names that bind model tables: objects with a ``.models``
+    #: dict of entries carrying ``width`` / ``height`` attributes and a
+    #: ``defaultModel()`` / ``default_model()`` constructor.  The analyzer
+    #: uses these to bound ``with model CarModel.models['X']``-style
+    #: defaults without importing the table by module path.
+    model_symbols: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Evals-corpus metadata: feature tagging and stratification."""
+
+    #: Extra ``(source token, feature label)`` pairs for
+    #: :func:`repro.evals.corpus.infer_features` (world-specific syntax
+    #: such as ``on road`` or a deviation property name).
+    feature_tokens: Tuple[Tuple[str, str], ...] = ()
+    #: Stratification bucket name; defaults to the world's canonical name.
+    bucket: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class WorldProfile:
+    """A registered world: import names, loader, and per-subsystem profiles."""
+
+    name: str
+    loader: WorldLoader
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+    fuzz: Optional[FuzzProfile] = None
+    analysis: Optional[AnalysisProfile] = None
+    corpus: CorpusProfile = field(default_factory=CorpusProfile)
+
+    @property
+    def import_names(self) -> Tuple[str, ...]:
+        """Every Scenic import name resolving to this world."""
+        return (self.name,) + self.aliases
+
+    @property
+    def bucket(self) -> str:
+        """The evals stratification bucket for this world's programs."""
+        return self.corpus.bucket or self.name
+
+    def load(self) -> Tuple[Dict[str, Any], Optional[Workspace]]:
+        return self.loader()
+
+    def validate(self) -> List[str]:
+        """Contract violations (empty list when the profile is well-formed)."""
+        problems: List[str] = []
+        if not self.name or not isinstance(self.name, str):
+            problems.append("profile name must be a non-empty string")
+        if self.name in self.aliases:
+            problems.append(f"alias {self.name!r} duplicates the canonical name")
+        if len(set(self.aliases)) != len(self.aliases):
+            problems.append("aliases contain duplicates")
+        if not callable(self.loader):
+            problems.append("loader must be callable")
+        if self.fuzz is not None:
+            missing = self.fuzz.missing_magnitudes()
+            if missing:
+                problems.append(f"fuzz profile missing magnitude ranges: {missing}")
+            if not self.fuzz.ego.classes:
+                problems.append("fuzz profile needs at least one ego class")
+            if not self.fuzz.object_pool and not self.fuzz.class_bases:
+                problems.append("fuzz profile needs an object pool or class bases")
+            if self.fuzz.weight < 0:
+                problems.append("fuzz weight must be non-negative")
+        return problems
+
+
+__all__ = [
+    "MAGNITUDE_KEYS",
+    "AnalysisProfile",
+    "ClassFactsHook",
+    "CorpusProfile",
+    "EgoSpec",
+    "FuzzProfile",
+    "WorldLoader",
+    "WorldProfile",
+]

@@ -1,0 +1,33 @@
+"""The namespace a Scenic program sees after ``import warehouse``."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ...core.workspace import Workspace
+from .layout import default_layout
+from .objects import Crate, Pallet, Robot, Shelf, WarehouseObject, Worker
+
+
+def scenic_namespace() -> Dict[str, Any]:
+    layout = default_layout()
+    return {
+        "WarehouseObject": WarehouseObject,
+        "Robot": Robot,
+        "Pallet": Pallet,
+        "Crate": Crate,
+        "Shelf": Shelf,
+        "Worker": Worker,
+        "floor": layout.floor,
+        "aisle": layout.aisle,
+        "crossAisle": layout.cross_aisle,
+        "racks": layout.racks,
+        "aisleDirection": layout.aisle_direction,
+    }
+
+
+def default_workspace() -> Workspace:
+    return default_layout().workspace
+
+
+__all__ = ["scenic_namespace", "default_workspace"]

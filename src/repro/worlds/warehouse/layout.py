@@ -1,0 +1,115 @@
+"""The warehouse floor plan: aisles, cross-aisles, racks, and the workspace.
+
+The indoor world the ROADMAP asks for: a rack warehouse whose navigable
+floor is four parallel picking aisles joined by a cross-aisle at each end.
+The shelving racks between the aisles are *not* part of the floor region,
+so workspace containment alone creates the tight-clearance pressure the
+pruning strategies exist for: a pallet in a 2 m aisle has roughly 0.8 m of
+lateral slack, and placements straddling a rack are rejected outright.
+
+Like the road map, the floor carries a preferred-orientation vector field
+(``aisleDirection``): straight down the aisle inside the racks, along the
+building in the cross-aisles.  Objects default their heading to the field
+plus an ``aisleDeviation``, which is the structure orientation-based
+pruning (Sec. 5.2) exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ...core.regions import PolygonalRegion
+from ...core.vectorfields import PolygonalVectorField
+from ...core.vectors import Vector
+from ...core.workspace import Workspace
+from ...geometry.polygon import Polygon
+
+#: Floor-plan constants (metres).  Four 2 m aisles separated by 1.4 m
+#: racks, 14 m long, with a 2.5 m cross-aisle across each end.
+AISLE_COUNT = 4
+AISLE_WIDTH = 2.0
+RACK_WIDTH = 1.4
+AISLE_LENGTH = 14.0
+CROSS_AISLE_DEPTH = 2.5
+
+#: Overall building half-extents derived from the constants above.
+BUILDING_HALF_WIDTH = (AISLE_COUNT * AISLE_WIDTH + (AISLE_COUNT - 1) * RACK_WIDTH) / 2.0
+BUILDING_HALF_LENGTH = AISLE_LENGTH / 2.0 + CROSS_AISLE_DEPTH
+
+
+def aisle_centers() -> List[float]:
+    """The x coordinate of each aisle's centreline, left to right."""
+    pitch = AISLE_WIDTH + RACK_WIDTH
+    first = -BUILDING_HALF_WIDTH + AISLE_WIDTH / 2.0
+    return [first + index * pitch for index in range(AISLE_COUNT)]
+
+
+class WarehouseLayout:
+    """The warehouse floor: regions, the aisle-direction field, workspace."""
+
+    def __init__(self, name: str = "warehouse"):
+        self.name = name
+        aisle_polygons = [
+            Polygon.rectangle(Vector(x, 0.0), AISLE_WIDTH, AISLE_LENGTH)
+            for x in aisle_centers()
+        ]
+        cross_y = AISLE_LENGTH / 2.0 + CROSS_AISLE_DEPTH / 2.0
+        cross_polygons = [
+            Polygon.rectangle(Vector(0.0, sign * cross_y), 2 * BUILDING_HALF_WIDTH, CROSS_AISLE_DEPTH)
+            for sign in (1.0, -1.0)
+        ]
+        rack_pitch = AISLE_WIDTH + RACK_WIDTH
+        rack_first = -BUILDING_HALF_WIDTH + AISLE_WIDTH + RACK_WIDTH / 2.0
+        rack_polygons = [
+            Polygon.rectangle(
+                Vector(rack_first + index * rack_pitch, 0.0), RACK_WIDTH, AISLE_LENGTH
+            )
+            for index in range(AISLE_COUNT - 1)
+        ]
+        # Aisles flow along +y (heading 0); cross-aisles along +x.
+        cells: List[Tuple[Polygon, float]] = [
+            (polygon, 0.0) for polygon in aisle_polygons
+        ] + [(polygon, -math.pi / 2.0) for polygon in cross_polygons]
+        self.aisle_direction = PolygonalVectorField("aisleDirection", cells)
+        self.aisle = PolygonalRegion(
+            aisle_polygons, name="aisle", orientation=self.aisle_direction
+        )
+        self.cross_aisle = PolygonalRegion(
+            cross_polygons, name="crossAisle", orientation=self.aisle_direction
+        )
+        self.floor = PolygonalRegion(
+            aisle_polygons + cross_polygons, name="floor", orientation=self.aisle_direction
+        )
+        #: The shelving footprints — deliberately NOT part of the floor, so
+        #: they act as obstacles through workspace containment.
+        self.racks = PolygonalRegion(rack_polygons, name="racks")
+        self.workspace = Workspace(self.floor, name="warehouse-workspace")
+
+    def __repr__(self) -> str:
+        return f"WarehouseLayout({self.name!r}, {AISLE_COUNT} aisles)"
+
+
+_DEFAULT_LAYOUT: Optional[WarehouseLayout] = None
+
+
+def default_layout() -> WarehouseLayout:
+    """The shared warehouse floor plan (built once, deterministic)."""
+    global _DEFAULT_LAYOUT
+    if _DEFAULT_LAYOUT is None:
+        _DEFAULT_LAYOUT = WarehouseLayout()
+    return _DEFAULT_LAYOUT
+
+
+__all__ = [
+    "AISLE_COUNT",
+    "AISLE_LENGTH",
+    "AISLE_WIDTH",
+    "BUILDING_HALF_LENGTH",
+    "BUILDING_HALF_WIDTH",
+    "CROSS_AISLE_DEPTH",
+    "RACK_WIDTH",
+    "WarehouseLayout",
+    "aisle_centers",
+    "default_layout",
+]

@@ -1,0 +1,93 @@
+"""Object classes for the warehouse world.
+
+Footprints are typical for an automated warehouse: a compact mobile robot,
+Euro-pallet-sized pallets, loose crates, free-standing shelf units, and
+human workers.  By default every object lands at a uniformly random point
+on the navigable floor, facing along the aisle there (plus an
+``aisleDeviation``, default 0) — the same field-aligned idiom as the road
+world's cars, so orientation-based pruning applies unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...core.distributions import Range
+from ...core.lazy import DelayedArgument
+from ...core.objects import Object
+from .layout import default_layout
+
+
+def _default_position():
+    return default_layout().floor.uniform_point_distribution()
+
+
+def _default_heading():
+    aisle_direction = default_layout().aisle_direction
+    return DelayedArgument(
+        {"position", "aisleDeviation"},
+        lambda obj: aisle_direction.at(obj.position) + obj.aisleDeviation,
+    )
+
+
+class WarehouseObject(Object):
+    """Base class: uniform placement on the floor, aisle-aligned heading."""
+
+    _scenic_properties = {
+        "position": _default_position,
+        "heading": _default_heading,
+        "aisleDeviation": lambda: 0.0,
+    }
+
+
+class Robot(WarehouseObject):
+    """A mobile picking robot with a forward-facing sensor cone."""
+
+    _scenic_properties = {
+        "width": lambda: 0.6,
+        "height": lambda: 0.8,
+        "viewAngle": lambda: math.radians(120.0),
+        "visibleDistance": lambda: 20.0,
+        "viewDistance": lambda: DelayedArgument(
+            {"visibleDistance"}, lambda obj: obj.visibleDistance
+        ),
+    }
+
+
+class Pallet(WarehouseObject):
+    """A loaded pallet — nearly fills an aisle when placed across it."""
+
+    _scenic_properties = {
+        "width": lambda: 1.2,
+        "height": lambda: 0.8,
+    }
+
+
+class Crate(WarehouseObject):
+    """A loose crate of slightly variable size."""
+
+    _scenic_properties = {
+        "width": lambda: Range(0.35, 0.6),
+        "height": lambda: Range(0.35, 0.6),
+    }
+
+
+class Shelf(WarehouseObject):
+    """A free-standing shelf unit, long axis along the aisle."""
+
+    _scenic_properties = {
+        "width": lambda: 0.5,
+        "height": lambda: 1.8,
+    }
+
+
+class Worker(WarehouseObject):
+    """A human picker on foot."""
+
+    _scenic_properties = {
+        "width": lambda: 0.5,
+        "height": lambda: 0.5,
+    }
+
+
+__all__ = ["WarehouseObject", "Robot", "Pallet", "Crate", "Shelf", "Worker"]

@@ -1,0 +1,85 @@
+"""The registered :class:`WorldProfile` for the warehouse world."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ...core.workspace import Workspace
+from ..profile import AnalysisProfile, CorpusProfile, EgoSpec, FuzzProfile, WorldProfile
+
+
+def _load() -> Tuple[Dict[str, Any], Optional[Workspace]]:
+    from .interface import default_workspace, scenic_namespace
+
+    return scenic_namespace(), default_workspace()
+
+
+def _class_facts(
+    python_class: type, static_interval: Callable[[str], Any]
+) -> Optional[Dict[str, Any]]:
+    """Field alignment for warehouse classes.
+
+    Every :class:`WarehouseObject` defaults its heading to the aisle
+    direction plus ``aisleDeviation``, so the deviation bound is the static
+    interval of that property (0 by default).  Dimensions are plain static
+    defaults the analyzer already derives; no patch needed.
+    """
+    from ...analysis.intervals import Interval
+    from .objects import WarehouseObject
+
+    if not (isinstance(python_class, type) and issubclass(python_class, WarehouseObject)):
+        return None
+    deviation = static_interval("aisleDeviation")
+    return {"deviation": deviation if deviation is not None else Interval.point(0.0)}
+
+
+PROFILE = WorldProfile(
+    name="warehouse",
+    description="indoor rack warehouse with aisles, robots, pallets and workers",
+    loader=_load,
+    fuzz=FuzzProfile(
+        weight=3,
+        # A 2 m aisle leaves ~0.8 m of slack around a pallet, so offsets
+        # and gaps stay small; forward offsets may span a few rack bays.
+        magnitudes={
+            "size": (0.3, 0.9),
+            "by": (0.4, 2.2),
+            "span": (-1.2, 1.2),
+            "forward": (0.8, 4.5),
+            "beyond": (0.5, 2.5),
+            "lateral": (-0.7, 0.7),
+        },
+        ego=EgoSpec(classes=("Robot",), allow_deviation=True),
+        class_bases=("Crate", "Pallet"),
+        object_pool=("Pallet", "Crate", "Robot", "Shelf", "Worker"),
+        generous_distance=(18.0, 32.0),
+        min_distance_scale=0.5,
+        unit=0.6,
+        # The robot's 120-degree sensor cone makes beside/behind placements
+        # near-infeasible under the default requireVisible; keep a fraction
+        # visibility-constrained, relax the rest (same policy as the road
+        # world).
+        relax_visibility=True,
+        orientation_field="aisleDirection",
+        deviation_property="aisleDeviation",
+        on_regions=("floor", "aisle"),
+        supports_visible=True,
+        # Uniform boxes mostly land on racks or outside the building;
+        # place relative to the ego instead.
+        avoid_absolute=True,
+        following_distance=(2.0, 6.0),
+    ),
+    analysis=AnalysisProfile(
+        class_facts=_class_facts,
+        deviation_properties=("aisleDeviation",),
+    ),
+    corpus=CorpusProfile(
+        feature_tokens=(
+            ("on floor", "on"),
+            ("on aisle", "on"),
+            ("aisleDeviation", "aisleDeviation"),
+        ),
+    ),
+)
+
+__all__ = ["PROFILE"]

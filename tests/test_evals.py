@@ -28,7 +28,7 @@ from repro.evals import (
     write_scorecard,
 )
 from repro.evals.corpus import DIFFICULTIES, WORLDS
-from repro.evals.scorecard import SCORECARD_JSON
+from repro.evals.scorecard import SCORECARD_JSON, SCORECARD_MD
 from repro.language import compile_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -96,6 +96,15 @@ def test_tagging_helpers():
     assert difficulty_tier(1.0) == "easy"
     assert difficulty_tier(30.0) == "medium"
     assert difficulty_tier(2000.0) == "hard"
+
+
+def test_tagging_resolves_world_aliases():
+    """Regression: alias imports used to mistag as world="inline"."""
+    assert infer_world("import gta\nego = Car\n") == "gtaLib"
+    assert infer_world("import webotsLib\nego = Rover\n") == "mars"
+    assert infer_world("import warehouse\nego = Robot at 0 @ 0\n") == "warehouse"
+    # Unregistered imports still fall back to the inline bucket.
+    assert infer_world("import noSuchWorld\nego = Object at 0 @ 0\n") == "inline"
 
 
 # ---------------------------------------------------------------------------
@@ -230,5 +239,5 @@ def test_committed_scorecard_matches_corpus():
             if name != document["reference"] and record["status"] == "ok":
                 assert "coverage" in record
     # The markdown rendering is committed alongside and reflects the JSON.
-    markdown = (SCORECARD_JSON.parent / "EVALS_8.md").read_text()
+    markdown = SCORECARD_MD.read_text()
     assert f"seed {document['seed']}" in markdown

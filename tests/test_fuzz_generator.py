@@ -45,7 +45,7 @@ class TestGenerator:
             program = generate_program(seed)
             worlds.add(program.world)
             features.update(program.features)
-        assert worlds == {None, "gtaLib", "mars"}
+        assert worlds == {None, "gtaLib", "mars", "warehouse"}
         # The grammar walk must reach the constructs the tentpole names.
         for expected in ("class", "def", "for", "if", "require", "mutate", "param", "facing"):
             assert expected in features, f"feature {expected!r} never generated"
